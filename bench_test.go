@@ -1,0 +1,472 @@
+package guardedrules
+
+// One benchmark per experiment of DESIGN.md (E1–E12), each regenerating
+// the corresponding table/figure artifact of the paper at benchmark
+// scale. Run with: go test -bench=. -benchmem
+//
+// Absolute numbers are this implementation's; the paper proves the
+// translations' correctness and complexity, and the shapes to check are:
+// answer preservation on every instance, at most single-exponential
+// expansion for rew, potentially double-exponential saturation for dat,
+// polynomial evaluation for the Datalog-expressible fragments, and
+// super-polynomial growth of the Σsucc ordering forest.
+
+import (
+	"fmt"
+	"testing"
+
+	"guardedrules/internal/annotate"
+	"guardedrules/internal/capture"
+	"guardedrules/internal/chase"
+	"guardedrules/internal/classify"
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/datalog"
+	"guardedrules/internal/gen"
+	"guardedrules/internal/hom"
+	"guardedrules/internal/kb"
+	"guardedrules/internal/normalize"
+	"guardedrules/internal/parser"
+	"guardedrules/internal/rewrite"
+	"guardedrules/internal/saturate"
+	"guardedrules/internal/stratified"
+	"guardedrules/internal/termination"
+	"guardedrules/internal/tm"
+)
+
+const sigmaPBench = `
+Publication(X) -> exists K1,K2. Keywords(X,K1,K2).
+Keywords(X,K1,K2) -> hasTopic(X,K1).
+hasTopic(X,Z), hasAuthor(X,U), hasAuthor(Y,U),
+  hasTopic(Y,Z2), Scientific(Z2), citedIn(Y,X) -> Scientific(Z).
+hasAuthor(X,Y), hasTopic(X,Z), Scientific(Z) -> Q(Y).
+`
+
+const exampleSevenBench = `
+A(X) -> exists Y. R(X,Y).
+R(X,Y) -> S(Y,Y).
+S(X,Y) -> exists Z. T(X,Y,Z).
+T(X,X,Y) -> B(X).
+C(X), R(X,Y), B(Y) -> D(X).
+`
+
+// BenchmarkE1FrontierGuardedToNearlyGuarded measures the Theorem 1
+// translation of Σp (the expansion is database-independent).
+func BenchmarkE1FrontierGuardedToNearlyGuarded(b *testing.B) {
+	th := normalize.Normalize(parser.MustParseTheory(sigmaPBench))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rew, _, err := rewrite.Rewrite(th.Clone(), rewrite.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !classify.Classify(rew).Member[classify.NearlyGuarded] {
+			b.Fatal("not nearly guarded")
+		}
+	}
+}
+
+// BenchmarkE1AnswerPreservation chases Σp and rew(Σp) on citation graphs.
+func BenchmarkE1AnswerPreservation(b *testing.B) {
+	orig := parser.MustParseTheory(sigmaPBench)
+	rew, _, err := rewrite.Rewrite(normalize.Normalize(orig), rewrite.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d := gen.CitationGraph(n)
+			for i := 0; i < b.N; i++ {
+				r1, err := chase.Run(orig, d, chase.Options{Variant: chase.Restricted, MaxDepth: 6, MaxFacts: 2_000_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r2, err := chase.Run(rew, d, chase.Options{Variant: chase.Restricted, MaxDepth: 6, MaxFacts: 2_000_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				a1 := datalog.CollectAnswers(r1.DB, "Q")
+				a2 := datalog.CollectAnswers(r2.DB, "Q")
+				if ok, diff := datalog.SameAnswers(a1, a2); !ok {
+					b.Fatal(diff)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2NearlyFrontierGuarded exercises the Definition 14
+// passthrough: existential core plus transitive-closure periphery.
+func BenchmarkE2NearlyFrontierGuarded(b *testing.B) {
+	th := normalize.Normalize(parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+	`))
+	rew, _, err := rewrite.Rewrite(th, rewrite.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := gen.Path(32)
+	for i := 0; i < 32; i++ {
+		d.Add(core.NewAtom("A", core.Const(fmt.Sprintf("v%d", i))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := chase.Run(rew, d, chase.Options{Variant: chase.Restricted, MaxDepth: 3, MaxFacts: 2_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Entails(core.NewAtom("T", core.Const("v0"), core.Const("v31"))) {
+			b.Fatal("transitive closure lost")
+		}
+	}
+}
+
+// BenchmarkE3WeaklyFrontierGuarded measures the Theorem 2 translation and
+// its evaluation.
+func BenchmarkE3WeaklyFrontierGuarded(b *testing.B) {
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(Y,X).
+		R(Y,X), B(X) -> S(Y).
+		R(Y,X), S(Y) -> Hit(X).
+	`)
+	b.Run("translate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := annotate.RewriteWFG(th, rewrite.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res, err := annotate.RewriteWFG(th, rewrite.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("evaluate", func(b *testing.B) {
+		d := database.New()
+		for i := 0; i < 16; i++ {
+			c := core.Const(fmt.Sprintf("c%d", i))
+			d.Add(core.NewAtom("A", c))
+			if i%2 == 0 {
+				d.Add(core.NewAtom("B", c))
+			}
+		}
+		dRe := res.Reorder.Database(d)
+		for i := 0; i < b.N; i++ {
+			r, err := chase.Run(res.Rewritten, dRe, chase.Options{Variant: chase.Restricted, MaxDepth: 5, MaxFacts: 2_000_000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(datalog.CollectAnswers(r.DB, "Hit")) != 8 {
+				b.Fatal("wrong answers")
+			}
+		}
+	})
+}
+
+// BenchmarkE4GuardedToDatalog saturates Example 7 and random guarded
+// theories of growing size (the paper's worst case is double exponential).
+func BenchmarkE4GuardedToDatalog(b *testing.B) {
+	b.Run("example7", func(b *testing.B) {
+		th := parser.MustParseTheory(exampleSevenBench)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := saturate.Datalog(th, saturate.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("random-%drules", n), func(b *testing.B) {
+			th := gen.RandomGuardedTheory(n, int64(n))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := saturate.Datalog(th, saturate.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5NearlyGuardedToDatalog measures Proposition 6 end to end.
+func BenchmarkE5NearlyGuardedToDatalog(b *testing.B) {
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y) -> B(X).
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+		T(X,Y), B(X), B(Y) -> Linked(X,Y).
+	`)
+	dat, _, err := saturate.NearlyGuardedToDatalog(th, saturate.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := gen.Path(24)
+	for i := 0; i < 24; i++ {
+		d.Add(core.NewAtom("A", core.Const(fmt.Sprintf("v%d", i))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := datalog.Eval(dat, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6NormalizeAndChaseTree measures Proposition 1 normalization
+// and the chase-tree construction with Proposition 2 verification.
+func BenchmarkE6NormalizeAndChaseTree(b *testing.B) {
+	th := gen.RandomFrontierGuardedTheory(gen.FGTheoryOptions{Rules: 6, Seed: 3})
+	d := gen.ABDatabase(8, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		norm := normalize.Normalize(th.Clone())
+		tree, _, err := chase.RunTree(norm, d, chase.Options{Variant: chase.Oblivious, MaxDepth: 4, MaxFacts: 100_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tree.VerifyProposition2(norm, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7CaptureStringQueries measures Theorem 4: compile once, then
+// decide words by chasing the compiled weakly guarded theory.
+func BenchmarkE7CaptureStringQueries(b *testing.B) {
+	alpha := []string{"zero", "one"}
+	m := tm.EvenCount("one", alpha)
+	th, err := capture.Compile(m, 1, alpha)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			word := make([]string, n)
+			for i := range word {
+				word[i] = alpha[i%2]
+			}
+			db, err := capture.Encode(word, 1, alpha)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want, err := m.Accepts(word, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := chase.Run(th, db, chase.Options{Variant: chase.Restricted, MaxDepth: 3*n + 6, MaxFacts: 1_000_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Entails(core.NewAtom(capture.AcceptRel)) != want.Accepted {
+					b.Fatal("disagrees with simulator")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8StratifiedCapture measures Theorem 5 on the even-constants
+// query over growing domains (work grows super-polynomially: the ordering
+// forest has d^(d+1) candidates).
+func BenchmarkE8StratifiedCapture(b *testing.B) {
+	m := tm.EvenLength(capture.ChrAlphabet(1))
+	th, err := capture.BooleanQuery(m, []string{"R"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range []int{2, 3} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			db := database.New()
+			for i := 0; i < d; i++ {
+				db.Add(core.NewAtom("R", core.Const(fmt.Sprintf("c%d", i))))
+			}
+			for i := 0; i < b.N; i++ {
+				got, _, err := capture.EvalBoolean(th, db, d+2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != (d%2 == 0) {
+					b.Fatal("wrong parity")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9Classification measures the affected-position analysis and
+// fragment classification.
+func BenchmarkE9Classification(b *testing.B) {
+	theories := []*core.Theory{
+		parser.MustParseTheory(sigmaPBench),
+		parser.MustParseTheory(exampleSevenBench),
+		gen.RandomFrontierGuardedTheory(gen.FGTheoryOptions{Rules: 10, Seed: 1}),
+		gen.RandomGuardedTheory(10, 2),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, th := range theories {
+			classify.Classify(th)
+		}
+	}
+}
+
+// BenchmarkE10KBPipeline measures the Section 7 pipeline against the
+// direct chase.
+func BenchmarkE10KBPipeline(b *testing.B) {
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(Y,X).
+		R(Y,X), B(X) -> S(Y).
+	`)
+	q := kb.CQ{
+		Answer: []core.Term{core.Var("X")},
+		Atoms: []core.Atom{
+			core.NewAtom("R", core.Var("Y"), core.Var("X")),
+			core.NewAtom("S", core.Var("Y")),
+		},
+	}
+	d := database.FromAtoms(parser.MustParseFacts(`A(a). A(b). A(c). B(a). B(c).`))
+	b.Run("chase", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := kb.AnswerByChase(th, q, d, chase.Options{Variant: chase.Restricted, MaxDepth: 5}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := kb.AnswerByPipeline(th, q, d, rewrite.Options{}, saturate.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE11DataComplexity contrasts polynomial Datalog evaluation with
+// the exponentially growing weakly guarded ordering construction.
+func BenchmarkE11DataComplexity(b *testing.B) {
+	th := parser.MustParseTheory(`
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+	`)
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("datalog-n=%d", n), func(b *testing.B) {
+			d := gen.Path(n)
+			for i := 0; i < b.N; i++ {
+				if _, err := datalog.Eval(th, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	succ := capture.SuccProgram()
+	for _, n := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("wg-orders-d=%d", n), func(b *testing.B) {
+			d := database.New()
+			for i := 0; i < n; i++ {
+				d.Add(core.NewAtom("Obj", core.Const(fmt.Sprintf("c%d", i))))
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := stratified.Eval(succ, d, stratified.Options{
+					Chase: chase.Options{Variant: chase.Restricted, MaxDepth: n + 1, MaxFacts: 5_000_000},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12ACDomAxiomatization measures Proposition 5.
+func BenchmarkE12ACDomAxiomatization(b *testing.B) {
+	th := normalize.Normalize(parser.MustParseTheory(sigmaPBench))
+	rew, _, err := rewrite.Rewrite(th, rewrite.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		star := rewrite.Axiomatize(rew)
+		if len(star.Rules) <= len(rew.Rules) {
+			b.Fatal("axiomatization must add rules")
+		}
+	}
+}
+
+// BenchmarkA1DatalogEngines is the ablation: the native semi-naive
+// evaluator vs evaluation through the chase engine.
+func BenchmarkA1DatalogEngines(b *testing.B) {
+	th := parser.MustParseTheory(`
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+	`)
+	d := gen.Path(32)
+	b.Run("semi-naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := datalog.EvalSemiNaive(th, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("via-chase", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := datalog.EvalViaChase(th, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkA2ChaseVariants is the ablation: oblivious vs restricted chase
+// on the running example.
+func BenchmarkA2ChaseVariants(b *testing.B) {
+	th := parser.MustParseTheory(sigmaPBench)
+	d := gen.CitationGraph(8)
+	for _, v := range []struct {
+		name    string
+		variant chase.Variant
+	}{{"oblivious", chase.Oblivious}, {"restricted", chase.Restricted}} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.Run(th, d, chase.Options{Variant: v.variant, MaxDepth: 6, MaxFacts: 2_000_000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA3WeakAcyclicity measures the termination analysis.
+func BenchmarkA3WeakAcyclicity(b *testing.B) {
+	theories := make([]*core.Theory, 0, 10)
+	for seed := int64(0); seed < 10; seed++ {
+		theories = append(theories, gen.RandomFrontierGuardedTheory(gen.FGTheoryOptions{Rules: 8, Seed: seed}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, th := range theories {
+			termination.Analyze(th)
+		}
+	}
+}
+
+// BenchmarkA4CoreMinimization measures core computation of chase results.
+func BenchmarkA4CoreMinimization(b *testing.B) {
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y) -> B(Y).
+	`)
+	d := database.FromAtoms(parser.MustParseFacts(`A(a). A(b). A(c). R(a,w).`))
+	res, err := chase.Run(th, d, chase.Options{Variant: chase.Oblivious})
+	if err != nil {
+		b.Fatal(err)
+	}
+	atoms := res.DB.UserFacts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, exact := hom.Core(atoms, 0); !exact {
+			b.Fatal("core search must be exact here")
+		}
+	}
+}

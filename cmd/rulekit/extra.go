@@ -1,0 +1,243 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"guardedrules"
+	"guardedrules/internal/chase"
+	"guardedrules/internal/database"
+	"guardedrules/internal/datalog"
+	"guardedrules/internal/normalize"
+	"guardedrules/internal/parser"
+	"guardedrules/internal/termination"
+)
+
+// cmdTermination reports the weak-acyclicity analysis of a theory.
+func cmdTermination(args []string) error {
+	fs := flag.NewFlagSet("termination", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "print the position dependency graph")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("termination: expected one theory file")
+	}
+	th, err := loadTheory(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep := termination.Analyze(th)
+	if rep.WeaklyAcyclic {
+		fmt.Println("weakly acyclic: the chase terminates on every database")
+	} else {
+		fmt.Printf("NOT weakly acyclic: value invention may loop (witness: %v -> %v, special)\n",
+			rep.Witness.From, rep.Witness.To)
+	}
+	if *verbose {
+		for _, e := range rep.Edges {
+			kind := "regular"
+			if e.Special {
+				kind = "special"
+			}
+			fmt.Printf("  %v -> %v  (%s)\n", e.From, e.To, kind)
+		}
+	}
+	return nil
+}
+
+// cmdContains decides CQ containment between two query files.
+func cmdContains(args []string) error {
+	fs := flag.NewFlagSet("contains", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("contains: expected two query files (q1 q2; decides q1 ⊑ q2)")
+	}
+	load := func(path string) (guardedrules.CQ, error) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return guardedrules.CQ{}, err
+		}
+		return guardedrules.ParseCQ(string(src))
+	}
+	q1, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	q2, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	ok, err := guardedrules.CQContained(q1, q2)
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Println("q1 is contained in q2: every answer of q1 is an answer of q2 on every database")
+	} else {
+		fmt.Println("q1 is NOT contained in q2")
+	}
+	return nil
+}
+
+// cmdCore minimizes a fact file to its core.
+func cmdCore(args []string) error {
+	fs := flag.NewFlagSet("core", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("core: expected one facts file")
+	}
+	d, err := loadFacts(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	atoms := d.UserFacts()
+	coreAtoms, exact := guardedrules.CoreOf(atoms)
+	for _, a := range coreAtoms {
+		fmt.Println(parser.PrintAtom(a) + ".")
+	}
+	fmt.Fprintf(os.Stderr, "core: %d -> %d atoms (exact=%v)\n", len(atoms), len(coreAtoms), exact)
+	return nil
+}
+
+// cmdTree prints the chase tree of a normal frontier-guarded theory.
+func cmdTree(args []string) error {
+	fs := flag.NewFlagSet("tree", flag.ExitOnError)
+	data := fs.String("data", "", "facts file")
+	depth := fs.Int("depth", 6, "null-depth bound")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *data == "" {
+		return fmt.Errorf("tree: expected -data and one theory file")
+	}
+	th, err := loadTheory(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	d, err := loadFacts(*data)
+	if err != nil {
+		return err
+	}
+	norm := normalize.Normalize(th)
+	tree, res, err := chase.RunTree(norm, toInternal(d), chase.Options{
+		Variant: chase.Oblivious, MaxDepth: *depth, MaxFacts: 500_000,
+	})
+	if err != nil {
+		return err
+	}
+	var print func(n *chase.Node, indent string)
+	print = func(n *chase.Node, indent string) {
+		label := "node"
+		if n.Parent == nil {
+			label = "root"
+		}
+		fmt.Printf("%s%s %d (%d atoms, %d terms)\n", indent, label, n.ID, len(n.Atoms), len(n.Terms()))
+		for _, a := range n.Atoms {
+			fmt.Printf("%s    %v\n", indent, a)
+		}
+		for _, c := range tree.Nodes {
+			if c.Parent == n {
+				print(c, indent+"  ")
+			}
+		}
+	}
+	print(tree.Root, "")
+	fmt.Fprintf(os.Stderr, "tree: %d nodes, depth %d, width %d; chase saturated=%v\n",
+		len(tree.Nodes), tree.Depth(), tree.Width(), res.Saturated)
+	if err := tree.VerifyProposition2(norm, toInternal(d)); err != nil {
+		fmt.Fprintf(os.Stderr, "tree: Proposition 2 check FAILED: %v\n", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "tree: Proposition 2 (P1)-(P3) verified")
+	}
+	return nil
+}
+
+// toInternal is an identity helper documenting that the facade Database is
+// the internal one.
+func toInternal(d *guardedrules.Database) *database.Database { return d }
+
+// cmdExplain prints the proof tree of a ground atom under the chase.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	data := fs.String("data", "", "facts file")
+	atomSrc := fs.String("atom", "", "ground atom to explain, e.g. 'Q(a1)'")
+	depth := fs.Int("depth", 8, "null-depth bound")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *data == "" || *atomSrc == "" {
+		return fmt.Errorf("explain: expected -data, -atom and one theory file")
+	}
+	th, err := loadTheory(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	d, err := loadFacts(*data)
+	if err != nil {
+		return err
+	}
+	atoms, err := parser.ParseFacts(*atomSrc + ".")
+	if err != nil || len(atoms) != 1 {
+		return fmt.Errorf("explain: -atom must be a single ground atom: %v", err)
+	}
+	res, prov, err := chase.RunWithProvenance(th, toInternal(d), chase.Options{
+		Variant: chase.Restricted, MaxDepth: *depth, MaxFacts: 2_000_000,
+	})
+	if err != nil {
+		return err
+	}
+	if !res.Entails(atoms[0]) {
+		fmt.Printf("%v is NOT entailed", atoms[0])
+		if !res.Saturated {
+			fmt.Print(" within the chase bounds (truncated run)")
+		}
+		fmt.Println()
+		return nil
+	}
+	tree := prov.Explain(atoms[0], toInternal(d))
+	if tree == nil {
+		fmt.Printf("%v holds in the input database\n", atoms[0])
+		return nil
+	}
+	fmt.Print(tree.String())
+	fmt.Fprintf(os.Stderr, "explain: proof with %d nodes, depth %d\n", tree.Size(), tree.Depth())
+	return nil
+}
+
+// cmdMagic answers a Datalog goal with the magic-sets rewriting.
+func cmdMagic(args []string) error {
+	fs := flag.NewFlagSet("magic", flag.ExitOnError)
+	data := fs.String("data", "", "facts file")
+	goal := fs.String("goal", "", "goal atom with constants bound, e.g. 'Anc(a0,Y)'")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *data == "" || *goal == "" {
+		return fmt.Errorf("magic: expected -data, -goal and one theory file")
+	}
+	th, err := loadTheory(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	d, err := loadFacts(*data)
+	if err != nil {
+		return err
+	}
+	// Parse the goal as a rule body to allow variables.
+	goalTheory, err := parser.ParseTheory(*goal + " -> GoalDummy__().")
+	if err != nil {
+		return fmt.Errorf("magic: bad goal: %v", err)
+	}
+	body := goalTheory.Rules[0].PositiveBody()
+	if len(body) != 1 {
+		return fmt.Errorf("magic: goal must be a single atom")
+	}
+	ans, _, err := datalog.AnswerWithMagic(th, body[0], toInternal(d))
+	if err != nil {
+		return err
+	}
+	for _, tuple := range ans {
+		parts := make([]string, len(tuple))
+		for i, t := range tuple {
+			parts[i] = t.String()
+		}
+		fmt.Printf("%s(%s)\n", body[0].Relation, strings.Join(parts, ","))
+	}
+	fmt.Fprintf(os.Stderr, "magic: %d answers\n", len(ans))
+	return nil
+}

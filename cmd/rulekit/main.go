@@ -1,0 +1,334 @@
+// Command rulekit is a command-line front end to the guardedrules
+// library: parsing, classification, normalization, the paper's
+// translations, the chase, and query answering.
+//
+// Usage:
+//
+//	rulekit classify theory.rules
+//	rulekit normalize theory.rules
+//	rulekit translate -to ng|wg|datalog theory.rules
+//	rulekit chase -data db.facts [-depth N] [-variant restricted] theory.rules
+//	rulekit query -data db.facts -rel Q [-depth N] theory.rules
+//	rulekit capture -machine even-length -word one,zero
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"guardedrules"
+	"guardedrules/internal/classify"
+	"guardedrules/internal/datalog"
+	"guardedrules/internal/parser"
+	"guardedrules/internal/tm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "normalize":
+		err = cmdNormalize(os.Args[2:])
+	case "translate":
+		err = cmdTranslate(os.Args[2:])
+	case "chase":
+		err = cmdChase(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "capture":
+		err = cmdCapture(os.Args[2:])
+	case "termination":
+		err = cmdTermination(os.Args[2:])
+	case "contains":
+		err = cmdContains(os.Args[2:])
+	case "core":
+		err = cmdCore(os.Args[2:])
+	case "tree":
+		err = cmdTree(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "magic":
+		err = cmdMagic(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "rulekit: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rulekit:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `rulekit — guarded existential rule toolkit (PODS 2014 reproduction)
+
+commands:
+  classify  <theory>                     report Figure 1 fragment membership
+  normalize <theory>                     print the Proposition 1 normal form
+  translate -to ng|wg|datalog <theory>   run the paper's translations
+  chase     -data <facts> [-depth N] [-variant oblivious|restricted] <theory>
+  query     -data <facts> -rel Q [-depth N] <theory>
+  capture   -machine even-length|even-count|some|all -word s1,s2,...
+  termination [-v] <theory>              weak-acyclicity chase-termination check
+  contains  <q1> <q2>                    CQ containment q1 ⊑ q2
+  core      <facts>                      minimize an instance to its core
+  tree      -data <facts> [-depth N] <theory>   print the Section 4 chase tree
+  explain   -data <facts> -atom 'Q(a)' <theory> print a derivation proof tree
+  magic     -data <facts> -goal 'Anc(a,Y)' <theory>  goal-directed Datalog answers
+`)
+}
+
+func loadTheory(path string) (*guardedrules.Theory, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return guardedrules.ParseTheory(string(src))
+}
+
+func loadFacts(path string) (*guardedrules.Database, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	facts, err := guardedrules.ParseFacts(string(src))
+	if err != nil {
+		return nil, err
+	}
+	return guardedrules.NewDatabase(facts...), nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("classify: expected one theory file")
+	}
+	th, err := loadTheory(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep := guardedrules.Classify(th)
+	for f := classify.Datalog; f <= classify.WeaklyFrontierGuarded; f++ {
+		status := "no "
+		if rep.Member[f] {
+			status = "yes"
+		}
+		fmt.Printf("%-26s %s", f, status)
+		if !rep.Member[f] && rep.Offender[f] != nil {
+			fmt.Printf("   (offender: %v)", rep.Offender[f])
+		}
+		fmt.Println()
+	}
+	if ap := rep.SortedAP(); len(ap) > 0 {
+		fmt.Print("affected positions:")
+		for _, p := range ap {
+			fmt.Printf(" %v", p)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdNormalize(args []string) error {
+	fs := flag.NewFlagSet("normalize", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("normalize: expected one theory file")
+	}
+	th, err := loadTheory(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(guardedrules.PrintTheory(guardedrules.Normalize(th)))
+	return nil
+}
+
+func cmdTranslate(args []string) error {
+	fs := flag.NewFlagSet("translate", flag.ExitOnError)
+	to := fs.String("to", "", "target language: ng (Theorem 1), wg (Theorem 2), datalog (Theorem 3 / Proposition 6)")
+	maxRules := fs.Int("max-rules", 0, "cap on intermediate rule counts")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *to == "" {
+		return fmt.Errorf("translate: expected -to and one theory file")
+	}
+	th, err := loadTheory(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	opts := guardedrules.TranslateOptions{MaxRules: *maxRules}
+	switch *to {
+	case "ng":
+		out, err := guardedrules.FrontierGuardedToNearlyGuarded(th, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(guardedrules.PrintTheory(out))
+	case "wg":
+		res, err := guardedrules.WeaklyFrontierGuardedToWeaklyGuarded(th, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(guardedrules.PrintTheory(res.Rewritten))
+	case "datalog":
+		rep := guardedrules.Classify(th)
+		var out *guardedrules.Theory
+		if rep.Member[classify.NearlyGuarded] {
+			out, err = guardedrules.NearlyGuardedToDatalog(th, opts)
+		} else {
+			ng, nerr := guardedrules.FrontierGuardedToNearlyGuarded(th, opts)
+			if nerr != nil {
+				return nerr
+			}
+			out, err = guardedrules.NearlyGuardedToDatalog(ng, opts)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(guardedrules.PrintTheory(out))
+	default:
+		return fmt.Errorf("translate: unknown target %q", *to)
+	}
+	return nil
+}
+
+func cmdChase(args []string) error {
+	fs := flag.NewFlagSet("chase", flag.ExitOnError)
+	data := fs.String("data", "", "facts file")
+	depth := fs.Int("depth", 0, "null-depth bound (0 = unbounded)")
+	variant := fs.String("variant", "restricted", "oblivious or restricted")
+	maxFacts := fs.Int("max-facts", 0, "fact budget")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *data == "" {
+		return fmt.Errorf("chase: expected -data and one theory file")
+	}
+	th, err := loadTheory(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	d, err := loadFacts(*data)
+	if err != nil {
+		return err
+	}
+	opts := guardedrules.ChaseOptions{MaxDepth: *depth, MaxFacts: *maxFacts}
+	if *variant == "oblivious" {
+		opts.Variant = guardedrules.Oblivious
+	} else {
+		opts.Variant = guardedrules.Restricted
+	}
+	res, err := guardedrules.Chase(th, d, opts)
+	if err != nil {
+		return err
+	}
+	for _, a := range res.DB.UserFacts() {
+		fmt.Println(parser.PrintAtom(a) + ".")
+	}
+	fmt.Fprintf(os.Stderr, "chase: %d facts, %d steps, saturated=%v\n",
+		res.DB.Len(), res.Steps, res.Saturated)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	data := fs.String("data", "", "facts file")
+	rel := fs.String("rel", "", "output relation")
+	depth := fs.Int("depth", 8, "null-depth bound for existential theories")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *data == "" || *rel == "" {
+		return fmt.Errorf("query: expected -data, -rel and one theory file")
+	}
+	th, err := loadTheory(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	d, err := loadFacts(*data)
+	if err != nil {
+		return err
+	}
+	var ans [][]guardedrules.Term
+	if guardedrules.Classify(th).Member[classify.Datalog] && !th.HasNegation() {
+		ans, err = guardedrules.Answers(th, *rel, d)
+	} else {
+		res, cerr := guardedrules.Chase(th, d, guardedrules.ChaseOptions{
+			Variant: guardedrules.Restricted, MaxDepth: *depth,
+		})
+		if cerr != nil {
+			return cerr
+		}
+		if !res.Saturated {
+			fmt.Fprintln(os.Stderr, "query: warning: chase truncated; answers are a sound under-approximation")
+		}
+		ans = datalog.CollectAnswers(res.DB, *rel)
+	}
+	if err != nil {
+		return err
+	}
+	for _, tuple := range ans {
+		parts := make([]string, len(tuple))
+		for i, t := range tuple {
+			parts[i] = t.String()
+		}
+		fmt.Printf("%s(%s)\n", *rel, strings.Join(parts, ","))
+	}
+	return nil
+}
+
+func cmdCapture(args []string) error {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	machine := fs.String("machine", "even-length", "even-length, even-count, some or all")
+	word := fs.String("word", "", "comma-separated word over {zero,one}")
+	fs.Parse(args)
+	if *word == "" {
+		return fmt.Errorf("capture: expected -word")
+	}
+	alpha := []string{"zero", "one"}
+	var m *guardedrules.ATM
+	switch *machine {
+	case "even-length":
+		m = tm.EvenLength(alpha)
+	case "even-count":
+		m = tm.EvenCount("one", alpha)
+	case "some":
+		m = tm.SomeSymbol("one", alpha)
+	case "all":
+		m = tm.AllSymbols("one", alpha)
+	default:
+		return fmt.Errorf("capture: unknown machine %q", *machine)
+	}
+	w := strings.Split(*word, ",")
+	th, err := guardedrules.CompileATM(m, 1, alpha)
+	if err != nil {
+		return err
+	}
+	d, err := guardedrules.EncodeWord(w, 1, alpha)
+	if err != nil {
+		return err
+	}
+	res, err := guardedrules.Chase(th, d, guardedrules.ChaseOptions{
+		Variant: guardedrules.Restricted, MaxDepth: 3*len(w) + 6, MaxFacts: 2_000_000,
+	})
+	if err != nil {
+		return err
+	}
+	sim, err := m.Accepts(w, 0)
+	if err != nil {
+		return err
+	}
+	got := res.Entails(guardedrules.NewAtom(guardedrules.AcceptRel))
+	fmt.Printf("machine %s on %v: compiled theory says %v, simulator says %v\n",
+		m.Name, w, got, sim.Accepted)
+	if got != sim.Accepted {
+		return fmt.Errorf("capture: mismatch between Σ_M and the machine")
+	}
+	return nil
+}

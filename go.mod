@@ -1,0 +1,3 @@
+module guardedrules
+
+go 1.22

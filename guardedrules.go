@@ -1,0 +1,254 @@
+// Package guardedrules is a library for reasoning with guarded existential
+// rule languages, reproducing "Expressiveness of Guarded Existential Rule
+// Languages" (Gottlob, Rudolph, Šimkus; PODS 2014).
+//
+// It provides:
+//
+//   - a textual rule language and parser for existential rules (Datalog± /
+//     tuple-generating dependencies) with stratified negation;
+//   - the guardedness taxonomy of the paper — guarded, frontier-guarded,
+//     weakly and nearly (frontier-)guarded theories — via affected-position
+//     analysis (Definitions 1–3);
+//   - the chase (oblivious and restricted) with fair scheduling and
+//     budgets, and the chase-tree construction of Section 4;
+//   - the paper's translations: frontier-guarded → nearly guarded
+//     (Theorem 1), nearly frontier-guarded → nearly guarded
+//     (Proposition 4), weakly frontier-guarded → weakly guarded
+//     (Theorem 2), guarded/nearly guarded → Datalog (Theorem 3,
+//     Proposition 6), and the ACDom axiomatization (Proposition 5);
+//   - a semi-naive Datalog engine with stratified negation;
+//   - conjunctive query answering over rule-enriched databases, including
+//     the Section 7 pipeline;
+//   - the EXPTIME capture machinery of Section 8: string databases,
+//     alternating Turing machines compiled to weakly guarded theories
+//     (Theorem 4), and the stratified Σsucc construction capturing
+//     EXPTIME Boolean queries (Theorem 5).
+//
+// The subpackages under internal/ hold the implementation; this package
+// re-exports the stable surface.
+package guardedrules
+
+import (
+	"guardedrules/internal/annotate"
+	"guardedrules/internal/capture"
+	"guardedrules/internal/chase"
+	"guardedrules/internal/classify"
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/datalog"
+	"guardedrules/internal/hom"
+	"guardedrules/internal/kb"
+	"guardedrules/internal/normalize"
+	"guardedrules/internal/parser"
+	"guardedrules/internal/rewrite"
+	"guardedrules/internal/saturate"
+	"guardedrules/internal/stratified"
+	"guardedrules/internal/termination"
+	"guardedrules/internal/tm"
+)
+
+// Core syntactic types.
+type (
+	// Term is a constant, labeled null or variable.
+	Term = core.Term
+	// Atom is a relational atom, possibly with an annotated relation name.
+	Atom = core.Atom
+	// Rule is an existential rule with optional negated body literals.
+	Rule = core.Rule
+	// Theory is a finite set of rules.
+	Theory = core.Theory
+	// Database is an indexed set of ground atoms.
+	Database = database.Database
+	// Fragment is a rule language of Figure 1 of the paper.
+	Fragment = classify.Fragment
+	// ClassReport describes fragment membership of a theory.
+	ClassReport = classify.Report
+	// ChaseOptions bounds a chase run.
+	ChaseOptions = chase.Options
+	// ChaseResult is the outcome of a chase run.
+	ChaseResult = chase.Result
+	// CQ is a conjunctive query.
+	CQ = kb.CQ
+	// ATM is an alternating Turing machine.
+	ATM = tm.ATM
+)
+
+// Fragments of Figure 1.
+const (
+	Datalog               = classify.Datalog
+	Guarded               = classify.Guarded
+	FrontierGuarded       = classify.FrontierGuarded
+	NearlyGuarded         = classify.NearlyGuarded
+	NearlyFrontierGuarded = classify.NearlyFrontierGuarded
+	WeaklyGuarded         = classify.WeaklyGuarded
+	WeaklyFrontierGuarded = classify.WeaklyFrontierGuarded
+)
+
+// Chase variants.
+const (
+	Oblivious  = chase.Oblivious
+	Restricted = chase.Restricted
+)
+
+// Const returns the constant with the given name.
+func Const(name string) Term { return core.Const(name) }
+
+// Var returns the variable with the given name.
+func Var(name string) Term { return core.Var(name) }
+
+// NewAtom builds an atom.
+func NewAtom(rel string, args ...Term) Atom { return core.NewAtom(rel, args...) }
+
+// ParseTheory parses a theory from the textual rule syntax, e.g.
+//
+//	Publication(X) -> exists K1,K2. Keywords(X,K1,K2).
+//	Node(X), not Red(X) -> Green(X).
+func ParseTheory(src string) (*Theory, error) { return parser.ParseTheory(src) }
+
+// ParseFacts parses ground facts, e.g. "R(a,b). S(c).".
+func ParseFacts(src string) ([]Atom, error) { return parser.ParseFacts(src) }
+
+// NewDatabase builds a database from ground atoms.
+func NewDatabase(facts ...Atom) *Database { return database.FromAtoms(facts) }
+
+// PrintTheory renders a theory in parseable syntax.
+func PrintTheory(th *Theory) string { return parser.PrintTheory(th) }
+
+// Classify reports the Figure 1 fragments the theory belongs to.
+func Classify(th *Theory) *ClassReport { return classify.Classify(th) }
+
+// Normalize brings a theory into the normal form of Proposition 1:
+// singleton heads, guarded existential rules, constants isolated.
+func Normalize(th *Theory) *Theory { return normalize.Normalize(th) }
+
+// Chase runs the chase of D with Σ (Section 2). Existential theories may
+// have infinite chases; use the options' depth and fact budgets.
+func Chase(th *Theory, d *Database, opts ChaseOptions) (*ChaseResult, error) {
+	return chase.Run(th, d, opts)
+}
+
+// TranslateOptions bounds the exponential translations.
+type TranslateOptions struct {
+	// MaxRules caps intermediate rule counts (0 = defaults).
+	MaxRules int
+}
+
+// FrontierGuardedToNearlyGuarded computes rew(Σ) of Theorem 1 /
+// Proposition 4 for a (nearly) frontier-guarded theory: a nearly guarded
+// theory with the same ground atomic consequences over Σ's signature. The
+// input is normalized automatically.
+func FrontierGuardedToNearlyGuarded(th *Theory, opts TranslateOptions) (*Theory, error) {
+	out, _, err := rewrite.Rewrite(normalize.Normalize(th), rewrite.Options{MaxRules: opts.MaxRules})
+	return out, err
+}
+
+// WFGResult is the outcome of the Theorem 2 translation; queries must be
+// evaluated against databases reordered with Reorder.
+type WFGResult = annotate.Result
+
+// WeaklyFrontierGuardedToWeaklyGuarded computes rew(Σ) of Theorem 2.
+func WeaklyFrontierGuardedToWeaklyGuarded(th *Theory, opts TranslateOptions) (*WFGResult, error) {
+	return annotate.RewriteWFG(th, rewrite.Options{MaxRules: opts.MaxRules})
+}
+
+// GuardedToDatalog computes dat(Σ) of Theorem 3 for a guarded theory.
+func GuardedToDatalog(th *Theory, opts TranslateOptions) (*Theory, error) {
+	out, _, err := saturate.Datalog(th, saturate.Options{MaxRules: opts.MaxRules})
+	return out, err
+}
+
+// NearlyGuardedToDatalog translates a nearly guarded theory into Datalog
+// (Proposition 6).
+func NearlyGuardedToDatalog(th *Theory, opts TranslateOptions) (*Theory, error) {
+	out, _, err := saturate.NearlyGuardedToDatalog(th, saturate.Options{MaxRules: opts.MaxRules})
+	return out, err
+}
+
+// AxiomatizeACDom computes Σ* of Proposition 5, eliminating the built-in
+// active-domain relation; queries move from Q to Q+"_star".
+func AxiomatizeACDom(th *Theory) *Theory { return rewrite.Axiomatize(th) }
+
+// EvalDatalog computes the stratified fixpoint of a Datalog program.
+func EvalDatalog(th *Theory, d *Database) (*Database, error) { return datalog.Eval(th, d) }
+
+// Answers evaluates the query (Σ, Q) for a Datalog Σ over D.
+func Answers(th *Theory, q string, d *Database) ([][]Term, error) {
+	return datalog.Answers(th, q, d)
+}
+
+// AnswerCQ answers a conjunctive query over a database enriched with a
+// weakly frontier-guarded theory, by bounded chase (Section 7). The
+// boolean result reports whether the chase saturated (answers are then
+// exact; otherwise they are a sound under-approximation).
+func AnswerCQ(th *Theory, q CQ, d *Database, opts ChaseOptions) ([][]Term, bool, error) {
+	return kb.AnswerByChase(th, q, d, opts)
+}
+
+// EvalStratified evaluates a stratified existential theory (Definition 23)
+// with the given per-stratum chase bounds.
+func EvalStratified(th *Theory, d *Database, opts ChaseOptions) (*Database, bool, error) {
+	res, err := stratified.Eval(th, d, stratified.Options{Chase: opts})
+	if err != nil {
+		return nil, false, err
+	}
+	return res.DB, !res.Truncated, nil
+}
+
+// CompileATM compiles an alternating Turing machine into the weakly
+// guarded theory Σ_M of Theorem 4 over string databases of degree k; the
+// 0-ary relation AcceptRel answers acceptance of w(D).
+func CompileATM(m *ATM, k int, alphabet []string) (*Theory, error) {
+	return capture.Compile(m, k, alphabet)
+}
+
+// AcceptRel is the output relation of CompileATM theories.
+const AcceptRel = capture.AcceptRel
+
+// EncodeWord builds the string database of degree k for a word
+// (Definition 20).
+func EncodeWord(word []string, k int, alphabet []string) (*Database, error) {
+	return capture.Encode(word, k, alphabet)
+}
+
+// BooleanQuery builds the Theorem 5 stratified weakly guarded theory for a
+// Boolean query over a unary signature; BoolRel answers it.
+func BooleanQuery(m *ATM, rels []string) (*Theory, error) {
+	return capture.BooleanQuery(m, rels)
+}
+
+// BoolRel is the output relation of BooleanQuery theories.
+const BoolRel = capture.BoolRel
+
+// EvalBoolean evaluates a Theorem 5 theory; steps bounds the machine run
+// length on the given database.
+func EvalBoolean(th *Theory, d *Database, steps int) (bool, error) {
+	ok, _, err := capture.EvalBoolean(th, d, steps)
+	return ok, err
+}
+
+// ChaseTerminates reports whether the chase of th terminates on every
+// database by the weak-acyclicity criterion (sound, not complete: a false
+// answer does not prove non-termination).
+func ChaseTerminates(th *Theory) bool { return termination.IsWeaklyAcyclic(th) }
+
+// CoreOf minimizes an instance to its core: the smallest homomorphically
+// equivalent sub-instance (constants fixed, nulls mappable). The second
+// result reports whether the search was exhaustive.
+func CoreOf(atoms []Atom) ([]Atom, bool) { return hom.Core(atoms, 0) }
+
+// ParseCQ parses a conjunctive query written as a rule whose head lists
+// the answer variables, e.g. "R(X,Y), S(Y) -> Ans(X).".
+func ParseCQ(src string) (CQ, error) { return kb.ParseCQ(src) }
+
+// CQContained reports q1 ⊑ q2 (every answer of q1 is an answer of q2 on
+// every database) via the Chandra–Merlin homomorphism criterion.
+func CQContained(q1, q2 CQ) (bool, error) { return q1.ContainedIn(q2) }
+
+// AnswersGoalDirected evaluates a Datalog query with the magic-sets
+// rewriting: bottom-up evaluation restricted to the facts relevant to the
+// query's bound constants. The query atom mixes constants (bound) and
+// variables (free); answers are full tuples of the query relation.
+func AnswersGoalDirected(th *Theory, query Atom, d *Database) ([][]Term, error) {
+	ans, _, err := datalog.AnswerWithMagic(th, query, d)
+	return ans, err
+}

@@ -1,0 +1,172 @@
+// Package annotate implements the translation from weakly
+// frontier-guarded to weakly guarded theories of Section 5.2 of the paper:
+// the proper-theory reordering (Definition 16), the annotation transform
+// aΣ / a(Σ) (Definition 17), its inverse a⁻ (Definition 18), and the
+// composed rewriting rew(Σ) = a⁻(rew(a(Σ))) of Theorem 2.
+package annotate
+
+import (
+	"fmt"
+
+	"guardedrules/internal/classify"
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/normalize"
+	"guardedrules/internal/rewrite"
+)
+
+// Transform is the annotation context of a proper weakly frontier-guarded
+// theory: for every relation, how many leading positions are affected.
+// Atoms are annotated by moving the non-affected tail into the relation
+// annotation (Definition 17).
+type Transform struct {
+	affected map[string]int // relation name → last affected position index
+}
+
+// NewTransform computes the annotation boundary of a proper theory. It
+// returns an error when the theory is not proper (Definition 16).
+func NewTransform(th *core.Theory) (*Transform, error) {
+	if !classify.IsProper(th) {
+		return nil, fmt.Errorf("annotate: theory is not proper; apply classify.ProperReorder first")
+	}
+	ap := classify.AffectedPositions(th)
+	t := &Transform{affected: make(map[string]int)}
+	for _, rk := range th.Relations() {
+		n := 0
+		for i := 0; i < rk.Arity; i++ {
+			if ap[classify.Position{Rel: rk, Index: i}] {
+				n++
+			}
+		}
+		t.affected[rk.Name] = n
+	}
+	return t, nil
+}
+
+// Atom computes aΣ(R(t1,...,tn)) = R[t_{i+1},...,tn](t1,...,ti) with i the
+// last affected position of R (Definition 17). Atoms over unknown
+// relations are returned unchanged.
+func (t *Transform) Atom(a core.Atom) core.Atom {
+	if len(a.Annotation) > 0 {
+		return a // already annotated
+	}
+	n, ok := t.affected[a.Relation]
+	if !ok {
+		return a
+	}
+	out := core.Atom{Relation: a.Relation}
+	out.Args = append([]core.Term(nil), a.Args[:n]...)
+	if n < len(a.Args) {
+		out.Annotation = append([]core.Term(nil), a.Args[n:]...)
+	}
+	return out
+}
+
+// Undo computes a⁻ on a single atom: R[~v](~t) ↦ R(~t, ~v)
+// (Definition 18).
+func (t *Transform) Undo(a core.Atom) core.Atom {
+	if len(a.Annotation) == 0 {
+		return a
+	}
+	out := core.Atom{Relation: a.Relation}
+	out.Args = append(append([]core.Term(nil), a.Args...), a.Annotation...)
+	return out
+}
+
+// Theory computes a(Σ): every atom annotated (Definition 17).
+func (t *Transform) Theory(th *core.Theory) *core.Theory {
+	out := th.Clone()
+	for _, r := range out.Rules {
+		for i := range r.Body {
+			r.Body[i].Atom = t.Atom(r.Body[i].Atom)
+		}
+		for i := range r.Head {
+			r.Head[i] = t.Atom(r.Head[i])
+		}
+	}
+	return out
+}
+
+// UndoTheory computes a⁻(Σ): every annotation folded back into trailing
+// argument positions (Definition 18).
+func UndoTheory(th *core.Theory) *core.Theory {
+	out := th.Clone()
+	for _, r := range out.Rules {
+		for i := range r.Body {
+			r.Body[i].Atom = undoAtom(r.Body[i].Atom)
+		}
+		for i := range r.Head {
+			r.Head[i] = undoAtom(r.Head[i])
+		}
+	}
+	return out
+}
+
+func undoAtom(a core.Atom) core.Atom {
+	if len(a.Annotation) == 0 {
+		return a
+	}
+	return core.Atom{
+		Relation: a.Relation,
+		Args:     append(append([]core.Term(nil), a.Args...), a.Annotation...),
+	}
+}
+
+// Database computes aΣ(D).
+func (t *Transform) Database(d *database.Database) *database.Database {
+	out := database.New()
+	for _, a := range d.UserFacts() {
+		out.Add(t.Atom(a))
+	}
+	return out
+}
+
+// Result is the outcome of the weakly frontier-guarded rewriting.
+type Result struct {
+	// Rewritten is rew(Σ) = a⁻(rew(a(Σ))), a weakly guarded theory over
+	// the (reordered) signature of Σ.
+	Rewritten *core.Theory
+	// Reorder is the position permutation that made Σ proper; databases
+	// must be reordered with it before querying Rewritten, and answers
+	// are over the reordered signature.
+	Reorder *classify.Reorder
+	// Stats reports the inner expansion.
+	Stats *rewrite.Stats
+}
+
+// RewriteWFG computes the Theorem 2 translation for a weakly
+// frontier-guarded theory: normalize, make proper, annotate, rewrite the
+// resulting (nearly) frontier-guarded annotated theory, and fold
+// annotations back. The result is weakly guarded.
+func RewriteWFG(th *core.Theory, opts rewrite.Options) (*Result, error) {
+	rep := classify.Classify(th)
+	if !rep.Member[classify.WeaklyFrontierGuarded] {
+		return nil, fmt.Errorf("annotate: theory is not weakly frontier-guarded (offender %v)", rep.Offender[classify.WeaklyFrontierGuarded])
+	}
+	norm := normalize.Normalize(th)
+	ro := classify.ProperReorder(norm)
+	proper := ro.Theory(norm)
+	tr, err := NewTransform(proper)
+	if err != nil {
+		return nil, err
+	}
+	annotated := tr.Theory(proper)
+	// Annotating can strip guard variables that only occurred at
+	// non-affected positions, so existential rules may need re-guarding
+	// and scattered safe frontier variables need the annotation-cargo
+	// split before the frontier-guarded expansion applies.
+	annotated = normalize.Normalize(annotated)
+	annotated, err = SplitSafeFrontier(annotated)
+	if err != nil {
+		return nil, err
+	}
+	rew, stats, err := rewrite.Rewrite(annotated, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rewritten: UndoTheory(rew),
+		Reorder:   ro,
+		Stats:     stats,
+	}, nil
+}

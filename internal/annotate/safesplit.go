@@ -1,0 +1,74 @@
+package annotate
+
+import (
+	"fmt"
+
+	"guardedrules/internal/classify"
+	"guardedrules/internal/core"
+)
+
+// SplitSafeFrontier prepares an annotated weakly frontier-guarded theory
+// for the frontier-guarded expansion: a Datalog rule whose unsafe frontier
+// variables are covered by a body atom but whose full frontier is not
+// (because safe frontier variables are scattered across atoms) is split
+// into
+//
+//	body(σ) → FS[~s](~u)        (frontier-guarded: frontier = ~u)
+//	FS[~s](~u) → head(σ)        (guarded by FS)
+//
+// where ~u are the unsafe frontier variables and ~s the safe frontier
+// variables plus the head annotation variables. Safe variables only ever
+// bind to constants, so carrying them in the annotation of the fresh
+// linking relation preserves the chase step by step. This realizes, at the
+// rule level, the partial-grounding argument in the proof of Theorem 2.
+func SplitSafeFrontier(th *core.Theory) (*core.Theory, error) {
+	ap := classify.AffectedPositions(th)
+	out := core.NewTheory()
+	n := 0
+	for _, r := range th.Rules {
+		if classify.IsFrontierGuarded(r) || len(r.Exist) > 0 {
+			out.Add(r)
+			continue
+		}
+		unsafe := classify.Unsafe(r, ap)
+		if len(unsafe) == 0 {
+			out.Add(r) // safe Datalog rule: passes through (Definition 14)
+			continue
+		}
+		u := r.FVars().Intersect(unsafe)
+		if _, ok := guardAtomFor(r, u); !ok {
+			return nil, fmt.Errorf("annotate: rule %s is not weakly frontier-guarded", r.Label)
+		}
+		s := r.FVars().Minus(u)
+		ann := make(core.TermSet)
+		ann.AddAll(s)
+		for _, h := range r.Head {
+			ann.AddAll(h.AnnVars())
+		}
+		n++
+		fs := core.Atom{
+			Relation: fmt.Sprintf("FSafe_%d", n),
+			Args:     u.Sorted(),
+		}
+		if len(ann) > 0 {
+			fs.Annotation = ann.Sorted()
+		}
+		out.Add(
+			&core.Rule{Body: r.Body, Head: []core.Atom{fs}, Label: r.Label + "_fs1"},
+			&core.Rule{Body: []core.Literal{core.Pos(fs)}, Head: r.Head, Label: r.Label + "_fs2"},
+		)
+	}
+	return out, nil
+}
+
+func guardAtomFor(r *core.Rule, need core.TermSet) (core.Atom, bool) {
+	if len(need) == 0 {
+		return core.Atom{}, true
+	}
+	for _, a := range r.PositiveBody() {
+		if a.Vars().ContainsAll(need) {
+			return a, true
+		}
+	}
+	return core.Atom{}, false
+}

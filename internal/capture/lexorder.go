@@ -1,0 +1,131 @@
+package capture
+
+import (
+	"fmt"
+
+	"guardedrules/internal/core"
+)
+
+// Lexicographic tuple orders (the Σcode prerequisite of Section 8: "define
+// relations Firstn, Next2n and Lastn to store a lexicographically ordered
+// sequence of n-tuples of constants from D, which can be done using plain
+// Datalog rules [16]").
+//
+// The rules here build, for every arity level 2..n, the order on k-tuples
+// from the order on (k-1)-tuples and the base order on constants. In the
+// ordering-indexed mode of Theorem 5 every relation carries the ordering
+// null u as its last argument, and the base order is OMin/OSucc/OMax of
+// Σsucc; the rules stay weakly guarded because u is the only unsafe
+// variable and every rule contains a base-order atom holding it.
+
+// lexFirst, lexNext and lexLast name the u-indexed k-tuple order
+// relations (arity k+1, 2k+1 and k+1).
+func lexFirst(k int) string { return fmt.Sprintf("LexFirst_%d", k) }
+func lexNext(k int) string  { return fmt.Sprintf("LexNext_%d", k) }
+func lexLast(k int) string  { return fmt.Sprintf("LexLast_%d", k) }
+
+// LexOrderProgram returns the Datalog rules deriving the u-indexed
+// lexicographic order on k-tuples from Σsucc's OMin/OSucc/OMax. For k = 1
+// the program just aliases the base relations.
+func LexOrderProgram(k int) []*core.Rule {
+	u := core.Var("U")
+	var rules []*core.Rule
+	add := func(body []core.Atom, head core.Atom, label string) {
+		r := core.NewRule(body, nil, head)
+		r.Label = label
+		rules = append(rules, r)
+	}
+	tuple := func(prefix string, n int) []core.Term {
+		out := make([]core.Term, n)
+		for i := range out {
+			out[i] = core.Var(fmt.Sprintf("%s%d", prefix, i+1))
+		}
+		return out
+	}
+	cat := func(parts ...[]core.Term) []core.Term {
+		var out []core.Term
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	// Level 1: aliases of the base order.
+	x1, y1 := core.Var("X1"), core.Var("Y1")
+	add([]core.Atom{core.NewAtom("OMin", x1, u)},
+		core.NewAtom(lexFirst(1), x1, u), "lex1_first")
+	add([]core.Atom{core.NewAtom("OSucc", x1, y1, u)},
+		core.NewAtom(lexNext(1), x1, y1, u), "lex1_next")
+	add([]core.Atom{core.NewAtom("OMax", x1, u)},
+		core.NewAtom(lexLast(1), x1, u), "lex1_last")
+	// Levels 2..k.
+	for n := 2; n <= k; n++ {
+		xs := tuple("X", n-1)
+		ys := tuple("Y", n-1)
+		a, b := core.Var("A"), core.Var("B")
+		// First: minimal prefix + minimal digit.
+		add([]core.Atom{
+			core.NewAtom(lexFirst(n-1), cat(xs, []core.Term{u})...),
+			core.NewAtom("OMin", a, u),
+		}, core.NewAtom(lexFirst(n), cat(xs, []core.Term{a}, []core.Term{u})...),
+			fmt.Sprintf("lex%d_first", n))
+		// Next, same prefix: advance the last digit. The prefix must be a
+		// valid tuple; membership is witnessed by reachability from the
+		// first tuple, which Next itself provides — so the rule quantifies
+		// the prefix with the level-(n-1) domain: first or successor.
+		add([]core.Atom{
+			core.NewAtom(lexDom(n-1), cat(xs, []core.Term{u})...),
+			core.NewAtom("OSucc", a, b, u),
+		}, core.NewAtom(lexNext(n), cat(xs, []core.Term{a}, xs, []core.Term{b}, []core.Term{u})...),
+			fmt.Sprintf("lex%d_step", n))
+		// Next, carry: last digit wraps from max to min, prefix advances.
+		add([]core.Atom{
+			core.NewAtom(lexNext(n-1), cat(xs, ys, []core.Term{u})...),
+			core.NewAtom("OMax", a, u),
+			core.NewAtom("OMin", b, u),
+		}, core.NewAtom(lexNext(n), cat(xs, []core.Term{a}, ys, []core.Term{b}, []core.Term{u})...),
+			fmt.Sprintf("lex%d_carry", n))
+		// Last: maximal prefix + maximal digit.
+		add([]core.Atom{
+			core.NewAtom(lexLast(n-1), cat(xs, []core.Term{u})...),
+			core.NewAtom("OMax", a, u),
+		}, core.NewAtom(lexLast(n), cat(xs, []core.Term{a}, []core.Term{u})...),
+			fmt.Sprintf("lex%d_last", n))
+	}
+	// Domain of each level: tuples reachable from the first one.
+	for n := 1; n <= k; n++ {
+		xs := tuple("X", n)
+		ys := tuple("Y", n)
+		add([]core.Atom{core.NewAtom(lexFirst(n), cat(xs, []core.Term{u})...)},
+			core.NewAtom(lexDom(n), cat(xs, []core.Term{u})...),
+			fmt.Sprintf("lex%d_dom_first", n))
+		add([]core.Atom{core.NewAtom(lexNext(n), cat(xs, ys, []core.Term{u})...)},
+			core.NewAtom(lexDom(n), cat(ys, []core.Term{u})...),
+			fmt.Sprintf("lex%d_dom_next", n))
+	}
+	// Tuple disequality per level, needed by the frame rules of the
+	// ordering-indexed machine: ~x ≠ ~y iff one precedes the other.
+	for n := 1; n <= k; n++ {
+		xs := tuple("X", n)
+		ys := tuple("Y", n)
+		add([]core.Atom{core.NewAtom(lexLt(n), cat(xs, ys, []core.Term{u})...)},
+			core.NewAtom(lexNeq(n), cat(xs, ys, []core.Term{u})...),
+			fmt.Sprintf("lex%d_neq_lt", n))
+		add([]core.Atom{core.NewAtom(lexLt(n), cat(xs, ys, []core.Term{u})...)},
+			core.NewAtom(lexNeq(n), cat(ys, xs, []core.Term{u})...),
+			fmt.Sprintf("lex%d_neq_gt", n))
+		zs := tuple("Z", n)
+		add([]core.Atom{core.NewAtom(lexNext(n), cat(xs, ys, []core.Term{u})...)},
+			core.NewAtom(lexLt(n), cat(xs, ys, []core.Term{u})...),
+			fmt.Sprintf("lex%d_lt_next", n))
+		add([]core.Atom{
+			core.NewAtom(lexLt(n), cat(xs, ys, []core.Term{u})...),
+			core.NewAtom(lexNext(n), cat(ys, zs, []core.Term{u})...),
+		}, core.NewAtom(lexLt(n), cat(xs, zs, []core.Term{u})...),
+			fmt.Sprintf("lex%d_lt_trans", n))
+	}
+	return rules
+}
+
+func lexDom(k int) string { return fmt.Sprintf("LexDom_%d", k) }
+func lexLt(k int) string  { return fmt.Sprintf("LexLt_%d", k) }
+func lexNeq(k int) string { return fmt.Sprintf("LexNeq_%d", k) }

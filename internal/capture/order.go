@@ -1,0 +1,110 @@
+package capture
+
+import (
+	"sort"
+
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/parser"
+)
+
+// SuccProgram returns the 12-rule weakly guarded stratified program Σsucc
+// of the proof of Theorem 5: it creates an infinite forest of candidate
+// orderings of the active domain, one labeled null per candidate, and
+// derives OGood(u) exactly for the nulls u representing a total order of
+// the constants. The relations OMin(·,u), OMax(·,u) and OSucc(·,·,u) then
+// describe that order.
+//
+// Beyond the paper's listing, the program includes the projection
+// OSucc4(x,y,u,v) → OSucc(x,y,v) — the new edge belongs to the extended
+// ordering — which the paper leaves implicit, and the derived disequality
+// ONeq used by the machine rules of Theorem 5.
+func SuccProgram() *core.Theory {
+	return parser.MustParseTheory(`
+% (1) every constant starts a candidate ordering.
+ACDom(X) -> exists U. OMin(X,U), ONew(X,U).
+% (2) every candidate ordering extends by every constant.
+ONew(X,U), ACDom(Y) -> exists V. OSucc4(X,Y,U,V), ONew(Y,V).
+% (3) the newest element becomes old.
+ONew(X,U) -> OOld(X,U).
+% (4) old elements persist to extensions.
+OSucc4(X,Y,U,V), OOld(X2,U) -> OOld(X2,V).
+% (5) the minimum persists to extensions.
+OSucc4(X,Y,U,V), OMin(X2,U) -> OMin(X2,V).
+% (6) successor edges persist to extensions.
+OSucc4(X,Y,U,V), OSucc(X2,Y2,U) -> OSucc(X2,Y2,V).
+% (6b) the extending edge belongs to the extension.
+OSucc4(X,Y,U,V) -> OSucc(X,Y,V).
+% (7)-(8) the strict order.
+OSucc(X,Y,U) -> OLt(X,Y,U).
+OLt(X,Y,U), OLt(Y,Z,U) -> OLt(X,Z,U).
+% (9) cycles flag repetitions.
+OLt(X,X,U) -> ORepetition(U).
+% (10) missing constants flag omissions.
+OOld(Y,U), ACDom(X), not OOld(X,U) -> OOmission(U).
+% (11) complete repetition-free candidates are good.
+OOld(X,U), not ORepetition(U), not OOmission(U) -> OGood(U).
+% (12) the newest element of a good ordering is its maximum.
+ONew(X,U), OGood(U) -> OMax(X,U).
+% Derived disequality, used by the machine rules of Theorem 5.
+OLt(X,Y,U) -> ONeq(X,Y,U).
+OLt(X,Y,U) -> ONeq(Y,X,U).
+`)
+}
+
+// GoodOrderings extracts, from an evaluated Σsucc database, the total
+// orders represented by OGood nulls: for each good u, the constants in
+// OSucc-chain order from OMin to OMax.
+func GoodOrderings(db *database.Database) [][]core.Term {
+	goodKey := core.RelKey{Name: "OGood", Arity: 1}
+	var out [][]core.Term
+	for _, g := range db.Facts(goodKey) {
+		u := g.Args[0]
+		order := orderOf(db, u)
+		if order != nil {
+			out = append(out, order)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for x := range out[i] {
+			if x >= len(out[j]) {
+				return false
+			}
+			if out[i][x] != out[j][x] {
+				return out[i][x].Name < out[j][x].Name
+			}
+		}
+		return len(out[i]) < len(out[j])
+	})
+	return out
+}
+
+// orderOf walks the OSucc chain of ordering u.
+func orderOf(db *database.Database, u core.Term) []core.Term {
+	minKey := core.RelKey{Name: "OMin", Arity: 2}
+	succKey := core.RelKey{Name: "OSucc", Arity: 3}
+	var cur core.Term
+	for _, f := range db.FactsWith(minKey, 1, u) {
+		cur = f.Args[0]
+	}
+	if cur == (core.Term{}) {
+		return nil
+	}
+	order := []core.Term{cur}
+	for {
+		var next core.Term
+		found := false
+		for _, f := range db.FactsWith(succKey, 2, u) {
+			if f.Args[0] == cur {
+				next = f.Args[1]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return order
+		}
+		cur = next
+		order = append(order, cur)
+	}
+}

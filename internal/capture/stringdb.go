@@ -1,0 +1,178 @@
+// Package capture implements the capturing results of Section 8 of the
+// paper: string databases (Definition 20), the compilation of alternating
+// polynomial-space Turing machines into weakly guarded theories
+// (Theorem 4), the 12-rule ordering program Σsucc and the full stratified
+// weakly guarded construction capturing EXPTIME Boolean queries
+// (Theorem 5).
+package capture
+
+import (
+	"fmt"
+
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+)
+
+// FirstRel, NextRel and LastRel name the order relations of a string
+// database of degree k (arity k, 2k and k respectively).
+func FirstRel(k int) string { return fmt.Sprintf("First%d", k) }
+
+// NextRel names the 2k-ary successor relation.
+func NextRel(k int) string { return fmt.Sprintf("Next%d", 2*k) }
+
+// LastRel names the k-ary maximum relation.
+func LastRel(k int) string { return fmt.Sprintf("Last%d", k) }
+
+// ConstName names the i-th domain constant of an encoded string database.
+func ConstName(i int) string { return fmt.Sprintf("e%d", i) }
+
+// Encode builds the string database of degree k whose extracted word
+// w(D) is the given word over the alphabet (Definition 20): the domain has
+// d constants with d^k = len(word), the k-tuples are ordered
+// lexicographically via Next, and the i-th tuple carries the relation
+// word[i].
+func Encode(word []string, k int, alphabet []string) (*database.Database, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("capture: degree k must be ≥ 1")
+	}
+	if len(word) == 0 {
+		return nil, fmt.Errorf("capture: empty word")
+	}
+	inAlpha := make(map[string]bool, len(alphabet))
+	for _, s := range alphabet {
+		inAlpha[s] = true
+	}
+	for _, s := range word {
+		if !inAlpha[s] {
+			return nil, fmt.Errorf("capture: symbol %q not in alphabet", s)
+		}
+	}
+	d := domainSize(len(word), k)
+	if d == 0 {
+		return nil, fmt.Errorf("capture: word length %d is not a %d-th power", len(word), k)
+	}
+	db := database.New()
+	tuples := allTuples(d, k)
+	for i, tu := range tuples {
+		db.Add(core.NewAtom(word[i], tu...))
+		if i+1 < len(tuples) {
+			db.Add(core.NewAtom(NextRel(k), append(append([]core.Term(nil), tu...), tuples[i+1]...)...))
+		}
+	}
+	db.Add(core.NewAtom(FirstRel(k), tuples[0]...))
+	db.Add(core.NewAtom(LastRel(k), tuples[len(tuples)-1]...))
+	return db, nil
+}
+
+// domainSize returns d with d^k = n, or 0 if none exists.
+func domainSize(n, k int) int {
+	for d := 1; ; d++ {
+		p := 1
+		for i := 0; i < k; i++ {
+			p *= d
+			if p > n {
+				return 0
+			}
+		}
+		if p == n {
+			return d
+		}
+	}
+}
+
+// allTuples enumerates the k-tuples over e0..e{d-1} lexicographically.
+func allTuples(d, k int) [][]core.Term {
+	consts := make([]core.Term, d)
+	for i := range consts {
+		consts[i] = core.Const(ConstName(i))
+	}
+	out := [][]core.Term{{}}
+	for i := 0; i < k; i++ {
+		var next [][]core.Term
+		for _, t := range out {
+			for _, c := range consts {
+				next = append(next, append(append([]core.Term(nil), t...), c))
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// ExtractWord computes w(D) of a string database of degree k: the sequence
+// of alphabet relations along the Next-chain from First to Last. It
+// verifies the string database properties of Definition 20 and returns an
+// error when they fail.
+func ExtractWord(db *database.Database, k int, alphabet []string) ([]string, error) {
+	firstKey := core.RelKey{Name: FirstRel(k), Arity: k}
+	lastKey := core.RelKey{Name: LastRel(k), Arity: k}
+	nextKey := core.RelKey{Name: NextRel(k), Arity: 2 * k}
+	firsts := db.Facts(firstKey)
+	if len(firsts) != 1 {
+		return nil, fmt.Errorf("capture: expected exactly one %s fact, found %d", firstKey.Name, len(firsts))
+	}
+	lasts := db.Facts(lastKey)
+	if len(lasts) != 1 {
+		return nil, fmt.Errorf("capture: expected exactly one %s fact, found %d", lastKey.Name, len(lasts))
+	}
+	symbolAt := func(tu []core.Term) (string, error) {
+		found := ""
+		for _, s := range alphabet {
+			if db.Has(core.NewAtom(s, tu...)) {
+				if found != "" {
+					return "", fmt.Errorf("capture: tuple %v carries both %s and %s", tu, found, s)
+				}
+				found = s
+			}
+		}
+		if found == "" {
+			return "", fmt.Errorf("capture: tuple %v carries no alphabet relation", tu)
+		}
+		return found, nil
+	}
+	var word []string
+	cur := firsts[0].Args
+	seen := map[string]bool{}
+	for {
+		keyStr := core.NewAtom("", cur...).String()
+		if seen[keyStr] {
+			return nil, fmt.Errorf("capture: Next relation has a cycle at %v", cur)
+		}
+		seen[keyStr] = true
+		s, err := symbolAt(cur)
+		if err != nil {
+			return nil, err
+		}
+		word = append(word, s)
+		if tupleEqual(cur, lasts[0].Args) {
+			break
+		}
+		succ := db.FactsWith(nextKey, 0, cur[0])
+		var next []core.Term
+		for _, f := range succ {
+			if tupleEqual(f.Args[:k], cur) {
+				if next != nil {
+					return nil, fmt.Errorf("capture: tuple %v has two successors", cur)
+				}
+				next = f.Args[k:]
+			}
+		}
+		if next == nil {
+			return nil, fmt.Errorf("capture: tuple %v has no successor before Last", cur)
+		}
+		cur = next
+	}
+	return word, nil
+}
+
+func tupleEqual(a, b []core.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

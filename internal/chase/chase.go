@@ -1,0 +1,380 @@
+// Package chase implements the (oblivious and restricted) chase of a
+// database with respect to a theory (Section 2 of the paper), with fair
+// breadth-first scheduling, and the chase-tree construction of Section 4.
+//
+// The chase of an existential theory is infinite in general; Options
+// provides null-depth and fact budgets that truncate the construction.
+// A truncated result is a sound under-approximation of chase(Σ, D): every
+// returned atom is entailed. EXPERIMENTS.md justifies, per experiment,
+// the depth at which the relevant ground consequences are complete.
+package chase
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/hom"
+)
+
+// Variant selects the chase flavor.
+type Variant int
+
+const (
+	// Oblivious applies every trigger once, regardless of whether the head
+	// is already satisfied (the chase of the paper, Section 2).
+	Oblivious Variant = iota
+	// Restricted applies a trigger only when the head is not yet satisfied
+	// by an extension of the trigger homomorphism. It produces a smaller,
+	// homomorphically equivalent result.
+	Restricted
+)
+
+// Options configures a chase run.
+type Options struct {
+	Variant Variant
+	// MaxDepth bounds the null-creation depth: a null created by a trigger
+	// whose image contains terms of depth d gets depth d+1; constants have
+	// depth 0. Triggers that would create nulls deeper than MaxDepth are
+	// skipped (and the run marked truncated). 0 means unbounded.
+	MaxDepth int
+	// MaxFacts aborts the run once the database holds this many facts.
+	// 0 means the default of 1,000,000.
+	MaxFacts int
+	// MaxRounds bounds the number of breadth-first rounds. 0 = 10,000.
+	MaxRounds int
+	// Workers sets the number of goroutines collecting triggers per round
+	// (the database is read-only during collection, so rule matching
+	// parallelizes). 0 or 1 means sequential. The result is identical to
+	// the sequential one: triggers are merged in rule order.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+func (o Options) maxFacts() int {
+	if o.MaxFacts == 0 {
+		return 1_000_000
+	}
+	return o.MaxFacts
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds == 0 {
+		return 10_000
+	}
+	return o.MaxRounds
+}
+
+// Result is the outcome of a chase run.
+type Result struct {
+	// DB is the chase database, including the input facts.
+	DB *database.Database
+	// Saturated is true when a fixpoint was reached: no applicable trigger
+	// remains, so DB is exactly chase(Σ, D) (up to the variant).
+	Saturated bool
+	// Truncated is true when a depth, fact or round budget was hit.
+	Truncated bool
+	// Steps is the number of trigger applications.
+	Steps int
+	// Rounds is the number of breadth-first rounds executed.
+	Rounds int
+	// Depth maps each created null to its creation depth.
+	Depth map[core.Term]int
+}
+
+// Entails reports whether the ground atom was derived. Only meaningful as
+// a complete decision when Saturated is true; on truncated runs a true
+// answer is still sound.
+func (r *Result) Entails(a core.Atom) bool { return r.DB.Has(a) }
+
+// trigger is a rule paired with a body homomorphism.
+type trigger struct {
+	rule *core.Rule
+	sub  core.Subst
+}
+
+// engine carries the mutable state of a run.
+type engine struct {
+	opts    Options
+	db      *database.Database
+	depth   map[core.Term]int
+	applied map[string]bool // oblivious-mode trigger memo
+	nulls   int
+	steps   int
+	trunc   bool
+	// Precomputed per rule: a numeric id and the sorted universal
+	// variables, so trigger keys are built without sorting or fmt.
+	ruleID   map[*core.Rule]int
+	ruleVars map[*core.Rule][]core.Term
+	// hook observes every newly derived atom with its trigger; used by the
+	// chase-tree construction.
+	hook func(tr trigger, atom core.Atom)
+}
+
+// Run chases d0 with th. The input database is not modified. Negated body
+// literals are evaluated against the current database; this is only
+// meaningful when the negated relations are never derived by th itself
+// (as in a single stratum of a stratified theory).
+func Run(th *core.Theory, d0 *database.Database, opts Options) (*Result, error) {
+	return run(th, d0, opts, nil)
+}
+
+func run(th *core.Theory, d0 *database.Database, opts Options, hook func(tr trigger, atom core.Atom)) (*Result, error) {
+	if err := th.CheckSafe(); err != nil {
+		return nil, fmt.Errorf("chase: %w", err)
+	}
+	e := &engine{
+		opts:     opts,
+		db:       d0.Clone(),
+		depth:    make(map[core.Term]int),
+		applied:  make(map[string]bool),
+		hook:     hook,
+		ruleID:   make(map[*core.Rule]int, len(th.Rules)),
+		ruleVars: make(map[*core.Rule][]core.Term, len(th.Rules)),
+	}
+	for i, r := range th.Rules {
+		e.ruleID[r] = i
+		keep := r.UVars()
+		for _, l := range r.Body {
+			keep.AddAll(l.Atom.AnnVars())
+		}
+		e.ruleVars[r] = keep.Sorted()
+	}
+	res := &Result{Depth: e.depth}
+	// Delta-driven rounds: round 0 considers all facts; later rounds only
+	// triggers whose body uses at least one fact derived in the previous
+	// round.
+	delta := e.db.UserFacts()
+	for rounds := 0; ; rounds++ {
+		if rounds >= e.opts.maxRounds() {
+			e.trunc = true
+			break
+		}
+		res.Rounds = rounds
+		trs := e.collect(th, delta, rounds == 0)
+		if len(trs) == 0 {
+			break
+		}
+		var newFacts []core.Atom
+		overBudget := false
+		for _, tr := range trs {
+			if e.db.Len() >= e.opts.maxFacts() {
+				e.trunc = true
+				overBudget = true
+				break
+			}
+			newFacts = append(newFacts, e.apply(tr)...)
+		}
+		if overBudget {
+			break
+		}
+		if len(newFacts) == 0 {
+			break
+		}
+		delta = newFacts
+	}
+	res.DB = e.db
+	res.Steps = e.steps
+	res.Truncated = e.trunc
+	res.Saturated = !e.trunc
+	return res, nil
+}
+
+// collect gathers the applicable triggers for this round: candidates are
+// found per rule (in parallel when Options.Workers > 1 — the database is
+// only read during collection), then merged in rule order with global
+// deduplication and admissibility checks, so the outcome is independent
+// of the worker count.
+func (e *engine) collect(th *core.Theory, delta []core.Atom, first bool) []trigger {
+	deltaDB := database.FromAtoms(delta)
+	perRule := make([][]trigger, len(th.Rules))
+	workers := e.opts.workers()
+	if workers > 1 && len(th.Rules) > 1 {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, r := range th.Rules {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, r *core.Rule) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				perRule[i] = e.collectRule(r, deltaDB, first)
+			}(i, r)
+		}
+		wg.Wait()
+	} else {
+		for i, r := range th.Rules {
+			perRule[i] = e.collectRule(r, deltaDB, first)
+		}
+	}
+	var out []trigger
+	seen := make(map[string]bool)
+	for _, trs := range perRule {
+		for _, tr := range trs {
+			k := e.triggerKey(tr)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if e.admissible(tr, k) {
+				out = append(out, tr)
+			}
+		}
+	}
+	return out
+}
+
+// collectRule finds this round's candidate triggers of one rule. It only
+// reads the engine's database and precomputed tables, so calls for
+// different rules may run concurrently.
+func (e *engine) collectRule(r *core.Rule, deltaDB *database.Database, first bool) []trigger {
+	var out []trigger
+	body := r.PositiveBody()
+	emit := func(s core.Subst) bool {
+		// Negative literals: evaluated against the full current db.
+		for _, l := range r.Body {
+			if l.Negated && e.db.Has(s.ApplyAtom(l.Atom)) {
+				return true
+			}
+		}
+		out = append(out, trigger{rule: r, sub: restrictToRule(s, r, e.ruleVars[r])})
+		return true
+	}
+	if first || len(body) == 0 {
+		if len(body) == 0 {
+			// Body-less rules fire once, in the first round.
+			if first {
+				emit(core.Subst{})
+			}
+			return out
+		}
+		hom.ForEach(body, e.db, nil, emit)
+		return out
+	}
+	// Semi-naive: require some body atom matched in the delta.
+	for i, b := range body {
+		rest := make([]core.Atom, 0, len(body)-1)
+		rest = append(rest, body[:i]...)
+		rest = append(rest, body[i+1:]...)
+		hom.ForEach([]core.Atom{b}, deltaDB, nil, func(s core.Subst) bool {
+			hom.ForEach(rest, e.db, s, emit)
+			return true
+		})
+	}
+	return out
+}
+
+// admissible filters triggers per variant and depth budget.
+func (e *engine) admissible(tr trigger, key string) bool {
+	if e.applied[key] {
+		return false
+	}
+	if e.opts.Variant == Restricted && e.headSatisfied(tr) {
+		return false
+	}
+	if len(tr.rule.Exist) > 0 && e.opts.MaxDepth > 0 {
+		d := 0
+		for _, t := range tr.sub {
+			if dd, ok := e.depth[t]; ok && dd > d {
+				d = dd
+			}
+		}
+		if d+1 > e.opts.MaxDepth {
+			e.trunc = true
+			return false
+		}
+	}
+	return true
+}
+
+// headSatisfied reports whether the head of the trigger is already
+// entailed: some extension of the frontier assignment maps the head into
+// the database.
+func (e *engine) headSatisfied(tr trigger) bool {
+	init := core.Subst{}
+	ev := tr.rule.EVarSet()
+	for v, t := range tr.sub {
+		if !ev.Has(v) {
+			init[v] = t
+		}
+	}
+	return hom.Exists(tr.rule.Head, e.db, init)
+}
+
+// apply fires the trigger: existential variables become fresh nulls and
+// the instantiated head atoms are added. It returns the atoms that were
+// actually new.
+func (e *engine) apply(tr trigger) []core.Atom {
+	key := e.triggerKey(tr)
+	if e.applied[key] {
+		return nil
+	}
+	// Re-check satisfaction for the restricted variant: an earlier trigger
+	// in this round may have satisfied the head meanwhile.
+	if e.opts.Variant == Restricted && e.headSatisfied(tr) {
+		e.applied[key] = true
+		return nil
+	}
+	e.applied[key] = true
+	s := tr.sub.Clone()
+	base := 0
+	for _, t := range s {
+		if d, ok := e.depth[t]; ok && d > base {
+			base = d
+		}
+	}
+	for _, v := range tr.rule.Exist {
+		e.nulls++
+		n := core.NewNull(fmt.Sprintf("n%d", e.nulls))
+		e.depth[n] = base + 1
+		s[v] = n
+	}
+	e.steps++
+	var added []core.Atom
+	for _, h := range tr.rule.Head {
+		a := s.ApplyAtom(h)
+		if e.db.Add(a) {
+			added = append(added, a)
+			if e.hook != nil {
+				e.hook(tr, a)
+			}
+		}
+	}
+	return added
+}
+
+// restrictToRule keeps only the bindings of the rule's own variables
+// (hom search may receive init substitutions carrying more).
+func restrictToRule(s core.Subst, r *core.Rule, vars []core.Term) core.Subst {
+	out := make(core.Subst, len(vars))
+	for _, v := range vars {
+		if t, ok := s[v]; ok {
+			out[v] = t
+		}
+	}
+	return out
+}
+
+// triggerKey identifies a (rule, homomorphism) pair. Variables are
+// serialized in the rule's precomputed order.
+func (e *engine) triggerKey(tr trigger) string {
+	var sb strings.Builder
+	sb.WriteByte(byte(e.ruleID[tr.rule]))
+	sb.WriteByte(byte(e.ruleID[tr.rule] >> 8))
+	sb.WriteByte(byte(e.ruleID[tr.rule] >> 16))
+	for _, v := range e.ruleVars[tr.rule] {
+		t := tr.sub[v]
+		sb.WriteByte(byte('0' + t.Kind))
+		sb.WriteString(t.Name)
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}

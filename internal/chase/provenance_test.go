@@ -1,0 +1,115 @@
+package chase
+
+import (
+	"strings"
+	"testing"
+
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/parser"
+)
+
+func TestProvenanceExampleSeven(t *testing.T) {
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y) -> S(Y,Y).
+		S(X,Y) -> exists Z. T(X,Y,Z).
+		T(X,X,Y) -> B(X).
+		C(X), R(X,Y), B(Y) -> D(X).
+	`)
+	d := database.FromAtoms(parser.MustParseFacts(`A(c). C(c).`))
+	res, prov, err := RunWithProvenance(th, d, Options{Variant: Oblivious})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := core.NewAtom("D", core.Const("c"))
+	if !res.Entails(target) {
+		t.Fatal("D(c) must be derived")
+	}
+	tree := prov.Explain(target, d)
+	if tree == nil {
+		t.Fatal("no proof tree for D(c)")
+	}
+	// The derivation of Example 7 passes through all five rules: the tree
+	// must contain the null-borne atoms R(c,n), S(n,n), T(n,n,m), B(n).
+	rendered := tree.String()
+	for _, rel := range []string{"R(", "S(", "T(", "B(", "D("} {
+		if !strings.Contains(rendered, rel) {
+			t.Errorf("proof tree misses %s...:\n%s", rel, rendered)
+		}
+	}
+	if tree.Depth() < 4 {
+		t.Errorf("expected a deep proof (≥4), got %d:\n%s", tree.Depth(), rendered)
+	}
+	// Leaves are the input facts.
+	if !strings.Contains(rendered, "A(c)  [input]") || !strings.Contains(rendered, "C(c)  [input]") {
+		t.Errorf("input leaves missing:\n%s", rendered)
+	}
+}
+
+func TestProvenanceInputFactsHaveNoEntry(t *testing.T) {
+	th := parser.MustParseTheory(`A(X) -> B(X).`)
+	d := database.FromAtoms(parser.MustParseFacts(`A(a).`))
+	_, prov, err := RunWithProvenance(th, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prov[core.NewAtom("A", core.Const("a")).String()]; ok {
+		t.Error("input facts must have no derivation")
+	}
+	node := prov.Explain(core.NewAtom("A", core.Const("a")), d)
+	if node == nil || node.Rule != "" {
+		t.Errorf("input fact must explain as a leaf: %v", node)
+	}
+}
+
+func TestProvenanceUnknownAtom(t *testing.T) {
+	th := parser.MustParseTheory(`A(X) -> B(X).`)
+	d := database.FromAtoms(parser.MustParseFacts(`A(a).`))
+	_, prov, err := RunWithProvenance(th, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.Explain(core.NewAtom("Z", core.Const("zz")), d) != nil {
+		t.Error("unknown atoms must not explain")
+	}
+}
+
+func TestProvenanceFirstDerivationKept(t *testing.T) {
+	// B(a) is derivable via two rules; provenance keeps the first.
+	th := parser.MustParseTheory(`
+		A(X) -> B(X).
+		C(X) -> B(X).
+	`)
+	d := database.FromAtoms(parser.MustParseFacts(`A(a). C(a).`))
+	_, prov, err := RunWithProvenance(th, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, ok := prov[core.NewAtom("B", core.Const("a")).String()]
+	if !ok || len(der.Premises) != 1 {
+		t.Fatalf("derivation missing: %+v", der)
+	}
+}
+
+func TestProofNodeMetrics(t *testing.T) {
+	th := parser.MustParseTheory(`
+		E(X,Y) -> T(X,Y).
+		T(X,Y), E(Y,Z) -> T(X,Z).
+	`)
+	d := database.FromAtoms(parser.MustParseFacts(`E(a,b). E(b,c). E(c,d).`))
+	_, prov, err := RunWithProvenance(th, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := prov.Explain(core.NewAtom("T", core.Const("a"), core.Const("d")), d)
+	if tree == nil {
+		t.Fatal("T(a,d) must be derivable")
+	}
+	if tree.Depth() != 3 {
+		t.Errorf("T(a,d) proof depth: %d (want 3: T(a,b)→T(a,c)→T(a,d))", tree.Depth())
+	}
+	if tree.Size() < 5 {
+		t.Errorf("proof size too small: %d", tree.Size())
+	}
+}

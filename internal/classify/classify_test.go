@@ -1,0 +1,257 @@
+package classify
+
+import (
+	"testing"
+
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/parser"
+)
+
+// sigmaP is the running example Σp of Example 1 plus the query rule σ4.
+const sigmaP = `
+Publication(X) -> exists K1,K2. Keywords(X,K1,K2).
+Keywords(X,K1,K2) -> hasTopic(X,K1).
+hasTopic(X,Z), hasAuthor(X,U), hasAuthor(Y,U),
+  hasTopic(Y,Z2), Scientific(Z2), citedIn(Y,X) -> Scientific(Z).
+hasAuthor(X,Y), hasTopic(X,Z), Scientific(Z) -> Q(Y).
+`
+
+func TestAffectedPositionsRunningExample(t *testing.T) {
+	th := parser.MustParseTheory(sigmaP)
+	ap := AffectedPositions(th)
+	want := []Position{
+		{core.RelKey{Name: "Keywords", Arity: 3}, 1},
+		{core.RelKey{Name: "Keywords", Arity: 3}, 2},
+		{core.RelKey{Name: "hasTopic", Arity: 2}, 1},
+		{core.RelKey{Name: "Scientific", Arity: 1}, 0},
+	}
+	if len(ap) != len(want) {
+		t.Fatalf("ap size: got %d (%v), want %d", len(ap), ap, len(want))
+	}
+	for _, p := range want {
+		if !ap[p] {
+			t.Errorf("position %v must be affected", p)
+		}
+	}
+}
+
+func TestClassifyRunningExample(t *testing.T) {
+	th := parser.MustParseTheory(sigmaP)
+	rep := Classify(th)
+	if rep.Member[Datalog] {
+		t.Error("Σp has existential rules")
+	}
+	if rep.Member[Guarded] {
+		t.Error("σ3 is not guarded")
+	}
+	if !rep.Member[FrontierGuarded] {
+		t.Errorf("Σp is frontier-guarded (offender %v)", rep.Offender[FrontierGuarded])
+	}
+	if rep.Member[WeaklyGuarded] {
+		t.Error("σ3 has unsafe variables Z, Z2 in no single atom; not weakly guarded")
+	}
+	if !rep.Member[WeaklyFrontierGuarded] {
+		t.Errorf("fg ⊆ wfg must hold (offender %v)", rep.Offender[WeaklyFrontierGuarded])
+	}
+	if !rep.Member[NearlyFrontierGuarded] {
+		t.Error("fg ⊆ nfg must hold")
+	}
+	if rep.Member[NearlyGuarded] {
+		t.Error("σ3 is neither guarded nor over safe variables only")
+	}
+}
+
+func TestClassifyTransitiveClosure(t *testing.T) {
+	th := parser.MustParseTheory(`
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+	`)
+	rep := Classify(th)
+	for _, f := range []Fragment{Datalog, NearlyGuarded, NearlyFrontierGuarded, WeaklyGuarded, WeaklyFrontierGuarded} {
+		if !rep.Member[f] {
+			t.Errorf("transitive closure must be %v", f)
+		}
+	}
+	if rep.Member[Guarded] {
+		t.Error("the transitivity rule is not guarded")
+	}
+	// The transitivity rule is not frontier-guarded either: frontier {X,Z}
+	// shares no atom.
+	if rep.Member[FrontierGuarded] {
+		t.Error("the transitivity rule is not frontier-guarded")
+	}
+}
+
+func TestClassifyGuarded(t *testing.T) {
+	// Example 7's theory is fully guarded.
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y) -> S(Y,Y).
+		S(X,Y) -> exists Z. T(X,Y,Z).
+		T(X,X,Y) -> B(X).
+		C(X), R(X,Y), B(Y) -> D(X).
+	`)
+	rep := Classify(th)
+	if !rep.Member[Guarded] {
+		t.Errorf("Example 7 theory must be guarded (offender %v)", rep.Offender[Guarded])
+	}
+	for _, f := range []Fragment{FrontierGuarded, NearlyGuarded, NearlyFrontierGuarded, WeaklyGuarded, WeaklyFrontierGuarded} {
+		if !rep.Member[f] {
+			t.Errorf("guarded theory must be in %v", f)
+		}
+	}
+}
+
+func TestSyntacticInclusions(t *testing.T) {
+	// The '*' arrows of Figure 1 on a mixed workload: every guarded theory
+	// is frontier-guarded, nearly guarded, weakly guarded, etc.
+	sources := []string{
+		sigmaP,
+		`E(X,Y) -> T(X,Y). T(X,Y), T(Y,Z) -> T(X,Z).`,
+		`A(X) -> exists Y. R(X,Y). R(X,Y), B(Y) -> C(X).`,
+		`R(X,Y), S(Y,Z) -> exists W. R(Z,W).`,
+	}
+	for _, src := range sources {
+		rep := Classify(parser.MustParseTheory(src))
+		m := rep.Member
+		if m[Datalog] && !(m[NearlyGuarded] && m[NearlyFrontierGuarded] && m[WeaklyGuarded] && m[WeaklyFrontierGuarded]) {
+			t.Errorf("datalog must imply nearly/weakly fragments: %q", src)
+		}
+		if m[Guarded] && !(m[FrontierGuarded] && m[NearlyGuarded] && m[WeaklyGuarded]) {
+			t.Errorf("guarded inclusions violated: %q", src)
+		}
+		if m[FrontierGuarded] && !(m[NearlyFrontierGuarded] && m[WeaklyFrontierGuarded]) {
+			t.Errorf("frontier-guarded inclusions violated: %q", src)
+		}
+		if m[NearlyGuarded] && !m[NearlyFrontierGuarded] {
+			t.Errorf("ng ⊆ nfg violated: %q", src)
+		}
+		if m[WeaklyGuarded] && !m[WeaklyFrontierGuarded] {
+			t.Errorf("wg ⊆ wfg violated: %q", src)
+		}
+	}
+}
+
+func TestWeaklyGuardedButNotGuarded(t *testing.T) {
+	// A weakly guarded, non-guarded theory: the unguarded rule only joins
+	// safe variables plus one unsafe variable covered by a guard.
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y), B(Z) -> P(Y,Z).
+	`)
+	rep := Classify(th)
+	if !rep.Member[WeaklyGuarded] {
+		t.Errorf("theory must be weakly guarded (offender %v)", rep.Offender[WeaklyGuarded])
+	}
+	if rep.Member[Guarded] {
+		t.Error("second rule is not guarded")
+	}
+	if rep.Member[NearlyGuarded] {
+		t.Error("second rule has unsafe variable Y and is not guarded")
+	}
+}
+
+func TestUnsafeVariables(t *testing.T) {
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y), R(Z,Y) -> P(X,Z).
+	`)
+	ap := AffectedPositions(th)
+	r := th.Rules[1]
+	u := Unsafe(r, ap)
+	if len(u) != 1 || !u.Has(core.Var("Y")) {
+		t.Errorf("unsafe vars: %v (want {Y})", u)
+	}
+}
+
+func TestGuardAndFrontierGuard(t *testing.T) {
+	th := parser.MustParseTheory(`R(X,Y), S(Y) -> exists Z. P(Y,Z).`)
+	r := th.Rules[0]
+	g, ok := Guard(r)
+	if !ok || g.Relation != "R" {
+		t.Errorf("guard: %v %v", g, ok)
+	}
+	fgAtom, ok := FrontierGuard(r)
+	if !ok || !(fgAtom.Relation == "R" || fgAtom.Relation == "S") {
+		t.Errorf("frontier guard: %v %v", fgAtom, ok)
+	}
+	// Fact rules are trivially guarded.
+	fact := core.Fact(core.NewAtom("R", core.Const("c")))
+	if !IsGuarded(fact) || !IsFrontierGuarded(fact) {
+		t.Error("fact rules must count as guarded")
+	}
+}
+
+func TestProperReorder(t *testing.T) {
+	// R's affected position is its second; a proper theory must move it
+	// first.
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y) -> B(X).
+	`)
+	if IsProper(th) {
+		t.Skip("already proper; test needs an improper theory")
+	}
+	ro := ProperReorder(th)
+	proper := ro.Theory(th)
+	if !IsProper(proper) {
+		t.Fatalf("reordered theory is not proper:\n%v", proper)
+	}
+	// Round trip on atoms and databases.
+	a := core.NewAtom("R", core.Const("c"), core.Const("d"))
+	if got := ro.Undo(ro.Atom(a)); !got.Equal(a) {
+		t.Errorf("Undo(Atom(a)) = %v, want %v", got, a)
+	}
+	d := database.FromAtoms(parser.MustParseFacts(`R(c,d). A(c).`))
+	back := ro.UndoDatabase(ro.Database(d))
+	if ok, diff := database.SameGroundAtoms(d, back); !ok {
+		t.Errorf("database round trip: %s", diff)
+	}
+	// The reordered theory classifies the same.
+	if Classify(th).Member[WeaklyGuarded] != Classify(proper).Member[WeaklyGuarded] {
+		t.Error("reordering must preserve weak guardedness")
+	}
+}
+
+func TestIsProperDetectsBadOrder(t *testing.T) {
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y) -> B(X).
+	`)
+	// (R,2) is affected, (R,1) is not: improper.
+	if IsProper(th) {
+		t.Error("theory with affected position after non-affected must be improper")
+	}
+	th2 := parser.MustParseTheory(`
+		A(X) -> exists Y. R(Y,X).
+		R(Y,X) -> B(X).
+	`)
+	if !IsProper(th2) {
+		t.Error("theory with affected positions first must be proper")
+	}
+}
+
+func TestFragmentString(t *testing.T) {
+	if WeaklyFrontierGuarded.String() != "weakly frontier-guarded" {
+		t.Error("Fragment.String wrong")
+	}
+	rep := Classify(parser.MustParseTheory(`E(X,Y) -> T(X,Y).`))
+	fs := rep.Fragments()
+	if len(fs) == 0 || fs[0] != Datalog {
+		t.Errorf("Fragments order: %v", fs)
+	}
+}
+
+func TestStratifiedClassificationIgnoresNegation(t *testing.T) {
+	// Section 8: weak guardedness of stratified theories is computed on the
+	// theory with negative atoms dropped.
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y), not B(Y) -> P(X).
+	`)
+	rep := Classify(th)
+	if !rep.Member[WeaklyGuarded] {
+		t.Errorf("negated atoms must not break weak guardedness (offender %v)", rep.Offender[WeaklyGuarded])
+	}
+}

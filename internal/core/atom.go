@@ -1,0 +1,203 @@
+package core
+
+import "strings"
+
+// Atom is an expression R(t1,...,tn), optionally with an annotated relation
+// name R[a1,...,am](t1,...,tn). Annotations (Section 2, "Relation name
+// annotations") carry terms as part of the relation name; annotation terms
+// are not arguments and are ignored by guardedness notions, which quantify
+// over argument variables only.
+type Atom struct {
+	Relation   string
+	Annotation []Term // nil when the relation name is not annotated
+	Args       []Term
+}
+
+// NewAtom returns an unannotated atom.
+func NewAtom(rel string, args ...Term) Atom {
+	return Atom{Relation: rel, Args: args}
+}
+
+// Key identifies the relation of the atom for storage and indexing
+// purposes: annotated relation names with different annotation arities are
+// distinct relations.
+func (a Atom) Key() RelKey {
+	return RelKey{Name: a.Relation, AnnArity: len(a.Annotation), Arity: len(a.Args)}
+}
+
+// RelKey identifies a relation: its name, annotation arity and arity.
+type RelKey struct {
+	Name     string
+	AnnArity int
+	Arity    int
+}
+
+func (k RelKey) String() string {
+	if k.AnnArity == 0 {
+		return k.Name
+	}
+	return k.Name + "[...]"
+}
+
+// Arity returns the number of arguments of the atom.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// IsGround reports whether the atom contains no variables, in arguments or
+// annotation.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	for _, t := range a.Annotation {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Terms returns the set of argument terms of the atom. Annotation terms are
+// excluded; use AnnTerms for those.
+func (a Atom) Terms() TermSet {
+	s := make(TermSet, len(a.Args))
+	for _, t := range a.Args {
+		s.Add(t)
+	}
+	return s
+}
+
+// Vars returns the set of argument variables of the atom.
+func (a Atom) Vars() TermSet {
+	s := make(TermSet)
+	for _, t := range a.Args {
+		if t.IsVar() {
+			s.Add(t)
+		}
+	}
+	return s
+}
+
+// AnnVars returns the set of annotation variables of the atom.
+func (a Atom) AnnVars() TermSet {
+	s := make(TermSet)
+	for _, t := range a.Annotation {
+		if t.IsVar() {
+			s.Add(t)
+		}
+	}
+	return s
+}
+
+// AllVars returns argument and annotation variables together.
+func (a Atom) AllVars() TermSet {
+	s := a.Vars()
+	s.AddAll(a.AnnVars())
+	return s
+}
+
+// Clone returns a deep copy of the atom.
+func (a Atom) Clone() Atom {
+	out := Atom{Relation: a.Relation}
+	if a.Annotation != nil {
+		out.Annotation = append([]Term(nil), a.Annotation...)
+	}
+	out.Args = append([]Term(nil), a.Args...)
+	return out
+}
+
+// Equal reports whether two atoms are syntactically identical.
+func (a Atom) Equal(b Atom) bool {
+	if a.Relation != b.Relation || len(a.Args) != len(b.Args) || len(a.Annotation) != len(b.Annotation) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	for i := range a.Annotation {
+		if a.Annotation[i] != b.Annotation[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the atom, e.g. R[a,b](x,y) or R(x,y).
+func (a Atom) String() string {
+	var sb strings.Builder
+	sb.WriteString(a.Relation)
+	if len(a.Annotation) > 0 {
+		sb.WriteByte('[')
+		for i, t := range a.Annotation {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(t.String())
+		}
+		sb.WriteByte(']')
+	}
+	sb.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(t.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// AtomsString renders a list of atoms separated by ", ".
+func AtomsString(atoms []Atom) string {
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// VarsOf returns the set of argument variables occurring in the atoms.
+func VarsOf(atoms []Atom) TermSet {
+	s := make(TermSet)
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				s.Add(t)
+			}
+		}
+	}
+	return s
+}
+
+// TermsOf returns the set of argument terms occurring in the atoms.
+func TermsOf(atoms []Atom) TermSet {
+	s := make(TermSet)
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			s.Add(t)
+		}
+	}
+	return s
+}
+
+// AllVarsOf returns argument and annotation variables of the atoms.
+func AllVarsOf(atoms []Atom) TermSet {
+	s := make(TermSet)
+	for _, a := range atoms {
+		s.AddAll(a.AllVars())
+	}
+	return s
+}
+
+// ContainsAtom reports whether atoms contains an atom equal to a.
+func ContainsAtom(atoms []Atom, a Atom) bool {
+	for _, b := range atoms {
+		if b.Equal(a) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CanonicalKey returns a string that is identical for two rules exactly
+// when they are equal up to renaming of variables and reordering of body
+// literals and head atoms. It is used to deduplicate rules during the
+// expansion of Definition 12 and the saturation of Definition 19, whose
+// termination arguments count rules up to variable renaming.
+//
+// The key is the lexicographically least serialization of the rule over
+// all literal orderings, with variables numbered by first occurrence. The
+// search backtracks only on serialization ties, so it is cheap for the
+// small rules produced by the translations.
+func CanonicalKey(r *Rule) string {
+	c := canonizer{}
+	bodyAtoms := make([]Atom, len(r.Body))
+	neg := make([]bool, len(r.Body))
+	for i, l := range r.Body {
+		bodyAtoms[i] = l.Atom
+		neg[i] = l.Negated
+	}
+	bestBody, numberings := c.minOrder(bodyAtoms, neg, nil)
+	// Several optimal body orderings can induce different variable
+	// numberings; the head is minimized over all of them so the key does
+	// not depend on input order.
+	bestHead := ""
+	for i, vars := range numberings {
+		head, _ := c.minOrder(r.Head, make([]bool, len(r.Head)), vars)
+		if i == 0 || head < bestHead {
+			bestHead = head
+		}
+	}
+	return bestBody + " => " + bestHead
+}
+
+// CanonicalAtomSet returns a canonical serialization of the atom multiset
+// (independent of atom order and variable names) together with every
+// variable numbering that achieves it. Two atom sets are isomorphic
+// exactly when their serializations agree, and corresponding variables
+// receive corresponding numbering multisets.
+func CanonicalAtomSet(atoms []Atom) (string, []map[Term]int) {
+	c := canonizer{}
+	return c.minOrder(atoms, make([]bool, len(atoms)), nil)
+}
+
+// CanonicalVarOrder sorts the given variables by an isomorphism-invariant
+// criterion derived from the numberings: each variable is keyed by the
+// sorted vector of its indices across all optimal numberings.
+func CanonicalVarOrder(vars []Term, numberings []map[Term]int) []Term {
+	type entry struct {
+		v   Term
+		key string
+	}
+	entries := make([]entry, len(vars))
+	for i, v := range vars {
+		idx := make([]int, 0, len(numberings))
+		for _, m := range numberings {
+			if n, ok := m[v]; ok {
+				idx = append(idx, n)
+			} else {
+				idx = append(idx, 1<<30)
+			}
+		}
+		sortInts(idx)
+		key := ""
+		for _, n := range idx {
+			key += fmt.Sprintf("%08d,", n)
+		}
+		entries[i] = entry{v, key}
+	}
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && (entries[j].key < entries[j-1].key ||
+			(entries[j].key == entries[j-1].key && lessTerm(entries[j].v, entries[j-1].v))); j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+	out := make([]Term, len(entries))
+	for i, e := range entries {
+		out[i] = e.v
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+type canonizer struct{}
+
+// minOrder finds the lexicographically least serialization of the given
+// atoms over all orderings, numbering unseen variables in order of first
+// occurrence starting from the numbering in seed. It returns the
+// serialization and every variable numbering that achieves it.
+func (c canonizer) minOrder(atoms []Atom, negated []bool, seed map[Term]int) (string, []map[Term]int) {
+	if len(atoms) == 0 {
+		m := map[Term]int{}
+		for k, v := range seed {
+			m[k] = v
+		}
+		return "", []map[Term]int{m}
+	}
+	type state struct {
+		used []bool
+		vars map[Term]int
+		acc  []string
+	}
+	var best string
+	var bestVars []map[Term]int
+	haveBest := false
+
+	var rec func(s state)
+	rec = func(s state) {
+		done := true
+		for _, u := range s.used {
+			if !u {
+				done = false
+				break
+			}
+		}
+		if done {
+			ser := strings.Join(s.acc, " & ")
+			switch {
+			case !haveBest || ser < best:
+				best = ser
+				bestVars = []map[Term]int{s.vars}
+				haveBest = true
+			case ser == best:
+				bestVars = append(bestVars, s.vars)
+			}
+			return
+		}
+		// Serialize each unused atom under the current numbering and keep
+		// only the minimal candidates.
+		type cand struct {
+			idx  int
+			ser  string
+			vars map[Term]int
+		}
+		var cands []cand
+		minSer := ""
+		for i := range atoms {
+			if s.used[i] {
+				continue
+			}
+			ser, vars := serializeAtom(atoms[i], negated[i], s.vars)
+			if len(cands) == 0 || ser < minSer {
+				cands = []cand{{i, ser, vars}}
+				minSer = ser
+			} else if ser == minSer {
+				cands = append(cands, cand{i, ser, vars})
+			}
+		}
+		// Prune: if the partial serialization already exceeds the best
+		// complete one, stop.
+		partial := strings.Join(append(append([]string(nil), s.acc...), minSer), " & ")
+		if haveBest && partial > best && !strings.HasPrefix(best, partial) {
+			return
+		}
+		for _, cd := range cands {
+			used2 := append([]bool(nil), s.used...)
+			used2[cd.idx] = true
+			rec(state{used: used2, vars: cd.vars, acc: append(append([]string(nil), s.acc...), cd.ser)})
+		}
+	}
+
+	vars := map[Term]int{}
+	for k, v := range seed {
+		vars[k] = v
+	}
+	rec(state{used: make([]bool, len(atoms)), vars: vars, acc: nil})
+	return best, bestVars
+}
+
+// serializeAtom renders an atom with variables replaced by canonical
+// indices, extending the numbering for unseen variables. It returns the
+// serialization and the (possibly extended) numbering.
+func serializeAtom(a Atom, negated bool, vars map[Term]int) (string, map[Term]int) {
+	out := vars
+	extended := false
+	extend := func() {
+		if !extended {
+			m := make(map[Term]int, len(vars)+2)
+			for k, v := range vars {
+				m[k] = v
+			}
+			out = m
+			extended = true
+		}
+	}
+	var sb strings.Builder
+	// Prefix with the number of variables this atom would newly introduce
+	// under the current numbering: the canonical order then prefers atoms
+	// connected to already-visited ones, which collapses the factorial tie
+	// space of rules with many interchangeable-looking pendant atoms
+	// (e.g. the ACDom guards added by Definition 13).
+	newVars := 0
+	seenNew := map[Term]bool{}
+	countOnce := func(t Term) {
+		if t.IsVar() && !seenNew[t] {
+			if _, ok := vars[t]; !ok {
+				seenNew[t] = true
+				newVars++
+			}
+		}
+	}
+	for _, t := range a.Annotation {
+		countOnce(t)
+	}
+	for _, t := range a.Args {
+		countOnce(t)
+	}
+	if newVars > 9 {
+		newVars = 9
+	}
+	sb.WriteByte(byte('0' + newVars))
+	if negated {
+		sb.WriteString("~")
+	}
+	sb.WriteString(a.Relation)
+	write := func(t Term) {
+		if t.IsVar() {
+			n, ok := out[t]
+			if !ok {
+				extend()
+				n = len(out)
+				out[t] = n
+			}
+			fmt.Fprintf(&sb, "?%d", n)
+		} else {
+			sb.WriteString(t.String())
+		}
+	}
+	if len(a.Annotation) > 0 {
+		sb.WriteByte('[')
+		for i, t := range a.Annotation {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			write(t)
+		}
+		sb.WriteByte(']')
+	}
+	sb.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		write(t)
+	}
+	sb.WriteByte(')')
+	return sb.String(), out
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Literal is a body atom, possibly negated. Plain existential rules use
+// only positive literals; negative literals appear in stratified theories
+// (Definition 22).
+type Literal struct {
+	Atom    Atom
+	Negated bool
+}
+
+func (l Literal) String() string {
+	if l.Negated {
+		return "not " + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// Pos returns a positive literal for a.
+func Pos(a Atom) Literal { return Literal{Atom: a} }
+
+// Neg returns a negative literal for a.
+func Neg(a Atom) Literal { return Literal{Atom: a, Negated: true} }
+
+// Rule is an existential rule
+//
+//	B1 ∧ ... ∧ Bn → ∃ y1,...,yk . H1 ∧ ... ∧ Hm
+//
+// with n ≥ 0 and m ≥ 1 (equation (1) of the paper). Body literals may be
+// negated in stratified theories. Exist lists the existential variables
+// y1,...,yk of the head.
+type Rule struct {
+	Body  []Literal
+	Head  []Atom
+	Exist []Term
+	// Label is optional provenance (e.g. "sigma3" or "rc(sigma3,mu7)").
+	Label string
+}
+
+// NewRule builds a rule from positive body atoms, existential variables and
+// head atoms.
+func NewRule(body []Atom, exist []Term, head ...Atom) *Rule {
+	lits := make([]Literal, len(body))
+	for i, a := range body {
+		lits[i] = Pos(a)
+	}
+	return &Rule{Body: lits, Head: head, Exist: exist}
+}
+
+// Fact builds a body-less rule → H, used for constants in normal form
+// (Definition 4 (iii)).
+func Fact(h Atom) *Rule { return &Rule{Head: []Atom{h}} }
+
+// PositiveBody returns the positive body atoms in order.
+func (r *Rule) PositiveBody() []Atom {
+	out := make([]Atom, 0, len(r.Body))
+	for _, l := range r.Body {
+		if !l.Negated {
+			out = append(out, l.Atom)
+		}
+	}
+	return out
+}
+
+// NegativeBody returns the negated body atoms in order.
+func (r *Rule) NegativeBody() []Atom {
+	var out []Atom
+	for _, l := range r.Body {
+		if l.Negated {
+			out = append(out, l.Atom)
+		}
+	}
+	return out
+}
+
+// HasNegation reports whether the rule has a negated body literal.
+func (r *Rule) HasNegation() bool {
+	for _, l := range r.Body {
+		if l.Negated {
+			return true
+		}
+	}
+	return false
+}
+
+// EVarSet returns the set evars(σ) of existential variables.
+func (r *Rule) EVarSet() TermSet { return NewTermSet(r.Exist...) }
+
+// UVars returns uvars(σ) = vars(body(σ)), the universal (argument)
+// variables. Variables of negated atoms are included (they are required to
+// also occur positively by safety). Annotation variables are excluded.
+func (r *Rule) UVars() TermSet {
+	s := make(TermSet)
+	for _, l := range r.Body {
+		s.AddAll(l.Atom.Vars())
+	}
+	return s
+}
+
+// HeadVars returns vars(head(σ)) over argument positions.
+func (r *Rule) HeadVars() TermSet { return VarsOf(r.Head) }
+
+// FVars returns the frontier fvars(σ) = vars(head(σ)) \ evars(σ).
+func (r *Rule) FVars() TermSet {
+	s := r.HeadVars()
+	ev := r.EVarSet()
+	out := make(TermSet)
+	for t := range s {
+		if !ev.Has(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// AllAtoms returns body atoms followed by head atoms.
+func (r *Rule) AllAtoms() []Atom {
+	out := make([]Atom, 0, len(r.Body)+len(r.Head))
+	for _, l := range r.Body {
+		out = append(out, l.Atom)
+	}
+	out = append(out, r.Head...)
+	return out
+}
+
+// Constants returns the constants occurring in the rule, including in
+// annotations.
+func (r *Rule) Constants() TermSet {
+	s := make(TermSet)
+	add := func(a Atom) {
+		for _, t := range a.Args {
+			if t.IsConst() {
+				s.Add(t)
+			}
+		}
+		for _, t := range a.Annotation {
+			if t.IsConst() {
+				s.Add(t)
+			}
+		}
+	}
+	for _, l := range r.Body {
+		add(l.Atom)
+	}
+	for _, h := range r.Head {
+		add(h)
+	}
+	return s
+}
+
+// IsDatalog reports whether the rule has no existential variables.
+func (r *Rule) IsDatalog() bool { return len(r.Exist) == 0 }
+
+// CheckSafe verifies the safety conditions: fvars(σ) ⊆ vars(body(σ)),
+// every existential variable occurs in the head only, and every variable of
+// a negated atom occurs in a positive body atom. It also checks annotation
+// safety condition (ii) of the paper: head annotation variables must occur
+// in a body annotation.
+func (r *Rule) CheckSafe() error {
+	if len(r.Head) == 0 {
+		return fmt.Errorf("rule %s: empty head", r.Label)
+	}
+	uv := r.UVars()
+	ev := r.EVarSet()
+	for v := range r.FVars() {
+		if !uv.Has(v) {
+			return fmt.Errorf("rule %s: frontier variable %s not in body", r.Label, v)
+		}
+	}
+	for _, l := range r.Body {
+		for v := range l.Atom.Vars() {
+			if ev.Has(v) {
+				return fmt.Errorf("rule %s: existential variable %s occurs in body", r.Label, v)
+			}
+		}
+	}
+	posVars := make(TermSet)
+	for _, l := range r.Body {
+		if !l.Negated {
+			posVars.AddAll(l.Atom.Vars())
+		}
+	}
+	for _, l := range r.Body {
+		if l.Negated {
+			for v := range l.Atom.Vars() {
+				if !posVars.Has(v) {
+					return fmt.Errorf("rule %s: variable %s of negated atom %s not bound positively", r.Label, v, l.Atom)
+				}
+			}
+		}
+	}
+	bodyAll := make(TermSet)
+	for _, l := range r.Body {
+		bodyAll.AddAll(l.Atom.AllVars())
+	}
+	for _, h := range r.Head {
+		for v := range h.AnnVars() {
+			if !bodyAll.Has(v) {
+				return fmt.Errorf("rule %s: head annotation variable %s not bound in body", r.Label, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the rule.
+func (r *Rule) Clone() *Rule {
+	out := &Rule{Label: r.Label}
+	out.Body = make([]Literal, len(r.Body))
+	for i, l := range r.Body {
+		out.Body[i] = Literal{Atom: l.Atom.Clone(), Negated: l.Negated}
+	}
+	out.Head = make([]Atom, len(r.Head))
+	for i, h := range r.Head {
+		out.Head[i] = h.Clone()
+	}
+	out.Exist = append([]Term(nil), r.Exist...)
+	return out
+}
+
+// String renders the rule in the textual syntax understood by the parser.
+func (r *Rule) String() string {
+	var sb strings.Builder
+	for i, l := range r.Body {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(l.String())
+	}
+	sb.WriteString(" -> ")
+	if len(r.Exist) > 0 {
+		sb.WriteString("exists ")
+		for i, v := range r.Exist {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteString(". ")
+	}
+	for i, h := range r.Head {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(h.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,160 @@
+// Package core defines the syntactic objects of existential rule languages:
+// terms, atoms (with optional relation-name annotations), rules, and
+// theories, together with substitutions and canonical forms.
+//
+// The definitions follow Section 2 of Gottlob, Rudolph and Šimkus,
+// "Expressiveness of Guarded Existential Rule Languages" (PODS 2014).
+package core
+
+import "fmt"
+
+// TermKind distinguishes the three mutually disjoint sets of terms:
+// constants (∆c), labeled nulls (∆n) and variables (∆v).
+type TermKind uint8
+
+const (
+	// Constant terms come from the active domain or from rules.
+	Constant TermKind = iota
+	// Null terms are labeled nulls invented by the chase.
+	Null
+	// Variable terms occur in rules only.
+	Variable
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case Constant:
+		return "constant"
+	case Null:
+		return "null"
+	case Variable:
+		return "variable"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is a constant, labeled null, or variable. Terms are value types and
+// are comparable, so they can be used as map keys.
+type Term struct {
+	Kind TermKind
+	Name string
+}
+
+// Const returns the constant with the given name.
+func Const(name string) Term { return Term{Kind: Constant, Name: name} }
+
+// NewNull returns the labeled null with the given name.
+func NewNull(name string) Term { return Term{Kind: Null, Name: name} }
+
+// Var returns the variable with the given name.
+func Var(name string) Term { return Term{Kind: Variable, Name: name} }
+
+// IsConst reports whether t is a constant.
+func (t Term) IsConst() bool { return t.Kind == Constant }
+
+// IsNull reports whether t is a labeled null.
+func (t Term) IsNull() bool { return t.Kind == Null }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.Kind == Variable }
+
+// IsGround reports whether t is not a variable.
+func (t Term) IsGround() bool { return t.Kind != Variable }
+
+// String renders the term. Nulls are prefixed with "_:" so they cannot be
+// confused with constants.
+func (t Term) String() string {
+	if t.Kind == Null {
+		return "_:" + t.Name
+	}
+	return t.Name
+}
+
+// TermSet is a set of terms.
+type TermSet map[Term]struct{}
+
+// NewTermSet returns a set containing the given terms.
+func NewTermSet(ts ...Term) TermSet {
+	s := make(TermSet, len(ts))
+	for _, t := range ts {
+		s[t] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts t into the set.
+func (s TermSet) Add(t Term) { s[t] = struct{}{} }
+
+// Has reports whether t is in the set.
+func (s TermSet) Has(t Term) bool {
+	_, ok := s[t]
+	return ok
+}
+
+// AddAll inserts every term of other into the set.
+func (s TermSet) AddAll(other TermSet) {
+	for t := range other {
+		s[t] = struct{}{}
+	}
+}
+
+// ContainsAll reports whether every element of other is in s.
+func (s TermSet) ContainsAll(other TermSet) bool {
+	for t := range other {
+		if !s.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the intersection of s and other.
+func (s TermSet) Intersect(other TermSet) TermSet {
+	out := make(TermSet)
+	for t := range s {
+		if other.Has(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Minus returns the set difference s \ other.
+func (s TermSet) Minus(other TermSet) TermSet {
+	out := make(TermSet)
+	for t := range s {
+		if !other.Has(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Sorted returns the elements of the set ordered by kind then name. The
+// paper fixes a global enumeration of variable sets (Section 2, "Further
+// Notions"); this ordering is that enumeration.
+func (s TermSet) Sorted() []Term {
+	out := make([]Term, 0, len(s))
+	for t := range s {
+		out = append(out, t)
+	}
+	SortTerms(out)
+	return out
+}
+
+// SortTerms sorts terms in place by kind then name.
+func SortTerms(ts []Term) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && lessTerm(ts[j], ts[j-1]); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func lessTerm(a, b Term) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Name < b.Name
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ACDom is the built-in unary active constant domain relation. For any
+// database D, ACDom(c) holds iff c occurs in some atom of D over a relation
+// other than ACDom. ACDom is prohibited from rule heads.
+const ACDom = "ACDom"
+
+// Theory is a finite set of existential rules.
+type Theory struct {
+	Rules []*Rule
+
+	fresh int // counter for fresh names
+}
+
+// NewTheory returns a theory containing the given rules.
+func NewTheory(rules ...*Rule) *Theory {
+	return &Theory{Rules: rules}
+}
+
+// Add appends rules to the theory.
+func (t *Theory) Add(rules ...*Rule) { t.Rules = append(t.Rules, rules...) }
+
+// Clone returns a deep copy of the theory.
+func (t *Theory) Clone() *Theory {
+	out := &Theory{Rules: make([]*Rule, len(t.Rules)), fresh: t.fresh}
+	for i, r := range t.Rules {
+		out.Rules[i] = r.Clone()
+	}
+	return out
+}
+
+// Signature returns the relations occurring in the theory with their
+// arities. It returns an error if a relation name is used with two
+// different arities or annotation arities.
+func (t *Theory) Signature() (map[RelKey]bool, error) {
+	sig := make(map[RelKey]bool)
+	byName := make(map[string]RelKey)
+	for _, r := range t.Rules {
+		for _, a := range r.AllAtoms() {
+			k := a.Key()
+			if prev, ok := byName[k.Name]; ok && prev != k {
+				return nil, fmt.Errorf("relation %s used with inconsistent shape: %v vs %v", k.Name, prev, k)
+			}
+			byName[k.Name] = k
+			sig[k] = true
+		}
+	}
+	return sig, nil
+}
+
+// Relations returns the relation keys of the theory in sorted order.
+func (t *Theory) Relations() []RelKey {
+	sig := make(map[RelKey]bool)
+	for _, r := range t.Rules {
+		for _, a := range r.AllAtoms() {
+			sig[a.Key()] = true
+		}
+	}
+	out := make([]RelKey, 0, len(sig))
+	for k := range sig {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		if out[i].Arity != out[j].Arity {
+			return out[i].Arity < out[j].Arity
+		}
+		return out[i].AnnArity < out[j].AnnArity
+	})
+	return out
+}
+
+// MaxArity returns the maximal argument arity over all relations of the
+// theory (the constant k of Definition 7). Annotation positions do not
+// count.
+func (t *Theory) MaxArity() int {
+	m := 0
+	for _, r := range t.Rules {
+		for _, a := range r.AllAtoms() {
+			if a.Arity() > m {
+				m = a.Arity()
+			}
+		}
+	}
+	return m
+}
+
+// Constants returns the constants occurring in rules of the theory.
+func (t *Theory) Constants() TermSet {
+	s := make(TermSet)
+	for _, r := range t.Rules {
+		s.AddAll(r.Constants())
+	}
+	return s
+}
+
+// HasNegation reports whether any rule has a negated body literal.
+func (t *Theory) HasNegation() bool {
+	for _, r := range t.Rules {
+		if r.HasNegation() {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckSafe verifies safety of every rule and that ACDom never occurs in a
+// head.
+func (t *Theory) CheckSafe() error {
+	for _, r := range t.Rules {
+		if err := r.CheckSafe(); err != nil {
+			return err
+		}
+		for _, h := range r.Head {
+			if h.Relation == ACDom {
+				return fmt.Errorf("rule %s: %s is prohibited from rule heads", r.Label, ACDom)
+			}
+		}
+	}
+	return nil
+}
+
+// FreshRelation returns a relation name not occurring in the theory,
+// starting from the given prefix.
+func (t *Theory) FreshRelation(prefix string) string {
+	used := make(map[string]bool)
+	for _, r := range t.Rules {
+		for _, a := range r.AllAtoms() {
+			used[a.Relation] = true
+		}
+	}
+	for {
+		t.fresh++
+		name := fmt.Sprintf("%s_%d", prefix, t.fresh)
+		if !used[name] {
+			return name
+		}
+	}
+}
+
+// FreshVar returns a variable whose name does not occur in the given sets.
+func FreshVar(prefix string, avoid ...TermSet) Term {
+	for i := 1; ; i++ {
+		v := Var(fmt.Sprintf("%s%d", prefix, i))
+		clash := false
+		for _, s := range avoid {
+			if s.Has(v) {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			return v
+		}
+	}
+}
+
+// String renders the theory, one rule per line.
+func (t *Theory) String() string {
+	var sb strings.Builder
+	for _, r := range t.Rules {
+		sb.WriteString(r.String())
+		sb.WriteString(".\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,359 @@
+// Package database implements an indexed store of ground atoms (over
+// constants and labeled nulls), the "database" of Section 2 of the paper.
+//
+// The store maintains the built-in active constant domain relation ACDom:
+// ACDom(c) holds exactly for the constants that occur in some non-ACDom
+// fact. Labeled nulls never enter ACDom.
+package database
+
+import (
+	"sort"
+	"strings"
+
+	"guardedrules/internal/core"
+)
+
+type posTerm struct {
+	pos  int // argument position; annotation positions follow arguments
+	term core.Term
+}
+
+// Database is a set of ground atoms with per-relation and per-position
+// indexes supporting homomorphism search.
+type Database struct {
+	byRel map[core.RelKey][]core.Atom
+	index map[core.RelKey]map[posTerm][]int
+	seen  map[string]bool
+	size  int
+	acdom map[core.Term]bool
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{
+		byRel: make(map[core.RelKey][]core.Atom),
+		index: make(map[core.RelKey]map[posTerm][]int),
+		seen:  make(map[string]bool),
+		acdom: make(map[core.Term]bool),
+	}
+}
+
+// FromAtoms returns a database containing the given ground atoms.
+func FromAtoms(atoms []core.Atom) *Database {
+	d := New()
+	for _, a := range atoms {
+		d.Add(a)
+	}
+	return d
+}
+
+// key serializes a ground atom for set membership.
+func key(a core.Atom) string {
+	var sb strings.Builder
+	sb.WriteString(a.Relation)
+	if len(a.Annotation) > 0 {
+		sb.WriteByte('[')
+		for i, t := range a.Annotation {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteByte(byte('0' + t.Kind))
+			sb.WriteString(t.Name)
+		}
+		sb.WriteByte(']')
+	}
+	sb.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteByte(byte('0' + t.Kind))
+		sb.WriteString(t.Name)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Add inserts a ground atom and reports whether it was new. Inserting an
+// atom with variables panics: databases are ground by definition. ACDom
+// facts for the constants of the atom are added automatically.
+func (d *Database) Add(a core.Atom) bool {
+	if !a.IsGround() {
+		panic("database: atom " + a.String() + " is not ground")
+	}
+	if !d.insert(a) {
+		return false
+	}
+	if a.Relation != core.ACDom {
+		for _, t := range a.Args {
+			d.noteConstant(t)
+		}
+		for _, t := range a.Annotation {
+			d.noteConstant(t)
+		}
+	}
+	return true
+}
+
+func (d *Database) noteConstant(t core.Term) {
+	if !t.IsConst() || d.acdom[t] {
+		return
+	}
+	d.acdom[t] = true
+	d.insert(core.NewAtom(core.ACDom, t))
+}
+
+func (d *Database) insert(a core.Atom) bool {
+	k := key(a)
+	if d.seen[k] {
+		return false
+	}
+	d.seen[k] = true
+	rk := a.Key()
+	idx := len(d.byRel[rk])
+	d.byRel[rk] = append(d.byRel[rk], a)
+	m := d.index[rk]
+	if m == nil {
+		m = make(map[posTerm][]int)
+		d.index[rk] = m
+	}
+	for i, t := range a.Args {
+		pt := posTerm{i, t}
+		m[pt] = append(m[pt], idx)
+	}
+	for i, t := range a.Annotation {
+		pt := posTerm{len(a.Args) + i, t}
+		m[pt] = append(m[pt], idx)
+	}
+	d.size++
+	return true
+}
+
+// Has reports whether the ground atom is in the database.
+func (d *Database) Has(a core.Atom) bool { return d.seen[key(a)] }
+
+// Len returns the number of facts, including maintained ACDom facts.
+func (d *Database) Len() int { return d.size }
+
+// Relations returns the relation keys with at least one fact, sorted.
+func (d *Database) Relations() []core.RelKey {
+	out := make([]core.RelKey, 0, len(d.byRel))
+	for k := range d.byRel {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		if out[i].Arity != out[j].Arity {
+			return out[i].Arity < out[j].Arity
+		}
+		return out[i].AnnArity < out[j].AnnArity
+	})
+	return out
+}
+
+// Facts returns the facts of a relation in insertion order. The returned
+// slice must not be modified.
+func (d *Database) Facts(rk core.RelKey) []core.Atom { return d.byRel[rk] }
+
+// FactsWith returns the facts of rk whose flat position pos (arguments
+// first, then annotation positions) equals t. The returned slice of atoms
+// is freshly allocated.
+func (d *Database) FactsWith(rk core.RelKey, pos int, t core.Term) []core.Atom {
+	m := d.index[rk]
+	if m == nil {
+		return nil
+	}
+	idxs := m[posTerm{pos, t}]
+	out := make([]core.Atom, len(idxs))
+	facts := d.byRel[rk]
+	for i, ix := range idxs {
+		out[i] = facts[ix]
+	}
+	return out
+}
+
+// CountWith returns how many facts of rk have term t at flat position pos.
+func (d *Database) CountWith(rk core.RelKey, pos int, t core.Term) int {
+	m := d.index[rk]
+	if m == nil {
+		return 0
+	}
+	return len(m[posTerm{pos, t}])
+}
+
+// All returns every fact, including ACDom, grouped by relation.
+func (d *Database) All() []core.Atom {
+	out := make([]core.Atom, 0, d.size)
+	for _, rk := range d.Relations() {
+		out = append(out, d.byRel[rk]...)
+	}
+	return out
+}
+
+// UserFacts returns every fact except the maintained ACDom facts.
+func (d *Database) UserFacts() []core.Atom {
+	var out []core.Atom
+	for _, rk := range d.Relations() {
+		if rk.Name == core.ACDom {
+			continue
+		}
+		out = append(out, d.byRel[rk]...)
+	}
+	return out
+}
+
+// Constants returns the active constant domain: all constants occurring in
+// non-ACDom facts.
+func (d *Database) Constants() []core.Term {
+	out := make([]core.Term, 0, len(d.acdom))
+	for t := range d.acdom {
+		out = append(out, t)
+	}
+	core.SortTerms(out)
+	return out
+}
+
+// Terms returns all terms (constants and nulls) occurring in non-ACDom
+// facts.
+func (d *Database) Terms() core.TermSet {
+	s := make(core.TermSet)
+	for rk, facts := range d.byRel {
+		if rk.Name == core.ACDom {
+			continue
+		}
+		for _, a := range facts {
+			for _, t := range a.Args {
+				s.Add(t)
+			}
+			for _, t := range a.Annotation {
+				s.Add(t)
+			}
+		}
+	}
+	return s
+}
+
+// Nulls returns the labeled nulls occurring in the database.
+func (d *Database) Nulls() []core.Term {
+	s := make(core.TermSet)
+	for t := range d.Terms() {
+		if t.IsNull() {
+			s.Add(t)
+		}
+	}
+	return s.Sorted()
+}
+
+// Clone returns a deep copy of the database.
+func (d *Database) Clone() *Database {
+	out := New()
+	for _, a := range d.All() {
+		if a.Relation == core.ACDom {
+			continue // re-derived
+		}
+		out.Add(a.Clone())
+	}
+	// Preserve explicitly added ACDom facts (rare, but allowed).
+	for _, a := range d.byRel[core.RelKey{Name: core.ACDom, Arity: 1}] {
+		out.Add(a.Clone())
+	}
+	return out
+}
+
+// Restrict returns a new database with only the facts whose relation
+// satisfies keep. ACDom is rebuilt from the kept facts.
+func (d *Database) Restrict(keep func(core.RelKey) bool) *Database {
+	out := New()
+	for _, rk := range d.Relations() {
+		if rk.Name == core.ACDom || !keep(rk) {
+			continue
+		}
+		for _, a := range d.byRel[rk] {
+			out.Add(a)
+		}
+	}
+	return out
+}
+
+// GroundAtoms returns the facts of d whose terms are all constants,
+// excluding ACDom. These are the "ground atomic consequences" compared by
+// the paper's translations.
+func (d *Database) GroundAtoms() []core.Atom {
+	var out []core.Atom
+	for _, a := range d.UserFacts() {
+		allConst := true
+		for _, t := range a.Args {
+			if !t.IsConst() {
+				allConst = false
+				break
+			}
+		}
+		if allConst {
+			for _, t := range a.Annotation {
+				if !t.IsConst() {
+					allConst = false
+					break
+				}
+			}
+		}
+		if allConst {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// String renders the database, one fact per line, sorted, excluding
+// maintained ACDom facts.
+func (d *Database) String() string {
+	facts := d.UserFacts()
+	lines := make([]string, len(facts))
+	for i, a := range facts {
+		lines[i] = a.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// SameGroundAtoms reports whether two databases contain exactly the same
+// ground (all-constant) non-ACDom facts, and if not, returns an example
+// fact present in one but not the other.
+func SameGroundAtoms(a, b *Database) (bool, string) {
+	for _, f := range a.GroundAtoms() {
+		if !b.Has(f) {
+			return false, "only in first: " + f.String()
+		}
+	}
+	for _, f := range b.GroundAtoms() {
+		if !a.Has(f) {
+			return false, "only in second: " + f.String()
+		}
+	}
+	return true, ""
+}
+
+// ForEachWith calls fn for every fact of rk whose flat position pos equals
+// t, without allocating; fn returning false stops the iteration early.
+func (d *Database) ForEachWith(rk core.RelKey, pos int, t core.Term, fn func(core.Atom) bool) {
+	m := d.index[rk]
+	if m == nil {
+		return
+	}
+	facts := d.byRel[rk]
+	for _, ix := range m[posTerm{pos, t}] {
+		if !fn(facts[ix]) {
+			return
+		}
+	}
+}
+
+// ForEachFact calls fn for every fact of rk; fn returning false stops.
+func (d *Database) ForEachFact(rk core.RelKey, fn func(core.Atom) bool) {
+	for _, a := range d.byRel[rk] {
+		if !fn(a) {
+			return
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/parser"
+)
+
+const ancestorProgram = `
+	Par(X,Y) -> Anc(X,Y).
+	Par(X,Z), Anc(Z,Y) -> Anc(X,Y).
+`
+
+// forest builds two disjoint descendant chains rooted at a and z.
+func forest(n int) *database.Database {
+	d := database.New()
+	for i := 0; i+1 < n; i++ {
+		d.Add(core.NewAtom("Par", core.Const(fmt.Sprintf("a%d", i)), core.Const(fmt.Sprintf("a%d", i+1))))
+		d.Add(core.NewAtom("Par", core.Const(fmt.Sprintf("z%d", i)), core.Const(fmt.Sprintf("z%d", i+1))))
+	}
+	return d
+}
+
+func TestMagicAnswersMatchFullEvaluation(t *testing.T) {
+	th := parser.MustParseTheory(ancestorProgram)
+	d := forest(8)
+	query := core.NewAtom("Anc", core.Const("a0"), core.Var("Y"))
+	magicAns, _, err := AnswerWithMagic(th, query, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Eval(th, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullAns [][]core.Term
+	for _, f := range full.Facts(core.RelKey{Name: "Anc", Arity: 2}) {
+		if f.Args[0] == core.Const("a0") {
+			fullAns = append(fullAns, f.Args)
+		}
+	}
+	if ok, diff := SameAnswers(magicAns, fullAns); !ok {
+		t.Errorf("magic answers differ: %s", diff)
+	}
+	if len(magicAns) != 7 {
+		t.Errorf("expected 7 descendants of a0, got %d", len(magicAns))
+	}
+}
+
+// The point of magic sets: evaluation must not touch the irrelevant
+// z-chain.
+func TestMagicIsGoalDirected(t *testing.T) {
+	th := parser.MustParseTheory(ancestorProgram)
+	d := forest(16)
+	query := core.NewAtom("Anc", core.Const("a0"), core.Var("Y"))
+	_, fix, err := AnswerWithMagic(th, query, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Eval(th, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full evaluation derives Anc for both chains (O(n²) facts); the magic
+	// evaluation only follows a0's chain.
+	fullAnc := len(full.Facts(core.RelKey{Name: "Anc", Arity: 2}))
+	var magicAnc int
+	for _, rk := range fix.Relations() {
+		if rk.Name == "Anc__bf" {
+			magicAnc = len(fix.Facts(rk))
+		}
+		if rk.Name == "Anc" {
+			t.Error("magic program must not derive the unadorned relation")
+		}
+	}
+	if magicAnc == 0 {
+		t.Fatal("no adorned facts derived")
+	}
+	// The z-chain is never explored, so the adorned fact count is half of
+	// the full evaluation's (the a-side work remains quadratic for this
+	// left-recursive ancestor program — the classical behaviour).
+	if magicAnc >= fullAnc {
+		t.Errorf("magic evaluation not goal-directed: %d adorned vs %d full facts", magicAnc, fullAnc)
+	}
+	// No z-constants in the derived adorned facts.
+	for _, f := range fix.Facts(core.RelKey{Name: "Anc__bf", Arity: 2}) {
+		if f.Args[0].Name[0] == 'z' || f.Args[1].Name[0] == 'z' {
+			t.Errorf("irrelevant fact derived: %v", f)
+		}
+	}
+}
+
+func TestMagicBoundSecondArgument(t *testing.T) {
+	th := parser.MustParseTheory(ancestorProgram)
+	d := forest(6)
+	// Who are the ancestors of a4? Query Anc(X, a4): adornment fb.
+	query := core.NewAtom("Anc", core.Var("X"), core.Const("a4"))
+	ans, _, err := AnswerWithMagic(th, query, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 4 {
+		t.Errorf("expected 4 ancestors of a4, got %d: %v", len(ans), ans)
+	}
+}
+
+func TestMagicFullyBoundQuery(t *testing.T) {
+	th := parser.MustParseTheory(ancestorProgram)
+	d := forest(6)
+	yes, _, err := AnswerWithMagic(th, core.NewAtom("Anc", core.Const("a0"), core.Const("a3")), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(yes) != 1 {
+		t.Errorf("Anc(a0,a3) must hold: %v", yes)
+	}
+	no, _, err := AnswerWithMagic(th, core.NewAtom("Anc", core.Const("a3"), core.Const("a0")), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(no) != 0 {
+		t.Errorf("Anc(a3,a0) must not hold: %v", no)
+	}
+}
+
+func TestMagicThroughEDBJoin(t *testing.T) {
+	// Same-generation: the classic magic-sets stress test.
+	th := parser.MustParseTheory(`
+		Flat(X,Y) -> Sg(X,Y).
+		Up(X,X1), Sg(X1,Y1), Down(Y1,Y) -> Sg(X,Y).
+	`)
+	d := database.FromAtoms(parser.MustParseFacts(`
+		Up(a,b). Up(c,b).
+		Flat(b,b).
+		Down(b,a). Down(b,c).
+	`))
+	ans, _, err := AnswerWithMagic(th, core.NewAtom("Sg", core.Const("a"), core.Var("Y")), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a is same-generation with a and c (via up-flat-down).
+	want := map[string]bool{"a": true, "c": true}
+	got := map[string]bool{}
+	for _, tu := range ans {
+		got[tu[1].Name] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("Sg(a,%s) missing (got %v)", w, ans)
+		}
+	}
+}
+
+func TestMagicRejectsUnsupported(t *testing.T) {
+	neg := parser.MustParseTheory(`R(X), not S(X) -> P(X).`)
+	if _, err := MagicRewrite(neg, core.NewAtom("P", core.Var("X"))); err == nil {
+		t.Error("negation must be rejected")
+	}
+	ex := parser.MustParseTheory(`A(X) -> exists Y. R(X,Y).`)
+	if _, err := MagicRewrite(ex, core.NewAtom("R", core.Var("X"), core.Var("Y"))); err == nil {
+		t.Error("existential rules must be rejected")
+	}
+	edb := parser.MustParseTheory(`R(X) -> P(X).`)
+	if _, err := MagicRewrite(edb, core.NewAtom("R", core.Var("X"))); err == nil {
+		t.Error("EDB query relation must be rejected")
+	}
+}
+
+// Randomized: magic answers equal filtered full answers on random graphs.
+func TestMagicRandomized(t *testing.T) {
+	th := parser.MustParseTheory(`
+		E(X,Y) -> T(X,Y).
+		E(X,Z), T(Z,Y) -> T(X,Y).
+	`)
+	for seed := int64(0); seed < 10; seed++ {
+		d := database.New()
+		n := 6
+		for e := 0; e < 9; e++ {
+			u := core.Const(fmt.Sprintf("v%d", (int(seed)+e*3)%n))
+			v := core.Const(fmt.Sprintf("v%d", (int(seed)*2+e*5)%n))
+			d.Add(core.NewAtom("E", u, v))
+		}
+		query := core.NewAtom("T", core.Const("v0"), core.Var("Y"))
+		magicAns, _, err := AnswerWithMagic(th, query, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Eval(th, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fullAns [][]core.Term
+		for _, f := range full.Facts(core.RelKey{Name: "T", Arity: 2}) {
+			if f.Args[0] == core.Const("v0") {
+				fullAns = append(fullAns, f.Args)
+			}
+		}
+		if ok, diff := SameAnswers(magicAns, fullAns); !ok {
+			t.Errorf("seed %d: %s", seed, diff)
+		}
+	}
+}

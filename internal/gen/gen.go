@@ -1,0 +1,253 @@
+// Package gen provides deterministic workload generators for the
+// experiment harness: scalable databases (citation graphs, paths, grids)
+// and random theories per guardedness fragment.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+)
+
+// CitationGraph builds a publication database in the shape of Example 1:
+// n publications in a citation chain, each with two authors shared with
+// its neighbour, and a seed scientific topic on the first publication.
+func CitationGraph(n int) *database.Database {
+	d := database.New()
+	pub := func(i int) core.Term { return core.Const(fmt.Sprintf("p%d", i)) }
+	author := func(i int) core.Term { return core.Const(fmt.Sprintf("a%d", i)) }
+	for i := 0; i < n; i++ {
+		d.Add(core.NewAtom("Publication", pub(i)))
+		d.Add(core.NewAtom("hasAuthor", pub(i), author(i)))
+		d.Add(core.NewAtom("hasAuthor", pub(i), author(i+1)))
+		if i > 0 {
+			d.Add(core.NewAtom("citedIn", pub(i-1), pub(i)))
+		}
+	}
+	d.Add(core.NewAtom("hasTopic", pub(0), core.Const("t0")))
+	d.Add(core.NewAtom("Scientific", core.Const("t0")))
+	return d
+}
+
+// Path builds a directed path a0 → a1 → ... → a(n-1) in relation E.
+func Path(n int) *database.Database {
+	d := database.New()
+	node := func(i int) core.Term { return core.Const(fmt.Sprintf("v%d", i)) }
+	for i := 0; i < n; i++ {
+		d.Add(core.NewAtom("Node", node(i)))
+		if i > 0 {
+			d.Add(core.NewAtom("E", node(i-1), node(i)))
+		}
+	}
+	return d
+}
+
+// Grid builds an n×n grid with E edges right and down.
+func Grid(n int) *database.Database {
+	d := database.New()
+	node := func(i, j int) core.Term { return core.Const(fmt.Sprintf("g%d_%d", i, j)) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d.Add(core.NewAtom("Node", node(i, j)))
+			if i+1 < n {
+				d.Add(core.NewAtom("E", node(i, j), node(i+1, j)))
+			}
+			if j+1 < n {
+				d.Add(core.NewAtom("E", node(i, j), node(i, j+1)))
+			}
+		}
+	}
+	return d
+}
+
+// RandomGraph builds a random digraph over n nodes with m edges.
+func RandomGraph(n, m int, seed int64) *database.Database {
+	rng := rand.New(rand.NewSource(seed))
+	d := database.New()
+	node := func(i int) core.Term { return core.Const(fmt.Sprintf("v%d", i)) }
+	for i := 0; i < n; i++ {
+		d.Add(core.NewAtom("Node", node(i)))
+	}
+	for e := 0; e < m; e++ {
+		d.Add(core.NewAtom("E", node(rng.Intn(n)), node(rng.Intn(n))))
+	}
+	return d
+}
+
+// RandomUnary builds a database of n constants, each in relation R with
+// probability pInR; the rest carry relation S (so all constants are
+// active).
+func RandomUnary(n int, pInR float64, seed int64) *database.Database {
+	rng := rand.New(rand.NewSource(seed))
+	d := database.New()
+	for i := 0; i < n; i++ {
+		c := core.Const(fmt.Sprintf("c%d", i))
+		if rng.Float64() < pInR {
+			d.Add(core.NewAtom("R", c))
+		} else {
+			d.Add(core.NewAtom("S", c))
+		}
+	}
+	return d
+}
+
+// FGTheoryOptions sizes RandomFrontierGuardedTheory.
+type FGTheoryOptions struct {
+	Rules int
+	Seed  int64
+}
+
+// RandomFrontierGuardedTheory builds a random frontier-guarded theory over
+// unary relations A, B, C and binary relations R, S: guarded existential
+// rules plus non-guarded but frontier-guarded join rules.
+func RandomFrontierGuardedTheory(opts FGTheoryOptions) *core.Theory {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	unary := []string{"A", "B", "C"}
+	binary := []string{"R", "S"}
+	x, y, z := core.Var("X"), core.Var("Y"), core.Var("Z")
+	th := core.NewTheory()
+	n := opts.Rules
+	if n == 0 {
+		n = 5
+	}
+	for i := 0; i < n; i++ {
+		var r *core.Rule
+		switch rng.Intn(4) {
+		case 0: // guarded existential: A(x) → ∃y R(x,y)
+			r = core.NewRule(
+				[]core.Atom{core.NewAtom(unary[rng.Intn(3)], x)},
+				[]core.Term{y},
+				core.NewAtom(binary[rng.Intn(2)], x, y))
+		case 1: // guarded projection: R(x,y) → B(y)
+			r = core.NewRule(
+				[]core.Atom{core.NewAtom(binary[rng.Intn(2)], x, y)},
+				nil,
+				core.NewAtom(unary[rng.Intn(3)], y))
+		case 2: // frontier-guarded join: R(x,y), S(y,z) → C(y)
+			r = core.NewRule(
+				[]core.Atom{
+					core.NewAtom(binary[rng.Intn(2)], x, y),
+					core.NewAtom(binary[rng.Intn(2)], y, z),
+				},
+				nil,
+				core.NewAtom(unary[rng.Intn(3)], y))
+		case 3: // frontier-guarded triangle: R(x,y), S(y,z), R(z,x) → A(x)
+			r = core.NewRule(
+				[]core.Atom{
+					core.NewAtom(binary[rng.Intn(2)], x, y),
+					core.NewAtom(binary[rng.Intn(2)], y, z),
+					core.NewAtom(binary[rng.Intn(2)], z, x),
+				},
+				nil,
+				core.NewAtom(unary[rng.Intn(3)], x))
+		}
+		r.Label = fmt.Sprintf("fg%d", i)
+		th.Add(r)
+	}
+	return th
+}
+
+// RandomGuardedTheory builds a random fully guarded theory over the same
+// signature.
+func RandomGuardedTheory(rules int, seed int64) *core.Theory {
+	rng := rand.New(rand.NewSource(seed))
+	unary := []string{"A", "B", "C"}
+	binary := []string{"R", "S"}
+	x, y := core.Var("X"), core.Var("Y")
+	th := core.NewTheory()
+	for i := 0; i < rules; i++ {
+		var r *core.Rule
+		switch rng.Intn(4) {
+		case 0:
+			r = core.NewRule(
+				[]core.Atom{core.NewAtom(unary[rng.Intn(3)], x)},
+				[]core.Term{y},
+				core.NewAtom(binary[rng.Intn(2)], x, y))
+		case 1:
+			r = core.NewRule(
+				[]core.Atom{core.NewAtom(binary[rng.Intn(2)], x, y)},
+				nil,
+				core.NewAtom(unary[rng.Intn(3)], y))
+		case 2:
+			r = core.NewRule(
+				[]core.Atom{
+					core.NewAtom(binary[rng.Intn(2)], x, y),
+					core.NewAtom(unary[rng.Intn(3)], y),
+				},
+				nil,
+				core.NewAtom(unary[rng.Intn(3)], x))
+		case 3:
+			r = core.NewRule(
+				[]core.Atom{core.NewAtom(binary[rng.Intn(2)], x, y)},
+				nil,
+				core.NewAtom(binary[rng.Intn(2)], y, x))
+		}
+		r.Label = fmt.Sprintf("g%d", i)
+		th.Add(r)
+	}
+	return th
+}
+
+// ABDatabase builds a database over the generated theories' signature.
+func ABDatabase(n int, seed int64) *database.Database {
+	rng := rand.New(rand.NewSource(seed))
+	d := database.New()
+	c := func(i int) core.Term { return core.Const(fmt.Sprintf("c%d", i)) }
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			d.Add(core.NewAtom([]string{"A", "B", "C"}[rng.Intn(3)], c(rng.Intn(n))))
+		default:
+			d.Add(core.NewAtom([]string{"R", "S"}[rng.Intn(2)], c(rng.Intn(n)), c(rng.Intn(n))))
+		}
+	}
+	return d
+}
+
+// RandomWFGTheory builds a random weakly frontier-guarded theory: nulls
+// are invented at the first position of binary relations and joined with
+// safe side conditions. Samples are not guaranteed to be wfg for every
+// seed; callers filter with the classifier.
+func RandomWFGTheory(rules int, seed int64) *core.Theory {
+	rng := rand.New(rand.NewSource(seed))
+	unary := []string{"A", "B", "C"}
+	binary := []string{"R", "S"}
+	x, y, z := core.Var("X"), core.Var("Y"), core.Var("Z")
+	th := core.NewTheory()
+	for i := 0; i < rules; i++ {
+		var r *core.Rule
+		switch rng.Intn(4) {
+		case 0: // A(x) → ∃y R(y,x): nulls at position 1
+			r = core.NewRule(
+				[]core.Atom{core.NewAtom(unary[rng.Intn(3)], x)},
+				[]core.Term{y},
+				core.NewAtom(binary[rng.Intn(2)], y, x))
+		case 1: // R(y,x), B(z) → P(y,z): unsafe frontier {y} guarded by R
+			r = core.NewRule(
+				[]core.Atom{
+					core.NewAtom(binary[rng.Intn(2)], y, x),
+					core.NewAtom(unary[rng.Intn(3)], z),
+				},
+				nil,
+				core.NewAtom("P", y, z))
+		case 2: // P(y,z), R(y,x) → Out(x,z): frontier safe
+			r = core.NewRule(
+				[]core.Atom{
+					core.NewAtom("P", y, z),
+					core.NewAtom(binary[rng.Intn(2)], y, x),
+				},
+				nil,
+				core.NewAtom("Out", x, z))
+		case 3: // R(y,x) → C(x): safe projection
+			r = core.NewRule(
+				[]core.Atom{core.NewAtom(binary[rng.Intn(2)], y, x)},
+				nil,
+				core.NewAtom(unary[rng.Intn(3)], x))
+		}
+		r.Label = fmt.Sprintf("wfg%d", i)
+		th.Add(r)
+	}
+	return th
+}

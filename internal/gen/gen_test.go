@@ -1,0 +1,65 @@
+package gen
+
+import (
+	"testing"
+
+	"guardedrules/internal/classify"
+	"guardedrules/internal/core"
+)
+
+func TestCitationGraphShape(t *testing.T) {
+	d := CitationGraph(4)
+	if len(d.Facts(core.RelKey{Name: "Publication", Arity: 1})) != 4 {
+		t.Error("publication count")
+	}
+	if len(d.Facts(core.RelKey{Name: "citedIn", Arity: 2})) != 3 {
+		t.Error("citation chain length")
+	}
+	if !d.Has(core.NewAtom("Scientific", core.Const("t0"))) {
+		t.Error("seed topic missing")
+	}
+}
+
+func TestPathAndGrid(t *testing.T) {
+	p := Path(5)
+	if len(p.Facts(core.RelKey{Name: "E", Arity: 2})) != 4 {
+		t.Error("path edges")
+	}
+	g := Grid(3)
+	if len(g.Facts(core.RelKey{Name: "E", Arity: 2})) != 12 {
+		t.Errorf("grid edges: %d", len(g.Facts(core.RelKey{Name: "E", Arity: 2})))
+	}
+}
+
+func TestRandomTheoriesAreInTheirFragment(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		fg := RandomFrontierGuardedTheory(FGTheoryOptions{Rules: 6, Seed: seed})
+		if !classify.Classify(fg).Member[classify.FrontierGuarded] {
+			t.Errorf("seed %d: theory not frontier-guarded:\n%v", seed, fg)
+		}
+		g := RandomGuardedTheory(6, seed)
+		if !classify.Classify(g).Member[classify.Guarded] {
+			t.Errorf("seed %d: theory not guarded:\n%v", seed, g)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := RandomGraph(5, 8, 42)
+	b := RandomGraph(5, 8, 42)
+	if a.String() != b.String() {
+		t.Error("RandomGraph must be deterministic per seed")
+	}
+	th1 := RandomFrontierGuardedTheory(FGTheoryOptions{Rules: 5, Seed: 7})
+	th2 := RandomFrontierGuardedTheory(FGTheoryOptions{Rules: 5, Seed: 7})
+	if th1.String() != th2.String() {
+		t.Error("RandomFrontierGuardedTheory must be deterministic per seed")
+	}
+}
+
+func TestRandomUnaryActiveDomain(t *testing.T) {
+	d := RandomUnary(6, 0.5, 3)
+	if len(d.Constants()) != 6 {
+		t.Errorf("all constants must be active: %d", len(d.Constants()))
+	}
+}

@@ -1,0 +1,143 @@
+package hom
+
+import (
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+)
+
+// Core computes the core of the atom set: a homomorphically equivalent
+// subset admitting no proper endomorphism. Constants are fixed, labeled
+// nulls are mappable. The chase is unique up to homomorphic equivalence,
+// so cores give canonical representatives of chase results — the oblivious
+// and restricted chase of a terminating theory have the same core.
+//
+// Core search is NP-hard in general; maxCandidates bounds the number of
+// endomorphisms inspected per round (0 means 100,000). When the budget is
+// hit, the (sound) current set is returned with exact=false.
+func Core(atoms []core.Atom, maxCandidates int) (result []core.Atom, exact bool) {
+	if maxCandidates <= 0 {
+		maxCandidates = 100_000
+	}
+	cur := dedup(atoms)
+	for {
+		h, found, complete := reducingEndo(cur, maxCandidates)
+		if !found {
+			return cur, complete
+		}
+		// Stabilize h: composing an endomorphism with itself |nulls| times
+		// yields a retraction (idempotent on its image).
+		stable := h
+		for i := 0; i < len(nullsOf(cur)); i++ {
+			stable = stable.Compose(stable)
+		}
+		var next []core.Atom
+		for _, a := range cur {
+			next = append(next, applyToNulls(stable, a))
+		}
+		next = dedup(next)
+		if len(nullsOf(next)) >= len(nullsOf(cur)) && len(next) >= len(cur) {
+			// No progress (should not happen for a reducing endo).
+			return cur, true
+		}
+		cur = next
+	}
+}
+
+// IsCore reports whether the atom set admits no proper endomorphism
+// (within the candidate budget).
+func IsCore(atoms []core.Atom, maxCandidates int) bool {
+	if maxCandidates <= 0 {
+		maxCandidates = 100_000
+	}
+	_, found, _ := reducingEndo(dedup(atoms), maxCandidates)
+	return !found
+}
+
+// reducingEndo searches for an endomorphism that is non-injective on the
+// nulls or maps a null to a constant — exactly the endomorphisms whose
+// stabilization drops a null. It reports whether the search space was
+// exhausted.
+func reducingEndo(atoms []core.Atom, maxCandidates int) (core.Subst, bool, bool) {
+	nulls := nullsOf(atoms)
+	if len(nulls) == 0 {
+		return nil, false, true
+	}
+	pattern := make([]core.Atom, len(atoms))
+	for i, a := range atoms {
+		pattern[i] = nullsToVars(a)
+	}
+	db := database.FromAtoms(atoms)
+	var out core.Subst
+	tried := 0
+	complete := ForEach(pattern, db, nil, func(s core.Subst) bool {
+		tried++
+		image := make(core.TermSet)
+		reducing := false
+		for _, n := range nulls {
+			t := s.Apply(core.Var("\x00null:" + n.Name))
+			if t.IsConst() || image.Has(t) {
+				reducing = true
+				break
+			}
+			image.Add(t)
+		}
+		if reducing {
+			// Re-key the substitution from placeholder variables back to
+			// the nulls.
+			out = core.Subst{}
+			for _, n := range nulls {
+				out[n] = s.Apply(core.Var("\x00null:" + n.Name))
+			}
+			return false
+		}
+		return tried < maxCandidates
+	})
+	return out, out != nil, complete || out != nil
+}
+
+// applyToNulls applies a null-keyed substitution to the atom.
+func applyToNulls(s core.Subst, a core.Atom) core.Atom {
+	out := a.Clone()
+	for i, t := range out.Args {
+		if t.IsNull() {
+			if v, ok := s[t]; ok {
+				out.Args[i] = v
+			}
+		}
+	}
+	for i, t := range out.Annotation {
+		if t.IsNull() {
+			if v, ok := s[t]; ok {
+				out.Annotation[i] = v
+			}
+		}
+	}
+	return out
+}
+
+func nullsOf(atoms []core.Atom) []core.Term {
+	s := make(core.TermSet)
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsNull() {
+				s.Add(t)
+			}
+		}
+		for _, t := range a.Annotation {
+			if t.IsNull() {
+				s.Add(t)
+			}
+		}
+	}
+	return s.Sorted()
+}
+
+func dedup(atoms []core.Atom) []core.Atom {
+	var out []core.Atom
+	for _, a := range atoms {
+		if !core.ContainsAtom(out, a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}

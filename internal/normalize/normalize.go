@@ -1,0 +1,197 @@
+// Package normalize implements the normal form of Proposition 1 /
+// Definition 4: every rule has a singleton head, every rule with
+// existential variables is guarded, and constants occur only in rules of
+// the form → R(c). The transformation preserves query answers and keeps
+// weakly (frontier-)guarded and nearly (frontier-)guarded theories in
+// their class.
+package normalize
+
+import (
+	"strconv"
+
+	"guardedrules/internal/classify"
+	"guardedrules/internal/core"
+)
+
+// IsNormal reports whether the theory satisfies Definition 4.
+func IsNormal(th *core.Theory) bool {
+	for _, r := range th.Rules {
+		if len(r.Head) != 1 {
+			return false
+		}
+		if len(r.Exist) > 0 && !classify.IsGuarded(r) {
+			return false
+		}
+		if len(r.Constants()) > 0 && !isConstantFact(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// isConstantFact reports whether r has the form → R(~c).
+func isConstantFact(r *core.Rule) bool {
+	return len(r.Body) == 0 && len(r.Head) == 1 && r.Head[0].IsGround()
+}
+
+// Normalize transforms the theory into normal form (Proposition 1). The
+// query relation is unchanged: ans((Σ,Q),D) = ans((Normalize(Σ),Q),D).
+func Normalize(th *core.Theory) *core.Theory {
+	out := th.Clone()
+	out.Rules = eliminateConstants(out)
+	out.Rules = splitHeads(out)
+	out.Rules = guardExistentials(out)
+	return out
+}
+
+// eliminateConstants replaces constants in rules (other than → R(~c)
+// facts) by fresh variables bound by constant-marker atoms Cst_c(x), and
+// adds the fact rules → Cst_c(c). The marker positions are never affected,
+// so the fresh variables are safe and weak/nearly guardedness is
+// preserved.
+func eliminateConstants(th *core.Theory) []*core.Rule {
+	var rules []*core.Rule
+	needFact := make(map[core.Term]string)
+	marker := func(c core.Term) string {
+		if name, ok := needFact[c]; ok {
+			return name
+		}
+		name := "Cst_" + c.Name
+		needFact[c] = name
+		return name
+	}
+	for _, r := range th.Rules {
+		consts := r.Constants()
+		if len(consts) == 0 || isConstantFact(r) {
+			rules = append(rules, r)
+			continue
+		}
+		avoid := []core.TermSet{r.UVars(), r.EVarSet()}
+		var extra []core.Literal
+		for _, c := range consts.Sorted() {
+			v := core.FreshVar("c_"+c.Name+"_", avoid...)
+			avoid = append(avoid, core.NewTermSet(v))
+			extra = append(extra, core.Pos(core.NewAtom(marker(c), v)))
+			r = replaceConstant(r, c, v)
+		}
+		r.Body = append(r.Body, extra...)
+		r.Label += "_nc"
+		rules = append(rules, r)
+	}
+	for _, c := range sortedKeys(needFact) {
+		rules = append(rules, &core.Rule{
+			Head:  []core.Atom{core.NewAtom(needFact[c], c)},
+			Label: "cst_" + c.Name,
+		})
+	}
+	return rules
+}
+
+func sortedKeys(m map[core.Term]string) []core.Term {
+	s := make(core.TermSet, len(m))
+	for c := range m {
+		s.Add(c)
+	}
+	return s.Sorted()
+}
+
+// replaceConstant substitutes every occurrence of constant c by variable v
+// in the rule.
+func replaceConstant(r *core.Rule, c, v core.Term) *core.Rule {
+	out := r.Clone()
+	repl := func(a *core.Atom) {
+		for i, t := range a.Args {
+			if t == c {
+				a.Args[i] = v
+			}
+		}
+		for i, t := range a.Annotation {
+			if t == c {
+				a.Annotation[i] = v
+			}
+		}
+	}
+	for i := range out.Body {
+		repl(&out.Body[i].Atom)
+	}
+	for i := range out.Head {
+		repl(&out.Head[i])
+	}
+	return out
+}
+
+// splitHeads rewrites every rule with |head| > 1 into a rule deriving a
+// fresh atom HD(~w) over all head variables, plus one projection rule per
+// original head atom. Projection rules are guarded by HD.
+func splitHeads(th *core.Theory) []*core.Rule {
+	var rules []*core.Rule
+	for _, r := range th.Rules {
+		if len(r.Head) <= 1 {
+			rules = append(rules, r)
+			continue
+		}
+		if len(r.Body) == 0 && len(r.Exist) == 0 {
+			// Ground multi-head facts split directly.
+			for i, h := range r.Head {
+				rules = append(rules, &core.Rule{Head: []core.Atom{h}, Label: r.Label + "_h" + itoa(i)})
+			}
+			continue
+		}
+		headVars := core.VarsOf(r.Head).Sorted()
+		annVars := make(core.TermSet)
+		for _, h := range r.Head {
+			annVars.AddAll(h.AnnVars())
+		}
+		hd := core.Atom{
+			Relation:   th.FreshRelation("HD"),
+			Args:       headVars,
+			Annotation: annVars.Sorted(),
+		}
+		if len(hd.Annotation) == 0 {
+			hd.Annotation = nil
+		}
+		first := &core.Rule{Body: r.Body, Head: []core.Atom{hd}, Exist: r.Exist, Label: r.Label + "_hd"}
+		rules = append(rules, first)
+		for i, h := range r.Head {
+			rules = append(rules, &core.Rule{
+				Body:  []core.Literal{core.Pos(hd)},
+				Head:  []core.Atom{h},
+				Label: r.Label + "_h" + itoa(i),
+			})
+		}
+	}
+	return rules
+}
+
+// guardExistentials splits every unguarded rule with existential variables
+// into a Datalog rule deriving Aux(~f) over the frontier, and a guarded
+// existential rule Aux(~f) → ∃~z.H.
+func guardExistentials(th *core.Theory) []*core.Rule {
+	var rules []*core.Rule
+	for _, r := range th.Rules {
+		if len(r.Exist) == 0 || classify.IsGuarded(r) {
+			rules = append(rules, r)
+			continue
+		}
+		frontier := r.FVars().Sorted()
+		annVars := make(core.TermSet)
+		for _, h := range r.Head {
+			annVars.AddAll(h.AnnVars())
+		}
+		aux := core.Atom{
+			Relation:   th.FreshRelation("XG"),
+			Args:       frontier,
+			Annotation: annVars.Sorted(),
+		}
+		if len(aux.Annotation) == 0 {
+			aux.Annotation = nil
+		}
+		rules = append(rules,
+			&core.Rule{Body: r.Body, Head: []core.Atom{aux}, Label: r.Label + "_xb"},
+			&core.Rule{Body: []core.Literal{core.Pos(aux)}, Head: r.Head, Exist: r.Exist, Label: r.Label + "_xh"},
+		)
+	}
+	return rules
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }

@@ -1,0 +1,56 @@
+package parser
+
+import (
+	"testing"
+
+	"guardedrules/internal/core"
+)
+
+// FuzzParse checks that the parser never panics and that everything it
+// accepts survives a print → re-parse round trip with the same canonical
+// rules. Run long with: go test -fuzz=FuzzParse ./internal/parser
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`Publication(X) -> exists K1,K2. Keywords(X,K1,K2).`,
+		`R(X,Y), not S(Y) -> P(X).`,
+		`-> Scientific(t1).`,
+		`R[U](X) -> P[U](X).`,
+		`A(X)->B(X).C(Y)->D(Y).`,
+		`Zero() -> One().`,
+		`R(a,_:n1).`,
+		`% comment only`,
+		`R(X,`,
+		`not -> .`,
+		"R(X) -> exists Y,Z. S(X,Y,Z).",
+		"hasTopic(X,Z), hasAuthor(X,U) -> Q(U).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printedRules := PrintTheory(prog.Theory)
+		printedFacts := PrintFacts(prog.Facts)
+		re, err := Parse(printedRules + printedFacts)
+		if err != nil {
+			t.Fatalf("printed output failed to re-parse: %v\ninput: %q\nprinted: %q",
+				err, src, printedRules+printedFacts)
+		}
+		if len(re.Theory.Rules) != len(prog.Theory.Rules) {
+			t.Fatalf("rule count changed after round trip: %d vs %d",
+				len(prog.Theory.Rules), len(re.Theory.Rules))
+		}
+		for i := range prog.Theory.Rules {
+			if core.CanonicalKey(prog.Theory.Rules[i]) != core.CanonicalKey(re.Theory.Rules[i]) {
+				t.Fatalf("rule %d changed after round trip:\n%v\n%v",
+					i, prog.Theory.Rules[i], re.Theory.Rules[i])
+			}
+		}
+		if len(re.Facts) != len(prog.Facts) {
+			t.Fatalf("fact count changed after round trip")
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"guardedrules/internal/core"
+)
+
+func TestParseRunningExample(t *testing.T) {
+	src := `
+% Example 1 of the paper.
+Publication(X) -> exists K1,K2. Keywords(X,K1,K2).
+Keywords(X,K1,K2) -> hasTopic(X,K1).
+hasTopic(X,Z), hasAuthor(X,U), hasAuthor(Y,U),
+  hasTopic(Y,Z2), Scientific(Z2), citedIn(Y,X) -> Scientific(Z).
+hasAuthor(X,Y), hasTopic(X,Z), Scientific(Z) -> Q(Y).
+`
+	th, err := ParseTheory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Rules) != 4 {
+		t.Fatalf("expected 4 rules, got %d", len(th.Rules))
+	}
+	r1 := th.Rules[0]
+	if len(r1.Exist) != 2 || r1.Exist[0] != core.Var("K1") {
+		t.Errorf("existential variables wrong: %v", r1.Exist)
+	}
+	if r1.Head[0].Relation != "Keywords" || r1.Head[0].Arity() != 3 {
+		t.Errorf("head wrong: %v", r1.Head)
+	}
+	r3 := th.Rules[2]
+	if len(r3.Body) != 6 {
+		t.Errorf("sigma3 body size: %d", len(r3.Body))
+	}
+}
+
+func TestParseFacts(t *testing.T) {
+	src := `
+Publication(p1). Publication(p2).
+citedIn(p1,p2).
+hasAuthor(p1,a1). hasAuthor(p2,a1). hasAuthor(p2,a2).
+hasTopic(p1,t1). Scientific(t1).
+`
+	facts, err := ParseFacts(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 8 {
+		t.Fatalf("expected 8 facts, got %d", len(facts))
+	}
+	if facts[2].Relation != "citedIn" || facts[2].Args[0] != core.Const("p1") {
+		t.Errorf("fact wrong: %v", facts[2])
+	}
+}
+
+func TestParseNegationAndFactRule(t *testing.T) {
+	src := `
+-> Scientific(logic).
+R(X), not Old(X) -> Omission(X).
+S(X), !T(X) -> U(X).
+`
+	th, err := ParseTheory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Rules) != 3 {
+		t.Fatalf("rules: %d", len(th.Rules))
+	}
+	if len(th.Rules[0].Body) != 0 || th.Rules[0].Head[0].Args[0] != core.Const("logic") {
+		t.Errorf("fact rule wrong: %v", th.Rules[0])
+	}
+	if !th.Rules[1].Body[1].Negated || !th.Rules[2].Body[1].Negated {
+		t.Error("negation not parsed")
+	}
+}
+
+func TestParseAnnotatedAtoms(t *testing.T) {
+	src := `R[A,b](X,c) -> P[A](X).`
+	th, err := ParseTheory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := th.Rules[0].Body[0].Atom
+	if len(b.Annotation) != 2 || b.Annotation[0] != core.Var("A") || b.Annotation[1] != core.Const("b") {
+		t.Errorf("annotation wrong: %v", b)
+	}
+	if b.Arity() != 2 {
+		t.Errorf("arity wrong: %v", b)
+	}
+}
+
+func TestParseNullsInFacts(t *testing.T) {
+	facts, err := ParseFacts(`R(a,_:n1).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !facts[0].Args[1].IsNull() || facts[0].Args[1].Name != "n1" {
+		t.Errorf("null not parsed: %v", facts[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`R(X) -> P(Y).`, "frontier variable"},
+		{`R(X,Y -> P(X).`, "expected"},
+		{`R(X).`, "not ground"},
+		{`R(X) -> exists X. P(X).`, "body"},
+		{`R(a,b)`, "expected"},
+		{`not R(X) -> P(a).`, "not bound positively"},
+		{`R(X) -> ACDom(X) P(X).`, "expected"},
+		{`@foo(X) -> P(X).`, "unexpected character"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q): expected error containing %q, got %v", c.src, c.want, err)
+		}
+	}
+}
+
+func TestParseTheoryRejectsFacts(t *testing.T) {
+	if _, err := ParseTheory(`R(a).`); err == nil {
+		t.Error("ParseTheory must reject facts")
+	}
+	if _, err := ParseFacts(`R(X) -> P(X).`); err == nil {
+		t.Error("ParseFacts must reject rules")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := `
+Publication(X) -> exists K1,K2. Keywords(X,K1,K2).
+R[U](X,Y), not S(Y) -> P[U](X).
+-> Scientific(t1).
+Zeroary() -> Onefact().
+`
+	th, err := ParseTheory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := PrintTheory(th)
+	th2, err := ParseTheory(printed)
+	if err != nil {
+		t.Fatalf("round trip re-parse failed: %v\n%s", err, printed)
+	}
+	if len(th2.Rules) != len(th.Rules) {
+		t.Fatalf("rule count changed: %d vs %d", len(th.Rules), len(th2.Rules))
+	}
+	for i := range th.Rules {
+		if core.CanonicalKey(th.Rules[i]) != core.CanonicalKey(th2.Rules[i]) {
+			t.Errorf("rule %d changed after round trip:\n%v\n%v", i, th.Rules[i], th2.Rules[i])
+		}
+	}
+}
+
+func TestRoundTripFacts(t *testing.T) {
+	facts := MustParseFacts(`R(a,b). S(_:n1,c).`)
+	printed := PrintFacts(facts)
+	facts2, err := ParseFacts(printed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts2) != 2 || !facts2[1].Equal(facts[1]) {
+		t.Errorf("facts changed: %v vs %v", facts, facts2)
+	}
+}
+
+func TestZeroAryAtoms(t *testing.T) {
+	th, err := ParseTheory(`A(X) -> Accept().`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Rules[0].Head[0].Arity() != 0 {
+		t.Error("zero-ary head not parsed")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	th := MustParseTheory("% only a comment\n\nR(X)->P(X). % trailing\n")
+	if len(th.Rules) != 1 {
+		t.Errorf("rules: %d", len(th.Rules))
+	}
+}

@@ -1,0 +1,143 @@
+// Package rewrite implements the translation from (nearly)
+// frontier-guarded theories to nearly guarded theories of Section 5.1 of
+// the paper: selections (Definition 7), covered atoms (Definition 8),
+// keep-sets (Definition 9), rc- and rnc-rewritings (Definitions 10, 11),
+// the expansion ex(Σ) (Definition 12), the rewriting rew(Σ)
+// (Definitions 13, 14, Theorem 1, Proposition 4), and the ACDom
+// axiomatization Σ* (Definition 15, Proposition 5).
+package rewrite
+
+import (
+	"guardedrules/internal/core"
+)
+
+// selection is a selection for a rule σ (Definition 7): a partial function
+// µ from uvars(σ) to uvars(σ) with |ran(µ)| ≤ k, k the maximal relation
+// arity of the theory. Only idempotent selections are enumerated
+// (µ(x) = x for x in ran(µ)): in the completeness argument a selection
+// merges the variables that a chase homomorphism sends to the same term of
+// a tree node and picks a representative per class, which is idempotent up
+// to renaming.
+type selection struct {
+	m core.Subst // total on dom(µ)
+}
+
+func (sel selection) dom() core.TermSet {
+	s := make(core.TermSet, len(sel.m))
+	for v := range sel.m {
+		s.Add(v)
+	}
+	return s
+}
+
+// apply is µ(Γ) of Definition 7.
+func (sel selection) apply(atoms []core.Atom) []core.Atom {
+	return sel.m.ApplyAtoms(atoms)
+}
+
+// selections enumerates the idempotent selections for the rule. k is the
+// maximal relation arity of the theory.
+func selections(r *core.Rule, k int) []selection {
+	uv := r.UVars().Sorted()
+	var out []selection
+	n := len(uv)
+	// Choose the range S (fixed points), then map every other variable to
+	// an element of S or leave it out of dom(µ).
+	var chooseRange func(start int, ran []core.Term)
+	chooseRange = func(start int, ran []core.Term) {
+		if len(ran) > 0 {
+			out = append(out, mapsInto(uv, ran)...)
+		}
+		if len(ran) == k {
+			return
+		}
+		for i := start; i < n; i++ {
+			chooseRange(i+1, append(ran, uv[i]))
+		}
+	}
+	chooseRange(0, nil)
+	// The empty selection (dom(µ) = ∅) covers no atoms and never yields a
+	// rewriting, so it is omitted.
+	return out
+}
+
+// mapsInto enumerates the selections with the given fixed-point range:
+// every non-range variable is either unmapped or mapped to a range
+// element.
+func mapsInto(uv []core.Term, ran []core.Term) []selection {
+	inRan := core.NewTermSet(ran...)
+	var rest []core.Term
+	for _, v := range uv {
+		if !inRan.Has(v) {
+			rest = append(rest, v)
+		}
+	}
+	base := core.Subst{}
+	for _, v := range ran {
+		base[v] = v
+	}
+	out := []selection{}
+	var rec func(i int, m core.Subst)
+	rec = func(i int, m core.Subst) {
+		if i == len(rest) {
+			out = append(out, selection{m: m.Clone()})
+			return
+		}
+		// Unmapped.
+		rec(i+1, m)
+		// Mapped to each range element.
+		for _, t := range ran {
+			m[rest[i]] = t
+			rec(i+1, m)
+			delete(m, rest[i])
+		}
+	}
+	rec(0, base)
+	return out
+}
+
+// covered returns cov(σ, µ) (Definition 8): the body atoms whose argument
+// variables all lie in dom(µ).
+func covered(r *core.Rule, sel selection) []core.Atom {
+	d := sel.dom()
+	var out []core.Atom
+	for _, a := range r.PositiveBody() {
+		if d.ContainsAll(a.Vars()) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// keepVars returns keep(σ, µ) (Definition 9): every µ(x) with x ∈ dom(µ)
+// such that x occurs (as an argument) in body(σ)\cov(σ,µ) — plus, for
+// rc-rewritings, in head(σ). The head clause is needed for rc because the
+// head moves to the σ′′ side away from the covered atoms; for
+// rnc-rewritings the head stays with the covered atoms, which re-bind its
+// variables (the paper's Examples 5 and 6 compute keep this way: x2 of
+// Example 5 occurs in the head yet is not kept).
+func keepVars(r *core.Rule, sel selection, cov []core.Atom, kind string) core.TermSet {
+	covSet := make(map[string]bool, len(cov))
+	for _, a := range cov {
+		covSet[a.String()] = true
+	}
+	occurs := make(core.TermSet)
+	for _, a := range r.PositiveBody() {
+		if covSet[a.String()] {
+			continue
+		}
+		occurs.AddAll(a.AllVars())
+	}
+	if kind == "rc" {
+		for _, h := range r.Head {
+			occurs.AddAll(h.AllVars())
+		}
+	}
+	out := make(core.TermSet)
+	for x := range sel.dom() {
+		if occurs.Has(x) {
+			out.Add(sel.m.Apply(x))
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package saturate
+
+import (
+	"testing"
+
+	"guardedrules/internal/core"
+	"guardedrules/internal/parser"
+)
+
+func TestNormalizeRuleDedupAndExist(t *testing.T) {
+	r := &core.Rule{
+		Body: []core.Literal{
+			core.Pos(core.NewAtom("A", core.Var("x"))),
+			core.Pos(core.NewAtom("A", core.Var("x"))), // duplicate
+		},
+		Head: []core.Atom{
+			core.NewAtom("R", core.Var("x"), core.Var("y")),
+			core.NewAtom("R", core.Var("x"), core.Var("y")), // duplicate
+			core.NewAtom("S", core.Var("z")),
+		},
+	}
+	n := normalizeRule(r)
+	if len(n.Body) != 1 || len(n.Head) != 2 {
+		t.Errorf("dedup failed: %v", n)
+	}
+	// y and z are head-only: recomputed as existential.
+	if len(n.Exist) != 2 {
+		t.Errorf("Exist recomputation: %v", n.Exist)
+	}
+	// Empty head after dedup → nil.
+	if normalizeRule(&core.Rule{Body: n.Body}) != nil {
+		t.Error("empty head must yield nil")
+	}
+}
+
+func TestBodyIsoFindsRenaming(t *testing.T) {
+	a := parser.MustParseTheory(`R(X,Y), S(Y) -> P(X).`).Rules[0].PositiveBody()
+	b := parser.MustParseTheory(`S(Q), R(P,Q) -> P(P).`).Rules[0].PositiveBody()
+	_, na := core.CanonicalAtomSet(a)
+	_, nb := core.CanonicalAtomSet(b)
+	ren, ok := bodyIso(a, b, na, nb)
+	if !ok {
+		t.Fatal("isomorphic bodies must yield a renaming")
+	}
+	if !sameAtomSet(ren.ApplyAtoms(a), b) {
+		t.Errorf("renaming does not map a onto b: %v", ren)
+	}
+}
+
+func TestHeadSubsumedUpToEvars(t *testing.T) {
+	pooled := parser.MustParseTheory(`A(X) -> exists Y. R(X,Y).`).Rules[0]
+	// Same head shape with a differently named existential variable.
+	nh := core.NewAtom("R", core.Var("X"), core.Var("ev99"))
+	if !headSubsumed(pooled, nh) {
+		t.Error("evar-renamed head must be subsumed")
+	}
+	// Frontier variable in the null position: genuinely new.
+	nh2 := core.NewAtom("R", core.Var("X"), core.Var("X"))
+	if headSubsumed(pooled, nh2) {
+		t.Error("R(X,X) is not subsumed by R(X,y)")
+	}
+	// Different relation.
+	if headSubsumed(pooled, core.NewAtom("S", core.Var("X"), core.Var("ev1"))) {
+		t.Error("different relation must not be subsumed")
+	}
+}
+
+func TestMergeExistentialGrowsHeads(t *testing.T) {
+	p := &pool{byKey: map[string]*core.Rule{}, byBody: map[string]*core.Rule{}, maxSize: 100}
+	r1 := parser.MustParseTheory(`A(X) -> exists Y. R(X,Y).`).Rules[0]
+	r2 := parser.MustParseTheory(`A(Q) -> exists W. S(Q,W).`).Rules[0]
+	if _, err := p.add(r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.add(r2); err != nil {
+		t.Fatal(err)
+	}
+	// Same canonical body A(·): one pooled rule with both head atoms.
+	if len(p.rules) != 1 {
+		t.Fatalf("expected one pooled rule, got %d", len(p.rules))
+	}
+	if len(p.rules[0].Head) != 2 {
+		t.Errorf("merged head: %v", p.rules[0].Head)
+	}
+	// Re-adding an evar-renamed variant must not grow the head.
+	r3 := parser.MustParseTheory(`A(Z) -> exists V. R(Z,V).`).Rules[0]
+	if changed, _ := p.add(r3); changed {
+		t.Error("renamed variant must be subsumed")
+	}
+}
+
+func TestSaturationCapErrors(t *testing.T) {
+	p := &pool{byKey: map[string]*core.Rule{}, byBody: map[string]*core.Rule{}, maxSize: 1}
+	r1 := parser.MustParseTheory(`A(X) -> B(X).`).Rules[0]
+	r2 := parser.MustParseTheory(`B(X) -> C(X).`).Rules[0]
+	if _, err := p.add(r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.add(r2); err == nil {
+		t.Error("cap must trigger")
+	}
+}

@@ -1,0 +1,271 @@
+package saturate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"guardedrules/internal/chase"
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/datalog"
+	"guardedrules/internal/parser"
+)
+
+// exampleSeven is the guarded theory of Example 7.
+const exampleSeven = `
+A(X) -> exists Y. R(X,Y).
+R(X,Y) -> S(Y,Y).
+S(X,Y) -> exists Z. T(X,Y,Z).
+T(X,X,Y) -> B(X).
+C(X), R(X,Y), B(Y) -> D(X).
+`
+
+func TestExampleSevenDerivesSigma12(t *testing.T) {
+	th := parser.MustParseTheory(exampleSeven)
+	dat, stats, err := Datalog(th, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ClosureRules < stats.InputRules {
+		t.Errorf("closure smaller than input: %+v", stats)
+	}
+	// σ12 = A(x) ∧ C(x) → D(x) must be in dat(Σ).
+	sigma12 := parser.MustParseTheory(`A(X), C(X) -> D(X).`).Rules[0]
+	want := core.CanonicalKey(sigma12)
+	found := false
+	for _, r := range dat.Rules {
+		if core.CanonicalKey(r) == want {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("σ12 not derived; dat(Σ) has %d rules", len(dat.Rules))
+	}
+}
+
+func TestExampleSevenEndToEnd(t *testing.T) {
+	th := parser.MustParseTheory(exampleSeven)
+	dat, _, err := Datalog(th, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := database.FromAtoms(parser.MustParseFacts(`A(c). C(c).`))
+	fix, err := datalog.Eval(dat, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fix.Has(core.NewAtom("D", core.Const("c"))) {
+		t.Error("dat(Σ), D must entail D(c) (Example 7)")
+	}
+	// Negative control: without C(c), D(c) must not follow.
+	d2 := database.FromAtoms(parser.MustParseFacts(`A(c).`))
+	fix2, err := datalog.Eval(dat, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix2.Has(core.NewAtom("D", core.Const("c"))) {
+		t.Error("D(c) must not be entailed without C(c)")
+	}
+}
+
+func TestDatalogRejectsUnguarded(t *testing.T) {
+	th := parser.MustParseTheory(`R(X,Y), R(Y,Z) -> P(X,Z).`)
+	if _, _, err := Datalog(th, Options{}); err == nil {
+		t.Error("unguarded rule must be rejected")
+	}
+}
+
+func TestMaxRulesCap(t *testing.T) {
+	th := parser.MustParseTheory(exampleSeven)
+	if _, _, err := Datalog(th, Options{MaxRules: 3}); err == nil {
+		t.Error("cap must trigger an error")
+	}
+}
+
+// agreeOnGroundAtoms checks Theorem 3: Σ,D ⊨ α iff dat(Σ),D ⊨ α for
+// ground atoms over Σ's signature.
+func agreeOnGroundAtoms(t *testing.T, theory, facts string) {
+	t.Helper()
+	th := parser.MustParseTheory(theory)
+	dat, _, err := Datalog(th, Options{})
+	if err != nil {
+		t.Fatalf("saturation failed for %q: %v", theory, err)
+	}
+	d := database.FromAtoms(parser.MustParseFacts(facts))
+	ch, err := chase.Run(th, d, chase.Options{Variant: chase.Restricted, MaxDepth: 8, MaxFacts: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := datalog.Eval(dat, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := make(map[string]bool)
+	for _, rk := range th.Relations() {
+		rels[rk.Name] = true
+	}
+	chGround := ch.DB.Restrict(func(k core.RelKey) bool { return rels[k.Name] })
+	datGround := fix.Restrict(func(k core.RelKey) bool { return rels[k.Name] })
+	// dat(Σ) is Datalog: it derives no nulls, so compare ground atoms.
+	if ok, diff := database.SameGroundAtoms(chGround, datGround); !ok {
+		t.Errorf("theory %q on %q: %s", theory, facts, diff)
+	}
+}
+
+func TestTheoremThreeOnExamples(t *testing.T) {
+	agreeOnGroundAtoms(t, exampleSeven, `A(c). C(c).`)
+	agreeOnGroundAtoms(t, exampleSeven, `A(a). A(b). C(b). R(a,b). B(b).`)
+	agreeOnGroundAtoms(t, `
+		Person(X) -> exists Y. hasParent(X,Y).
+		hasParent(X,Y) -> Person(Y).
+		hasParent(X,Y), Person(X) -> Ancestor(X).
+	`, `Person(adam). hasParent(eve,adam).`)
+	agreeOnGroundAtoms(t, `
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y) -> exists Z. R(Y,Z).
+		R(X,Y) -> B(X).
+		B(X), A(X) -> C(X).
+	`, `A(a). R(a,b).`)
+}
+
+// Random guarded theories: dat(Σ) and the chase must agree on ground
+// consequences.
+func TestTheoremThreeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		th := randomGuardedTheory(rng)
+		d := randomDatabase(rng)
+		dat, _, err := Datalog(th, Options{MaxRules: 100_000})
+		if err != nil {
+			t.Fatalf("trial %d: saturation failed: %v\n%v", trial, err, th)
+		}
+		ch, err := chase.Run(th, d, chase.Options{Variant: chase.Restricted, MaxDepth: 7, MaxFacts: 100_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.Truncated {
+			continue // cannot compare against a truncated chase
+		}
+		fix, err := datalog.Eval(dat, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rels := make(map[string]bool)
+		for _, rk := range th.Relations() {
+			rels[rk.Name] = true
+		}
+		a := ch.DB.Restrict(func(k core.RelKey) bool { return rels[k.Name] })
+		b := fix.Restrict(func(k core.RelKey) bool { return rels[k.Name] })
+		if ok, diff := database.SameGroundAtoms(a, b); !ok {
+			t.Errorf("trial %d: %s\ntheory:\n%v", trial, diff, th)
+		}
+	}
+}
+
+// randomGuardedTheory builds a small guarded theory over unary relations
+// A,B,C and binary R,S.
+func randomGuardedTheory(rng *rand.Rand) *core.Theory {
+	unary := []string{"A", "B", "C"}
+	binary := []string{"R", "S"}
+	x, y := core.Var("X"), core.Var("Y")
+	th := core.NewTheory()
+	n := 3 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0: // A(x) -> exists y. R(x,y)
+			th.Add(core.NewRule(
+				[]core.Atom{core.NewAtom(unary[rng.Intn(3)], x)},
+				[]core.Term{y},
+				core.NewAtom(binary[rng.Intn(2)], x, y)))
+		case 1: // R(x,y) -> B(y)
+			th.Add(core.NewRule(
+				[]core.Atom{core.NewAtom(binary[rng.Intn(2)], x, y)},
+				nil,
+				core.NewAtom(unary[rng.Intn(3)], y)))
+		case 2: // R(x,y), B(y) -> C(x)
+			th.Add(core.NewRule(
+				[]core.Atom{
+					core.NewAtom(binary[rng.Intn(2)], x, y),
+					core.NewAtom(unary[rng.Intn(3)], y),
+				},
+				nil,
+				core.NewAtom(unary[rng.Intn(3)], x)))
+		case 3: // R(x,y) -> S(y,x)
+			th.Add(core.NewRule(
+				[]core.Atom{core.NewAtom(binary[rng.Intn(2)], x, y)},
+				nil,
+				core.NewAtom(binary[rng.Intn(2)], y, x)))
+		case 4: // A(x) -> B(x)
+			th.Add(core.NewRule(
+				[]core.Atom{core.NewAtom(unary[rng.Intn(3)], x)},
+				nil,
+				core.NewAtom(unary[rng.Intn(3)], x)))
+		}
+	}
+	for i, r := range th.Rules {
+		r.Label = fmt.Sprintf("g%d", i)
+	}
+	return th
+}
+
+func randomDatabase(rng *rand.Rand) *database.Database {
+	d := database.New()
+	consts := []core.Term{core.Const("a"), core.Const("b"), core.Const("c")}
+	for i := 0; i < 4; i++ {
+		if rng.Intn(2) == 0 {
+			d.Add(core.NewAtom([]string{"A", "B", "C"}[rng.Intn(3)], consts[rng.Intn(3)]))
+		} else {
+			d.Add(core.NewAtom([]string{"R", "S"}[rng.Intn(2)], consts[rng.Intn(3)], consts[rng.Intn(3)]))
+		}
+	}
+	return d
+}
+
+func TestNearlyGuardedToDatalog(t *testing.T) {
+	// Guarded existential core + safe transitive-closure periphery.
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y) -> B(X).
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+		T(X,Y), B(X), B(Y) -> Linked(X,Y).
+	`)
+	dat, _, err := NearlyGuardedToDatalog(th, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := database.FromAtoms(parser.MustParseFacts(`A(a). A(c). E(a,b). E(b,c).`))
+	fix, err := datalog.Eval(dat, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fix.Has(core.NewAtom("Linked", core.Const("a"), core.Const("c"))) {
+		t.Error("Linked(a,c) must be derived through the safe TC periphery")
+	}
+	// Cross-check against the chase.
+	ch, err := chase.Run(th, d, chase.Options{Variant: chase.Restricted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := make(map[string]bool)
+	for _, rk := range th.Relations() {
+		rels[rk.Name] = true
+	}
+	a := ch.DB.Restrict(func(k core.RelKey) bool { return rels[k.Name] })
+	b := fix.Restrict(func(k core.RelKey) bool { return rels[k.Name] })
+	if ok, diff := database.SameGroundAtoms(a, b); !ok {
+		t.Errorf("Proposition 6 violated: %s", diff)
+	}
+}
+
+func TestNearlyGuardedRejectsUnsafe(t *testing.T) {
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y), R(Z,Y) -> P(X,Z).
+	`)
+	if _, _, err := NearlyGuardedToDatalog(th, Options{}); err == nil {
+		t.Error("rule with unsafe join variable must be rejected")
+	}
+}

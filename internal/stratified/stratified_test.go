@@ -1,0 +1,120 @@
+package stratified
+
+import (
+	"testing"
+
+	"guardedrules/internal/chase"
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/parser"
+)
+
+func eval(t *testing.T, theory, facts string, opts Options) *Result {
+	t.Helper()
+	th := parser.MustParseTheory(theory)
+	d := database.FromAtoms(parser.MustParseFacts(facts))
+	res, err := Eval(th, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestStratifiedDatalogSemantics(t *testing.T) {
+	res := eval(t, `
+		Start(X) -> Reach(X).
+		Reach(X), E(X,Y) -> Reach(Y).
+		Node(X), not Reach(X) -> Unreach(X).
+	`, `Start(a). E(a,b). Node(a). Node(b). Node(c).`, Options{})
+	if !res.Entails(core.NewAtom("Unreach", core.Const("c"))) {
+		t.Error("Unreach(c) must hold")
+	}
+	if res.Entails(core.NewAtom("Unreach", core.Const("b"))) {
+		t.Error("Unreach(b) must not hold")
+	}
+	if res.Truncated {
+		t.Error("finite program must not truncate")
+	}
+}
+
+func TestExistentialWithStratifiedNegation(t *testing.T) {
+	// Stratum 1 invents a null witness; stratum 2 negates a derived
+	// relation.
+	res := eval(t, `
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y) -> HasWitness(X).
+		Obj(X), not HasWitness(X) -> Bare(X).
+	`, `A(a). Obj(a). Obj(b).`, Options{})
+	if !res.Entails(core.NewAtom("Bare", core.Const("b"))) {
+		t.Error("Bare(b) must hold")
+	}
+	if res.Entails(core.NewAtom("Bare", core.Const("a"))) {
+		t.Error("Bare(a) must not hold: a has an invented witness")
+	}
+}
+
+func TestSemanticsIsIterative(t *testing.T) {
+	// The second stratum must see the completed first stratum, not an
+	// intermediate state: P is derived late in stratum 1.
+	res := eval(t, `
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+		T(X,Y) -> Connected(X).
+		Node(X), not Connected(X) -> Isolated(X).
+	`, `E(a,b). E(b,c). Node(a). Node(d).`, Options{})
+	if !res.Entails(core.NewAtom("Isolated", core.Const("d"))) {
+		t.Error("Isolated(d) must hold")
+	}
+	if res.Entails(core.NewAtom("Isolated", core.Const("a"))) {
+		t.Error("Isolated(a) must not hold")
+	}
+}
+
+func TestUnstratifiableRejected(t *testing.T) {
+	th := parser.MustParseTheory(`
+		P(X), not Q2(X) -> Q2(X).
+	`)
+	if _, err := Eval(th, database.New(), Options{}); err == nil {
+		t.Error("negation through recursion must be rejected")
+	}
+}
+
+func TestTruncationReported(t *testing.T) {
+	res := eval(t, `
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y) -> A(Y).
+	`, `A(a).`, Options{Chase: chase.Options{MaxDepth: 2}})
+	if !res.Truncated {
+		t.Error("bounded infinite chase must report truncation")
+	}
+}
+
+func TestIsWeaklyGuardedWithNegation(t *testing.T) {
+	wg := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y), not B(Y) -> P(X).
+	`)
+	if !IsWeaklyGuarded(wg) {
+		t.Error("negation must not break weak guardedness")
+	}
+	notWG := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y), R(X2,Y2) -> P(Y,Y2).
+	`)
+	if IsWeaklyGuarded(notWG) {
+		t.Error("two unguarded unsafe variables must break weak guardedness")
+	}
+}
+
+func TestMonotoneUnderExtraStrata(t *testing.T) {
+	// The paper's motivating non-monotonicity: plain existential rules are
+	// monotone, stratified negation is not.
+	small := eval(t, `Obj(X), not Mark(X) -> Plain(X).`, `Obj(a).`, Options{})
+	big := eval(t, `Obj(X), not Mark(X) -> Plain(X).`, `Obj(a). Mark(a).`, Options{})
+	if !small.Entails(core.NewAtom("Plain", core.Const("a"))) {
+		t.Error("Plain(a) must hold on the small database")
+	}
+	if big.Entails(core.NewAtom("Plain", core.Const("a"))) {
+		t.Error("Plain(a) must not hold once Mark(a) is added (non-monotone)")
+	}
+}

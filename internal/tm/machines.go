@@ -1,0 +1,103 @@
+package tm
+
+// This file provides a small library of concrete machines used by the
+// capture experiments (Section 8): deterministic, existential and
+// universal examples over arbitrary alphabets.
+
+// EvenLength returns a deterministic machine accepting exactly the words
+// of even length over the alphabet. It walks right, toggling the parity of
+// the number of visited cells. This is the machine behind the paper's own
+// example of a non-monotonic query: "the database has an even number of
+// constants".
+func EvenLength(alphabet []string) *ATM {
+	m := New("even-length", "odd")
+	m.SetMode("odd", Existential)
+	m.SetMode("even", Existential)
+	m.SetMode("acc", Accepting)
+	for _, s := range alphabet {
+		// Interior cells: toggle and move right.
+		m.AddTransition("odd", s, Transition{Write: s, Move: Right, Next: "even", When: AtNotLast})
+		m.AddTransition("even", s, Transition{Write: s, Move: Right, Next: "odd", When: AtNotLast})
+		// Last cell: the count includes this cell; "even" there means the
+		// total is even.
+		m.AddTransition("even", s, Transition{Write: s, Move: Stay, Next: "acc", When: AtLast})
+	}
+	return m
+}
+
+// EvenCount returns a deterministic machine accepting the words with an
+// even number of occurrences of sym.
+func EvenCount(sym string, alphabet []string) *ATM {
+	m := New("even-count", "e")
+	m.SetMode("e", Existential)
+	m.SetMode("o", Existential)
+	m.SetMode("acc", Accepting)
+	flip := func(st string) string {
+		if st == "e" {
+			return "o"
+		}
+		return "e"
+	}
+	for _, st := range []string{"e", "o"} {
+		for _, s := range alphabet {
+			next := st
+			if s == sym {
+				next = flip(st)
+			}
+			m.AddTransition(st, s, Transition{Write: s, Move: Right, Next: next, When: AtNotLast})
+			if next == "e" {
+				m.AddTransition(st, s, Transition{Write: s, Move: Stay, Next: "acc", When: AtLast})
+			}
+		}
+	}
+	return m
+}
+
+// SomeSymbol returns an existential machine accepting the words containing
+// sym: at every cell it either declares the occurrence here or moves on.
+func SomeSymbol(sym string, alphabet []string) *ATM {
+	m := New("some-symbol", "scan")
+	m.SetMode("scan", Existential)
+	m.SetMode("acc", Accepting)
+	for _, s := range alphabet {
+		if s == sym {
+			m.AddTransition("scan", s, Transition{Write: s, Move: Stay, Next: "acc"})
+		}
+		m.AddTransition("scan", s, Transition{Write: s, Move: Right, Next: "scan", When: AtNotLast})
+	}
+	return m
+}
+
+// AllSymbols returns a universal machine accepting the words consisting
+// only of sym: at every cell it universally both checks the cell and
+// continues right, so a single bad cell refutes acceptance.
+func AllSymbols(sym string, alphabet []string) *ATM {
+	m := New("all-symbols", "scan")
+	m.SetMode("scan", Universal)
+	m.SetMode("check", Existential)
+	m.SetMode("acc", Accepting)
+	for _, s := range alphabet {
+		m.AddTransition("scan", s, Transition{Write: s, Move: Stay, Next: "check"})
+		m.AddTransition("scan", s, Transition{Write: s, Move: Right, Next: "scan", When: AtNotLast})
+	}
+	// check accepts exactly on sym (no transition otherwise).
+	m.AddTransition("check", sym, Transition{Write: sym, Move: Stay, Next: "acc"})
+	return m
+}
+
+// PenultimateIs returns a deterministic machine accepting the words whose
+// second-to-last symbol is sym: it walks to the last cell, steps back once
+// (a Left move), and checks. Words of length 1 are rejected. It exercises
+// leftward head movement in compiled theories.
+func PenultimateIs(sym string, alphabet []string) *ATM {
+	m := New("penultimate", "walk")
+	m.SetMode("walk", Existential)
+	m.SetMode("back", Existential)
+	m.SetMode("acc", Accepting)
+	for _, s := range alphabet {
+		m.AddTransition("walk", s, Transition{Write: s, Move: Right, Next: "walk", When: AtNotLast})
+		m.AddTransition("walk", s, Transition{Write: s, Move: Left, Next: "back", When: AtLast})
+	}
+	m.AddTransition("back", sym, Transition{Write: sym, Move: Stay, Next: "acc"})
+	return m
+}

@@ -1,0 +1,311 @@
+// Package tm implements alternating Turing machines over a fixed-length
+// tape, the model compiled into weakly guarded theories for the capture
+// results of Section 8 of the paper (Theorems 4 and 5).
+//
+// The machines run on a tape of exactly N cells (the length of the input
+// word w(D) of a string database); there is no infinite blank tail, so
+// linear-space alternating machines are expressed directly. Alternating
+// PSPACE equals EXPTIME, matching the "decidable in exponential time"
+// queries of Definition 20.
+//
+// Transitions may be guarded by the head's position class (first, last,
+// interior), which lets machines detect the tape ends without extra
+// markers; the compiler in internal/capture translates the guards into
+// Firstk/Lastk/Next2k atoms.
+package tm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode classifies a state.
+type Mode int
+
+const (
+	// Existential states accept when some applicable transition leads to
+	// an accepting configuration.
+	Existential Mode = iota
+	// Universal states accept when every applicable transition leads to
+	// an accepting configuration (vacuously if none applies).
+	Universal
+	// Accepting states accept immediately.
+	Accepting
+	// Rejecting states reject immediately.
+	Rejecting
+)
+
+// Move is a head movement.
+type Move int
+
+const (
+	Stay Move = iota
+	Left
+	Right
+)
+
+// When restricts a transition to a position class of the head.
+type When int
+
+const (
+	Any When = iota
+	AtFirst
+	AtLast
+	AtMid      // neither first nor last
+	AtNotFirst // has a left neighbour
+	AtNotLast  // has a right neighbour
+)
+
+// Transition is one alternative of δ(state, symbol).
+type Transition struct {
+	Write string
+	Move  Move
+	Next  string
+	When  When
+}
+
+// key indexes δ.
+type key struct {
+	state, symbol string
+}
+
+// ATM is an alternating Turing machine.
+type ATM struct {
+	Name  string
+	Start string
+	Modes map[string]Mode
+	delta map[key][]Transition
+}
+
+// New returns an empty machine with the given start state.
+func New(name, start string) *ATM {
+	return &ATM{Name: name, Start: start, Modes: map[string]Mode{}}
+}
+
+// SetMode declares the mode of a state.
+func (m *ATM) SetMode(state string, mode Mode) { m.Modes[state] = mode }
+
+// AddTransition adds a δ-alternative for (state, symbol).
+func (m *ATM) AddTransition(state, symbol string, t Transition) {
+	if m.delta == nil {
+		m.delta = map[key][]Transition{}
+	}
+	k := key{state, symbol}
+	m.delta[k] = append(m.delta[k], t)
+}
+
+// Delta returns the δ-alternatives for (state, symbol) in insertion order.
+func (m *ATM) Delta(state, symbol string) []Transition {
+	return m.delta[key{state, symbol}]
+}
+
+// States returns every state mentioned in modes or transitions, sorted.
+func (m *ATM) States() []string {
+	set := map[string]bool{m.Start: true}
+	for s := range m.Modes {
+		set[s] = true
+	}
+	for k, ts := range m.delta {
+		set[k.state] = true
+		for _, t := range ts {
+			set[t.Next] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Symbols returns every tape symbol mentioned in transitions, sorted.
+func (m *ATM) Symbols() []string {
+	set := map[string]bool{}
+	for k, ts := range m.delta {
+		set[k.symbol] = true
+		for _, t := range ts {
+			set[t.Write] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Validate checks that every non-final state has a mode and that
+// transitions refer to declared states.
+func (m *ATM) Validate() error {
+	if _, ok := m.Modes[m.Start]; !ok {
+		return fmt.Errorf("tm %s: start state %q has no mode", m.Name, m.Start)
+	}
+	for k, ts := range m.delta {
+		if _, ok := m.Modes[k.state]; !ok {
+			return fmt.Errorf("tm %s: state %q has transitions but no mode", m.Name, k.state)
+		}
+		for _, t := range ts {
+			if _, ok := m.Modes[t.Next]; !ok {
+				return fmt.Errorf("tm %s: transition target %q has no mode", m.Name, t.Next)
+			}
+		}
+	}
+	return nil
+}
+
+// config is a machine configuration on a fixed tape.
+type config struct {
+	state string
+	head  int
+	tape  string // symbols joined by '\x00'
+}
+
+func makeConfig(state string, head int, tape []string) config {
+	return config{state, head, strings.Join(tape, "\x00")}
+}
+
+func (c config) symbols() []string { return strings.Split(c.tape, "\x00") }
+
+// Applicable returns the transitions applicable in (state, head, N) when
+// reading symbol: the When guard must match the head position and the move
+// must stay on the tape.
+func (m *ATM) Applicable(state, symbol string, head, n int) []Transition {
+	var out []Transition
+	for _, t := range m.Delta(state, symbol) {
+		if !whenMatches(t.When, head, n) {
+			continue
+		}
+		if t.Move == Left && head == 0 || t.Move == Right && head == n-1 {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func whenMatches(w When, head, n int) bool {
+	first := head == 0
+	last := head == n-1
+	switch w {
+	case Any:
+		return true
+	case AtFirst:
+		return first
+	case AtLast:
+		return last
+	case AtMid:
+		return !first && !last
+	case AtNotFirst:
+		return !first
+	case AtNotLast:
+		return !last
+	default:
+		return false
+	}
+}
+
+// RunResult reports an acceptance run.
+type RunResult struct {
+	Accepted bool
+	Configs  int // distinct configurations explored
+	Steps    int // edges in the configuration graph
+}
+
+// ErrBudget is returned when the configuration budget is exhausted.
+var ErrBudget = fmt.Errorf("tm: configuration budget exhausted")
+
+// Accepts decides whether the machine accepts the input word, by building
+// the reachable configuration graph and propagating acceptance backwards
+// to a least fixpoint (so cycles never accept). maxConfigs bounds the
+// graph; 0 means 1,000,000.
+func (m *ATM) Accepts(word []string, maxConfigs int) (*RunResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(word) == 0 {
+		return nil, fmt.Errorf("tm: empty input word")
+	}
+	if maxConfigs == 0 {
+		maxConfigs = 1_000_000
+	}
+	n := len(word)
+	start := makeConfig(m.Start, 0, word)
+	succs := map[config][]config{}
+	queue := []config{start}
+	seen := map[config]bool{start: true}
+	edges := 0
+	for len(queue) > 0 {
+		if len(seen) > maxConfigs {
+			return nil, ErrBudget
+		}
+		c := queue[0]
+		queue = queue[1:]
+		mode := m.Modes[c.state]
+		if mode == Accepting || mode == Rejecting {
+			continue
+		}
+		tape := c.symbols()
+		for _, t := range m.Applicable(c.state, tape[c.head], c.head, n) {
+			nt := append([]string(nil), tape...)
+			nt[c.head] = t.Write
+			nh := c.head
+			switch t.Move {
+			case Left:
+				nh--
+			case Right:
+				nh++
+			}
+			nc := makeConfig(t.Next, nh, nt)
+			succs[c] = append(succs[c], nc)
+			edges++
+			if !seen[nc] {
+				seen[nc] = true
+				queue = append(queue, nc)
+			}
+		}
+	}
+	// Least-fixpoint acceptance.
+	acc := map[config]bool{}
+	for changed := true; changed; {
+		changed = false
+		for c := range seen {
+			if acc[c] {
+				continue
+			}
+			ok := false
+			switch m.Modes[c.state] {
+			case Accepting:
+				ok = true
+			case Rejecting:
+				ok = false
+			case Existential:
+				for _, s := range succs[c] {
+					if acc[s] {
+						ok = true
+						break
+					}
+				}
+			case Universal:
+				ok = true
+				for _, s := range succs[c] {
+					if !acc[s] {
+						ok = false
+						break
+					}
+				}
+				// A universal config with no applicable transition accepts
+				// vacuously; that is the ok=true default.
+			}
+			if ok {
+				acc[c] = true
+				changed = true
+			}
+		}
+	}
+	return &RunResult{Accepted: acc[start], Configs: len(seen), Steps: edges}, nil
+}

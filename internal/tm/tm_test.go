@@ -1,0 +1,189 @@
+package tm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// words enumerates all words over {zero,one} of length n.
+func words(n int) [][]string {
+	if n == 0 {
+		return [][]string{{}}
+	}
+	var out [][]string
+	for _, w := range words(n - 1) {
+		out = append(out, append(append([]string(nil), w...), "zero"))
+		out = append(out, append(append([]string(nil), w...), "one"))
+	}
+	return out
+}
+
+func accepts(t *testing.T, m *ATM, w []string) bool {
+	t.Helper()
+	res, err := m.Accepts(w, 0)
+	if err != nil {
+		t.Fatalf("%s on %v: %v", m.Name, w, err)
+	}
+	return res.Accepted
+}
+
+func TestEvenLength(t *testing.T) {
+	m := EvenLength([]string{"zero", "one"})
+	for n := 1; n <= 5; n++ {
+		for _, w := range words(n) {
+			if got, want := accepts(t, m, w), n%2 == 0; got != want {
+				t.Errorf("EvenLength(%v): got %v want %v", w, got, want)
+			}
+		}
+	}
+}
+
+func TestEvenCount(t *testing.T) {
+	m := EvenCount("one", []string{"zero", "one"})
+	for n := 1; n <= 5; n++ {
+		for _, w := range words(n) {
+			ones := 0
+			for _, s := range w {
+				if s == "one" {
+					ones++
+				}
+			}
+			if got, want := accepts(t, m, w), ones%2 == 0; got != want {
+				t.Errorf("EvenCount(%v): got %v want %v", w, got, want)
+			}
+		}
+	}
+}
+
+func TestSomeSymbolExistential(t *testing.T) {
+	m := SomeSymbol("one", []string{"zero", "one"})
+	for n := 1; n <= 5; n++ {
+		for _, w := range words(n) {
+			want := strings.Contains(strings.Join(w, ","), "one")
+			if got := accepts(t, m, w); got != want {
+				t.Errorf("SomeSymbol(%v): got %v want %v", w, got, want)
+			}
+		}
+	}
+}
+
+func TestAllSymbolsUniversal(t *testing.T) {
+	m := AllSymbols("one", []string{"zero", "one"})
+	for n := 1; n <= 5; n++ {
+		for _, w := range words(n) {
+			want := !strings.Contains(strings.Join(w, ","), "zero")
+			if got := accepts(t, m, w); got != want {
+				t.Errorf("AllSymbols(%v): got %v want %v", w, got, want)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := New("bad", "q0")
+	if err := m.Validate(); err == nil {
+		t.Error("start state without mode must be rejected")
+	}
+	m.SetMode("q0", Existential)
+	m.AddTransition("q0", "a", Transition{Write: "a", Move: Stay, Next: "nowhere"})
+	if err := m.Validate(); err == nil {
+		t.Error("dangling transition target must be rejected")
+	}
+}
+
+func TestMovesRespectTapeBounds(t *testing.T) {
+	// A machine that tries to move left at the first cell: the transition
+	// is inapplicable, so the existential state rejects.
+	m := New("stuck", "q0")
+	m.SetMode("q0", Existential)
+	m.SetMode("acc", Accepting)
+	m.AddTransition("q0", "a", Transition{Write: "a", Move: Left, Next: "acc"})
+	if accepts(t, m, []string{"a", "a"}) {
+		t.Error("left move at first cell must be inapplicable")
+	}
+}
+
+func TestCycleDoesNotAccept(t *testing.T) {
+	// An existential loop with no accepting state: least fixpoint must
+	// reject despite the infinite run.
+	m := New("loop", "q0")
+	m.SetMode("q0", Existential)
+	m.AddTransition("q0", "a", Transition{Write: "a", Move: Stay, Next: "q0"})
+	if accepts(t, m, []string{"a"}) {
+		t.Error("a pure loop must not accept")
+	}
+}
+
+func TestUniversalVacuousAcceptance(t *testing.T) {
+	m := New("vac", "q0")
+	m.SetMode("q0", Universal)
+	if !accepts(t, m, []string{"a"}) {
+		t.Error("universal state with no applicable transition accepts vacuously")
+	}
+}
+
+func TestConfigBudget(t *testing.T) {
+	m := EvenCount("one", []string{"zero", "one"})
+	w := make([]string, 12)
+	for i := range w {
+		w[i] = "one"
+	}
+	if _, err := m.Accepts(w, 3); err != ErrBudget {
+		t.Errorf("expected budget error, got %v", err)
+	}
+}
+
+func TestAcceptsRejectsEmptyWord(t *testing.T) {
+	m := EvenLength([]string{"zero"})
+	if _, err := m.Accepts(nil, 0); err == nil {
+		t.Error("empty word must error (string databases have ≥1 tuple)")
+	}
+}
+
+// Property: EvenLength agrees with the length parity on random words.
+func TestEvenLengthProperty(t *testing.T) {
+	m := EvenLength([]string{"zero", "one"})
+	f := func(bits []bool) bool {
+		if len(bits) == 0 || len(bits) > 12 {
+			return true
+		}
+		w := make([]string, len(bits))
+		for i, b := range bits {
+			if b {
+				w[i] = "one"
+			} else {
+				w[i] = "zero"
+			}
+		}
+		res, err := m.Accepts(w, 0)
+		return err == nil && res.Accepted == (len(w)%2 == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatesAndSymbols(t *testing.T) {
+	m := EvenLength([]string{"zero", "one"})
+	sts := m.States()
+	if len(sts) != 3 {
+		t.Errorf("states: %v", sts)
+	}
+	syms := m.Symbols()
+	if len(syms) != 2 {
+		t.Errorf("symbols: %v", syms)
+	}
+}
+
+func TestPenultimateIs(t *testing.T) {
+	m := PenultimateIs("one", []string{"zero", "one"})
+	for n := 1; n <= 5; n++ {
+		for _, w := range words(n) {
+			want := n >= 2 && w[n-2] == "one"
+			if got := accepts(t, m, w); got != want {
+				t.Errorf("PenultimateIs(%v): got %v want %v", w, got, want)
+			}
+		}
+	}
+}
