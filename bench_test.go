@@ -12,8 +12,12 @@ package guardedrules
 // super-polynomial growth of the Σsucc ordering forest.
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"guardedrules/internal/annotate"
 	"guardedrules/internal/capture"
@@ -416,6 +420,92 @@ func BenchmarkA1DatalogEngines(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkEvalSemiNaiveParallel measures the parallel semi-naive engine
+// on transitive closure over chain forests of 1k/5k/20k edges, at 1 worker
+// and at all available CPUs. On single-core machines both configurations
+// degenerate to the sequential path; the per-size ns/op trajectory is
+// recorded in BENCH_datalog.json (see TestEmitDatalogBenchJSON).
+func BenchmarkEvalSemiNaiveParallel(b *testing.B) {
+	th := parser.MustParseTheory(`
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+	`)
+	nWorkers := runtime.GOMAXPROCS(0)
+	for _, edges := range []int{1_000, 5_000, 20_000} {
+		d := gen.ChainForest(edges/49, 50)
+		for _, workers := range []int{1, nWorkers} {
+			b.Run(fmt.Sprintf("edges=%d/workers=%d", edges, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := datalog.EvalSemiNaiveOpts(th, d, datalog.Options{Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEmitDatalogBenchJSON times the Datalog engine configurations of
+// BenchmarkEvalSemiNaiveParallel once per configuration and writes
+// BENCH_datalog.json, giving future PRs a perf trajectory. It only runs
+// when EMIT_BENCH=1 is set, so regular test runs and CI stay fast:
+//
+//	EMIT_BENCH=1 go test -run TestEmitDatalogBenchJSON .
+func TestEmitDatalogBenchJSON(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") != "1" {
+		t.Skip("set EMIT_BENCH=1 to refresh BENCH_datalog.json")
+	}
+	th := parser.MustParseTheory(`
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+	`)
+	type entry struct {
+		Name    string `json:"name"`
+		Edges   int    `json:"edges"`
+		Workers int    `json:"workers"`
+		NsPerOp int64  `json:"ns_per_op"`
+		Facts   int    `json:"facts"`
+	}
+	report := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, edges := range []int{1_000, 5_000, 20_000} {
+		d := gen.ChainForest(edges/49, 50)
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			reps := 3
+			var best time.Duration
+			facts := 0
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				fix, err := datalog.EvalSemiNaiveOpts(th, d, datalog.Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if el := time.Since(t0); r == 0 || el < best {
+					best = el
+				}
+				facts = fix.Len()
+			}
+			report.Benchmarks = append(report.Benchmarks, entry{
+				Name:    fmt.Sprintf("EvalSemiNaiveParallel/edges=%d/workers=%d", edges, workers),
+				Edges:   edges,
+				Workers: workers,
+				NsPerOp: best.Nanoseconds(),
+				Facts:   facts,
+			})
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_datalog.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_datalog.json (%d entries)", len(report.Benchmarks))
 }
 
 // BenchmarkA2ChaseVariants is the ablation: oblivious vs restricted chase

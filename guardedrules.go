@@ -168,8 +168,20 @@ func NearlyGuardedToDatalog(th *Theory, opts TranslateOptions) (*Theory, error) 
 // active-domain relation; queries move from Q to Q+"_star".
 func AxiomatizeACDom(th *Theory) *Theory { return rewrite.Axiomatize(th) }
 
-// EvalDatalog computes the stratified fixpoint of a Datalog program.
+// EvalDatalog computes the stratified fixpoint of a Datalog program with
+// the parallel semi-naive engine at its default worker count (all CPUs).
 func EvalDatalog(th *Theory, d *Database) (*Database, error) { return datalog.Eval(th, d) }
+
+// DatalogOptions configures the semi-naive Datalog engine: the per-round
+// worker count (0 = all CPUs, 1 = sequential) and the round budget. The
+// derived fact set is identical for every worker count.
+type DatalogOptions = datalog.Options
+
+// EvalDatalogOpts computes the stratified fixpoint with explicit engine
+// options.
+func EvalDatalogOpts(th *Theory, d *Database, opts DatalogOptions) (*Database, error) {
+	return datalog.EvalSemiNaiveOpts(th, d, opts)
+}
 
 // Answers evaluates the query (Σ, Q) for a Datalog Σ over D.
 func Answers(th *Theory, q string, d *Database) ([][]Term, error) {

@@ -339,10 +339,12 @@ func (e *engine) apply(tr trigger) []core.Atom {
 	}
 	e.steps++
 	var added []core.Atom
+	// AddNotify also surfaces the ACDom facts derived for fresh head
+	// constants, so ACDom-reading rules see them in the next delta.
+	note := func(f core.Atom) { added = append(added, f) }
 	for _, h := range tr.rule.Head {
 		a := s.ApplyAtom(h)
-		if e.db.Add(a) {
-			added = append(added, a)
+		if e.db.AddNotify(a, note) {
 			if e.hook != nil {
 				e.hook(tr, a)
 			}

@@ -1,9 +1,34 @@
 // Package database implements an indexed store of ground atoms (over
 // constants and labeled nulls), the "database" of Section 2 of the paper.
 //
+// Facts are deduplicated and indexed on interned term ids (see Interner):
+// every term of every inserted atom is mapped to a dense uint32, and the
+// per-relation seen-set and per-position indexes are keyed on packed id
+// tuples. Because ids are bijective with terms and keys are scoped by
+// relation key (name, annotation arity, arity), distinct atoms can never
+// collide — unlike naive string serialization, where an unescaped
+// separator inside a constant name conflates R("a,b") with R(a,b).
+//
+// # ACDom maintenance contract
+//
 // The store maintains the built-in active constant domain relation ACDom:
 // ACDom(c) holds exactly for the constants that occur in some non-ACDom
-// fact. Labeled nulls never enter ACDom.
+// fact. Labeled nulls never enter ACDom. The contract has two sides:
+//
+//   - The Database derives ACDom facts: every Add of a non-ACDom fact
+//     inserts ACDom(c) for each constant c of the fact (arguments and
+//     annotation). Callers never need to — and, outside of tests, should
+//     not — insert ACDom facts themselves. AddNotify reports the derived
+//     ACDom facts to the caller, so fixpoint engines can propagate them
+//     into their semi-naive deltas: a derived fact that introduces a fresh
+//     constant silently extends ACDom, and an evaluator that does not
+//     treat the new ACDom fact as delta will miss derivations of
+//     ACDom-reading rules.
+//   - Evaluators must schedule ACDom-reading rules no earlier than rules
+//     that can introduce new head constants. datalog.Stratify implements
+//     this with an implicit positive dependency edge from every head
+//     relation to ACDom, so ACDom's stratum is at least the stratum of
+//     every relation whose derivation can grow the active domain.
 package database
 
 import (
@@ -13,28 +38,34 @@ import (
 	"guardedrules/internal/core"
 )
 
-type posTerm struct {
-	pos  int // argument position; annotation positions follow arguments
-	term core.Term
+// posID indexes facts by (flat position, interned term id): argument
+// positions first, then annotation positions.
+type posID struct {
+	pos int
+	id  uint32
 }
 
 // Database is a set of ground atoms with per-relation and per-position
 // indexes supporting homomorphism search.
 type Database struct {
-	byRel map[core.RelKey][]core.Atom
-	index map[core.RelKey]map[posTerm][]int
-	seen  map[string]bool
-	size  int
-	acdom map[core.Term]bool
+	intern *Interner
+	byRel  map[core.RelKey][]core.Atom
+	ids    map[core.RelKey][]uint32
+	index  map[core.RelKey]map[posID][]int
+	seen   map[core.RelKey]map[string]bool
+	size   int
+	acdom  map[core.Term]bool
 }
 
 // New returns an empty database.
 func New() *Database {
 	return &Database{
-		byRel: make(map[core.RelKey][]core.Atom),
-		index: make(map[core.RelKey]map[posTerm][]int),
-		seen:  make(map[string]bool),
-		acdom: make(map[core.Term]bool),
+		intern: NewInterner(),
+		byRel:  make(map[core.RelKey][]core.Atom),
+		ids:    make(map[core.RelKey][]uint32),
+		index:  make(map[core.RelKey]map[posID][]int),
+		seen:   make(map[core.RelKey]map[string]bool),
+		acdom:  make(map[core.Term]bool),
 	}
 }
 
@@ -47,90 +78,191 @@ func FromAtoms(atoms []core.Atom) *Database {
 	return d
 }
 
-// key serializes a ground atom for set membership.
-func key(a core.Atom) string {
-	var sb strings.Builder
-	sb.WriteString(a.Relation)
-	if len(a.Annotation) > 0 {
-		sb.WriteByte('[')
-		for i, t := range a.Annotation {
-			if i > 0 {
-				sb.WriteByte(',')
-			}
-			sb.WriteByte(byte('0' + t.Kind))
-			sb.WriteString(t.Name)
-		}
-		sb.WriteByte(']')
-	}
-	sb.WriteByte('(')
-	for i, t := range a.Args {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		sb.WriteByte(byte('0' + t.Kind))
-		sb.WriteString(t.Name)
-	}
-	sb.WriteByte(')')
-	return sb.String()
-}
-
 // Add inserts a ground atom and reports whether it was new. Inserting an
 // atom with variables panics: databases are ground by definition. ACDom
 // facts for the constants of the atom are added automatically.
-func (d *Database) Add(a core.Atom) bool {
+func (d *Database) Add(a core.Atom) bool { return d.AddNotify(a, nil) }
+
+// AddNotify inserts a ground atom like Add and additionally calls notify
+// for every fact actually inserted: the atom itself and any ACDom facts
+// derived from its constants. Fixpoint engines use it to keep derived
+// ACDom facts in their semi-naive deltas (see the package comment).
+func (d *Database) AddNotify(a core.Atom, notify func(core.Atom)) bool {
 	if !a.IsGround() {
 		panic("database: atom " + a.String() + " is not ground")
 	}
 	if !d.insert(a) {
 		return false
 	}
+	if notify != nil {
+		notify(a)
+	}
 	if a.Relation != core.ACDom {
 		for _, t := range a.Args {
-			d.noteConstant(t)
+			d.noteConstant(t, notify)
 		}
 		for _, t := range a.Annotation {
-			d.noteConstant(t)
+			d.noteConstant(t, notify)
 		}
 	}
 	return true
 }
 
-func (d *Database) noteConstant(t core.Term) {
+func (d *Database) noteConstant(t core.Term, notify func(core.Atom)) {
 	if !t.IsConst() || d.acdom[t] {
 		return
 	}
 	d.acdom[t] = true
-	d.insert(core.NewAtom(core.ACDom, t))
+	ac := core.NewAtom(core.ACDom, t)
+	if d.insert(ac) && notify != nil {
+		notify(ac)
+	}
+}
+
+// tupleKey packs the interned ids of the atom's terms (arguments first,
+// then annotation) into dst, interning unseen terms.
+func (d *Database) tupleKey(dst []byte, a core.Atom) []byte {
+	for _, t := range a.Args {
+		dst = appendID(dst, d.intern.Intern(t))
+	}
+	for _, t := range a.Annotation {
+		dst = appendID(dst, d.intern.Intern(t))
+	}
+	return dst
+}
+
+// lookupKey packs the ids of the atom's terms without interning; ok is
+// false when some term has never been interned (the atom cannot be in d).
+func (d *Database) lookupKey(dst []byte, a core.Atom) ([]byte, bool) {
+	for _, t := range a.Args {
+		id, ok := d.intern.Lookup(t)
+		if !ok {
+			return dst, false
+		}
+		dst = appendID(dst, id)
+	}
+	for _, t := range a.Annotation {
+		id, ok := d.intern.Lookup(t)
+		if !ok {
+			return dst, false
+		}
+		dst = appendID(dst, id)
+	}
+	return dst, true
 }
 
 func (d *Database) insert(a core.Atom) bool {
-	k := key(a)
-	if d.seen[k] {
+	rk := a.Key()
+	var buf [64]byte
+	key := d.tupleKey(buf[:0], a)
+	sm := d.seen[rk]
+	if sm == nil {
+		sm = make(map[string]bool)
+		d.seen[rk] = sm
+	}
+	if sm[string(key)] {
 		return false
 	}
-	d.seen[k] = true
-	rk := a.Key()
+	sm[string(key)] = true
 	idx := len(d.byRel[rk])
 	d.byRel[rk] = append(d.byRel[rk], a)
 	m := d.index[rk]
 	if m == nil {
-		m = make(map[posTerm][]int)
+		m = make(map[posID][]int)
 		d.index[rk] = m
 	}
-	for i, t := range a.Args {
-		pt := posTerm{i, t}
+	for i := 0; i < len(key); i += 4 {
+		id := uint32(key[i]) | uint32(key[i+1])<<8 | uint32(key[i+2])<<16 | uint32(key[i+3])<<24
+		pt := posID{i / 4, id}
 		m[pt] = append(m[pt], idx)
-	}
-	for i, t := range a.Annotation {
-		pt := posTerm{len(a.Args) + i, t}
-		m[pt] = append(m[pt], idx)
+		d.ids[rk] = append(d.ids[rk], id)
 	}
 	d.size++
 	return true
 }
 
+// IDTuples returns the interned-id tuples of rk's facts as one flat
+// slice, rk.Arity+rk.AnnArity ids per fact, in the same order as Facts.
+// The returned slice must not be modified. Together with ForEachIndexWithID
+// it lets fixpoint engines join entirely in id space.
+func (d *Database) IDTuples(rk core.RelKey) []uint32 { return d.ids[rk] }
+
+// ForEachIndexWithID calls fn with the Facts index of every fact of rk
+// whose flat position pos has the interned id; fn returning false stops
+// the iteration early.
+func (d *Database) ForEachIndexWithID(rk core.RelKey, pos int, id uint32, fn func(int) bool) {
+	m := d.index[rk]
+	if m == nil {
+		return
+	}
+	for _, ix := range m[posID{pos, id}] {
+		if !fn(ix) {
+			return
+		}
+	}
+}
+
 // Has reports whether the ground atom is in the database.
-func (d *Database) Has(a core.Atom) bool { return d.seen[key(a)] }
+func (d *Database) Has(a core.Atom) bool {
+	var buf [64]byte
+	key, ok := d.lookupKey(buf[:0], a)
+	if !ok {
+		return false
+	}
+	return d.seen[a.Key()][string(key)]
+}
+
+// AppliedKey appends the packed interned-id key of a's instantiation
+// under s — each term replaced by its binding, as in Subst.ApplyAtom — to
+// dst. ok is false when some instantiated term has never been interned,
+// in which case the instantiation cannot be in the database. Keys are
+// scoped by a.Key(): comparing keys across relation keys is meaningless.
+func (d *Database) AppliedKey(dst []byte, a core.Atom, s core.Subst) ([]byte, bool) {
+	for _, t := range a.Args {
+		if v, ok := s[t]; ok {
+			t = v
+		}
+		id, ok := d.intern.Lookup(t)
+		if !ok {
+			return dst, false
+		}
+		dst = appendID(dst, id)
+	}
+	for _, t := range a.Annotation {
+		if v, ok := s[t]; ok {
+			t = v
+		}
+		id, ok := d.intern.Lookup(t)
+		if !ok {
+			return dst, false
+		}
+		dst = appendID(dst, id)
+	}
+	return dst, true
+}
+
+// SeenKey reports whether a fact with relation key rk and packed id key
+// key (as produced by AppliedKey or tupleKey) is in the database.
+func (d *Database) SeenKey(rk core.RelKey, key []byte) bool {
+	return d.seen[rk][string(key)]
+}
+
+// HasApplied reports whether the instantiation of a under s is in the
+// database, without materializing the instantiated atom. It is the
+// allocation-free duplicate prefilter of the semi-naive engine, where
+// most candidate derivations are re-derivations of facts already present.
+func (d *Database) HasApplied(a core.Atom, s core.Subst) bool {
+	var buf [64]byte
+	key, ok := d.AppliedKey(buf[:0], a, s)
+	return ok && d.seen[a.Key()][string(key)]
+}
+
+// TermID returns the interned id of t; ok is false when t occurs in no
+// fact of the database. Ids are only meaningful within this database.
+func (d *Database) TermID(t core.Term) (uint32, bool) { return d.intern.Lookup(t) }
+
+// Term returns the term with the given interned id.
+func (d *Database) Term(id uint32) core.Term { return d.intern.TermOf(id) }
 
 // Len returns the number of facts, including maintained ACDom facts.
 func (d *Database) Len() int { return d.size }
@@ -161,11 +293,15 @@ func (d *Database) Facts(rk core.RelKey) []core.Atom { return d.byRel[rk] }
 // first, then annotation positions) equals t. The returned slice of atoms
 // is freshly allocated.
 func (d *Database) FactsWith(rk core.RelKey, pos int, t core.Term) []core.Atom {
+	id, ok := d.intern.Lookup(t)
+	if !ok {
+		return nil
+	}
 	m := d.index[rk]
 	if m == nil {
 		return nil
 	}
-	idxs := m[posTerm{pos, t}]
+	idxs := m[posID{pos, id}]
 	out := make([]core.Atom, len(idxs))
 	facts := d.byRel[rk]
 	for i, ix := range idxs {
@@ -176,11 +312,20 @@ func (d *Database) FactsWith(rk core.RelKey, pos int, t core.Term) []core.Atom {
 
 // CountWith returns how many facts of rk have term t at flat position pos.
 func (d *Database) CountWith(rk core.RelKey, pos int, t core.Term) int {
+	id, ok := d.intern.Lookup(t)
+	if !ok {
+		return 0
+	}
+	return d.CountWithID(rk, pos, id)
+}
+
+// CountWithID is CountWith for a term already resolved to its id.
+func (d *Database) CountWithID(rk core.RelKey, pos int, id uint32) int {
 	m := d.index[rk]
 	if m == nil {
 		return 0
 	}
-	return len(m[posTerm{pos, t}])
+	return len(m[posID{pos, id}])
 }
 
 // All returns every fact, including ACDom, grouped by relation.
@@ -337,12 +482,21 @@ func SameGroundAtoms(a, b *Database) (bool, string) {
 // ForEachWith calls fn for every fact of rk whose flat position pos equals
 // t, without allocating; fn returning false stops the iteration early.
 func (d *Database) ForEachWith(rk core.RelKey, pos int, t core.Term, fn func(core.Atom) bool) {
+	id, ok := d.intern.Lookup(t)
+	if !ok {
+		return
+	}
+	d.ForEachWithID(rk, pos, id, fn)
+}
+
+// ForEachWithID is ForEachWith for a term already resolved to its id.
+func (d *Database) ForEachWithID(rk core.RelKey, pos int, id uint32, fn func(core.Atom) bool) {
 	m := d.index[rk]
 	if m == nil {
 		return
 	}
 	facts := d.byRel[rk]
-	for _, ix := range m[posTerm{pos, t}] {
+	for _, ix := range m[posID{pos, id}] {
 		if !fn(facts[ix]) {
 			return
 		}

@@ -1,0 +1,55 @@
+package database
+
+import "guardedrules/internal/core"
+
+// Interner maps terms to dense uint32 ids and back. Each Database owns one:
+// facts are deduplicated and indexed on interned id tuples instead of
+// serialized strings, which is both faster (integer hashing, no
+// serialization on the hot path) and collision-free by construction — ids
+// are bijective with terms, and tuple keys are scoped per relation key, so
+// arity and the args/annotation boundary can never be confused.
+//
+// An Interner is not safe for concurrent mutation; Lookup and TermOf are
+// read-only and may be called concurrently with each other (but not with
+// Intern). The Database write path is single-writer, which upholds this.
+type Interner struct {
+	ids   map[core.Term]uint32
+	terms []core.Term
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[core.Term]uint32)}
+}
+
+// Intern returns the id of t, assigning the next dense id if t is new.
+func (in *Interner) Intern(t core.Term) uint32 {
+	if id, ok := in.ids[t]; ok {
+		return id
+	}
+	id := uint32(len(in.terms))
+	in.ids[t] = id
+	in.terms = append(in.terms, t)
+	return id
+}
+
+// Lookup returns the id of t without interning; ok is false when t has
+// never been interned.
+func (in *Interner) Lookup(t core.Term) (uint32, bool) {
+	id, ok := in.ids[t]
+	return id, ok
+}
+
+// TermOf returns the term with the given id; it panics on ids never
+// returned by Intern.
+func (in *Interner) TermOf(id uint32) core.Term { return in.terms[id] }
+
+// Len returns the number of interned terms.
+func (in *Interner) Len() int { return len(in.terms) }
+
+// appendID appends the little-endian bytes of id to dst. Packed id tuples
+// are the per-relation dedup keys: fixed four bytes per term, so distinct
+// id tuples always pack to distinct byte strings.
+func appendID(dst []byte, id uint32) []byte {
+	return append(dst, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+}

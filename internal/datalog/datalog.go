@@ -27,12 +27,38 @@ func Stratify(th *core.Theory) ([][]*core.Rule, error) {
 	}
 	var edges []edge
 	rels := make(map[string]bool)
+	readsACDom := false
 	for _, r := range th.Rules {
 		for _, h := range r.Head {
 			rels[h.Relation] = true
 			for _, l := range r.Body {
 				rels[l.Atom.Relation] = true
 				edges = append(edges, edge{l.Atom.Relation, h.Relation, l.Negated})
+				if l.Atom.Relation == core.ACDom {
+					readsACDom = true
+				}
+			}
+		}
+	}
+	// The built-in ACDom relation is maintained by the database: deriving
+	// a fact with a fresh constant implicitly derives an ACDom fact. Head
+	// variables are bound to terms of existing facts (already in the
+	// domain) and existential variables become nulls (never in ACDom), so
+	// fresh domain constants can only come from constants written in rule
+	// heads that no positive body atom mentions. Such heads carry an
+	// implicit positive dependency edge to ACDom — without it, an
+	// ACDom-reading rule could be stratified below a rule introducing a
+	// new head constant and miss its derivations.
+	if readsACDom {
+		for _, r := range th.Rules {
+			if !introducesConstants(r) {
+				continue
+			}
+			rels[core.ACDom] = true
+			for _, h := range r.Head {
+				if h.Relation != core.ACDom {
+					edges = append(edges, edge{h.Relation, core.ACDom, false})
+				}
 			}
 		}
 	}
@@ -90,6 +116,42 @@ func Stratify(th *core.Theory) ([][]*core.Rule, error) {
 		out = [][]*core.Rule{{}}
 	}
 	return out, nil
+}
+
+// introducesConstants reports whether firing the rule can put a constant
+// into the active domain that was not there before: some head atom writes
+// a constant that no positive body atom mentions (a match of the positive
+// body witnesses that its constants already occur in facts).
+func introducesConstants(r *core.Rule) bool {
+	bodyConsts := make(core.TermSet)
+	for _, l := range r.Body {
+		if l.Negated {
+			continue
+		}
+		for _, t := range l.Atom.Args {
+			if t.IsConst() {
+				bodyConsts.Add(t)
+			}
+		}
+		for _, t := range l.Atom.Annotation {
+			if t.IsConst() {
+				bodyConsts.Add(t)
+			}
+		}
+	}
+	for _, h := range r.Head {
+		for _, t := range h.Args {
+			if t.IsConst() && !bodyConsts.Has(t) {
+				return true
+			}
+		}
+		for _, t := range h.Annotation {
+			if t.IsConst() && !bodyConsts.Has(t) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // IsSemipositive reports whether every negated atom refers to a relation

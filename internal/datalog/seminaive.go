@@ -2,83 +2,592 @@ package datalog
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
 	"guardedrules/internal/hom"
 )
 
-// evalStratum computes the fixpoint of one stratum with a native
-// semi-naive loop: in every round, each rule is evaluated once per body
-// position, requiring that position to match a fact derived in the
-// previous round. Unlike the chase engine, no trigger memo is kept —
-// Datalog inference is idempotent, so the delta discipline alone prevents
-// rederivation storms.
+// Options configures the semi-naive evaluator.
+type Options struct {
+	// Workers is the number of goroutines evaluating join work items per
+	// round; 0 means runtime.GOMAXPROCS(0), 1 forces sequential
+	// evaluation. The derived fact set is identical for every worker
+	// count: the database is read-only while workers run, and their
+	// buffers are merged by a single writer in work-item order.
+	Workers int
+	// MaxRounds bounds the rounds per stratum (0 = 1,000,000).
+	MaxRounds int
+}
+
+func (o Options) workers() int {
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds == 0 {
+		return 1_000_000
+	}
+	return o.MaxRounds
+}
+
+// deltaItem is one semi-naive work item of a stratum: a rule together with
+// the body position required to match the previous round's delta. The
+// remaining body atoms are pre-ordered most-bound-first (greedy join
+// reorder seeded with the delta pattern's variables), so the backtracking
+// search starts from the most constrained atoms.
+type deltaItem struct {
+	rule    *core.Rule
+	pattern core.Atom   // body atom that must match a delta fact
+	rk      core.RelKey // pattern.Key(), precomputed
+	rest    []core.Atom // remaining positive body, reordered
+}
+
+// reorderMostBound greedily orders atoms so that each next atom has the
+// most already-bound variables (ties: fewest unbound variables, then
+// original position). bound is the set of variables known to be bound
+// before the first atom is matched; it is not modified.
+func reorderMostBound(atoms []core.Atom, bound core.TermSet) []core.Atom {
+	if len(atoms) < 2 {
+		return atoms
+	}
+	b := make(core.TermSet, len(bound))
+	b.AddAll(bound)
+	remaining := append([]core.Atom(nil), atoms...)
+	out := make([]core.Atom, 0, len(atoms))
+	for len(remaining) > 0 {
+		besti, bestBound, bestUnbound := 0, -1, 0
+		for i, a := range remaining {
+			nb, nu := 0, 0
+			for v := range a.AllVars() {
+				if b.Has(v) {
+					nb++
+				} else {
+					nu++
+				}
+			}
+			if nb > bestBound || nb == bestBound && nu < bestUnbound {
+				besti, bestBound, bestUnbound = i, nb, nu
+			}
+		}
+		pick := remaining[besti]
+		out = append(out, pick)
+		b.AddAll(pick.AllVars())
+		remaining = append(remaining[:besti], remaining[besti+1:]...)
+	}
+	return out
+}
+
+// deltaItemsOf precomputes the per-round work items of a stratum, one per
+// (rule, positive body position).
+func deltaItemsOf(rules []*core.Rule) []deltaItem {
+	var items []deltaItem
+	for _, r := range rules {
+		body := r.PositiveBody()
+		for i, b := range body {
+			rest := make([]core.Atom, 0, len(body)-1)
+			rest = append(rest, body[:i]...)
+			rest = append(rest, body[i+1:]...)
+			items = append(items, deltaItem{
+				rule:    r,
+				pattern: b,
+				rk:      b.Key(),
+				rest:    reorderMostBound(rest, b.AllVars()),
+			})
+		}
+	}
+	return items
+}
+
+// cpos is a compiled flat atom position: a variable slot (slot >= 0) or a
+// constant (slot < 0). term keeps the original term for materialization;
+// id is the constant's interned id, re-resolved each round.
+type cpos struct {
+	slot int
+	term core.Term
+	id   uint32
+}
+
+// catom is an atom compiled to id space: its relation key plus one cpos
+// per flat position (arguments, then annotation). ok reports whether all
+// constants were interned at the last resolve; when false the atom can
+// match no fact, and no instantiation of it can be in the database.
+type catom struct {
+	atom core.Atom
+	rk   core.RelKey
+	pos  []cpos
+	ok   bool
+}
+
+// citem is a deltaItem compiled to id space. Variable slots are scoped
+// per item; nvars sizes the binding arrays.
+type citem struct {
+	rule    *core.Rule
+	pattern catom
+	rest    []catom
+	neg     []catom
+	heads   []catom
+	nvars   int
+}
+
+func compileAtom(a core.Atom, slots map[core.Term]int) catom {
+	ca := catom{atom: a, rk: a.Key()}
+	add := func(t core.Term) {
+		p := cpos{slot: -1, term: t}
+		if t.IsVar() {
+			s, ok := slots[t]
+			if !ok {
+				s = len(slots)
+				slots[t] = s
+			}
+			p.slot = s
+		}
+		ca.pos = append(ca.pos, p)
+	}
+	for _, t := range a.Args {
+		add(t)
+	}
+	for _, t := range a.Annotation {
+		add(t)
+	}
+	return ca
+}
+
+// compileItems compiles the stratum's work items to id space, so that the
+// per-round delta joins run entirely on integer tuples: no term structs
+// are hashed and no substitution maps are built in the inner loop.
+func compileItems(items []deltaItem) []citem {
+	out := make([]citem, len(items))
+	for i := range items {
+		it := &items[i]
+		slots := make(map[core.Term]int)
+		c := citem{rule: it.rule}
+		c.pattern = compileAtom(it.pattern, slots)
+		for _, a := range it.rest {
+			c.rest = append(c.rest, compileAtom(a, slots))
+		}
+		for _, l := range it.rule.Body {
+			if l.Negated {
+				c.neg = append(c.neg, compileAtom(l.Atom, slots))
+			}
+		}
+		for _, h := range it.rule.Head {
+			c.heads = append(c.heads, compileAtom(h, slots))
+		}
+		c.nvars = len(slots)
+		out[i] = c
+	}
+	return out
+}
+
+// resolve re-resolves the constants of every compiled atom against the
+// frozen database. Called once per round by the single writer before
+// workers start; workers then only read the compiled items.
+func (c *citem) resolve(db *database.Database) {
+	resolveAtom(&c.pattern, db)
+	for i := range c.rest {
+		resolveAtom(&c.rest[i], db)
+	}
+	for i := range c.neg {
+		resolveAtom(&c.neg[i], db)
+	}
+	for i := range c.heads {
+		resolveAtom(&c.heads[i], db)
+	}
+}
+
+func resolveAtom(ca *catom, db *database.Database) {
+	ca.ok = true
+	for k := range ca.pos {
+		p := &ca.pos[k]
+		if p.slot >= 0 {
+			continue
+		}
+		id, ok := db.TermID(p.term)
+		if !ok {
+			ca.ok = false
+			return
+		}
+		p.id = id
+	}
+}
+
+// joinState is the per-unit mutable state of the id-space join: variable
+// bindings by slot, a bound mask, and the undo trail.
+type joinState struct {
+	db    *database.Database
+	b     []uint32
+	bd    []bool
+	trail []int
+}
+
+// match unifies ca against a fact's id tuple, recording fresh bindings on
+// the trail. On failure the caller unwinds to its trail mark.
+func (st *joinState) match(ca *catom, ids []uint32) bool {
+	for k := range ca.pos {
+		p := &ca.pos[k]
+		id := ids[k]
+		if p.slot < 0 {
+			if p.id != id {
+				return false
+			}
+			continue
+		}
+		if st.bd[p.slot] {
+			if st.b[p.slot] != id {
+				return false
+			}
+			continue
+		}
+		st.bd[p.slot] = true
+		st.b[p.slot] = id
+		st.trail = append(st.trail, p.slot)
+	}
+	return true
+}
+
+func (st *joinState) unwind(mark int) {
+	for _, s := range st.trail[mark:] {
+		st.bd[s] = false
+	}
+	st.trail = st.trail[:mark]
+}
+
+// searchRest backtracks over the remaining body atoms, picking at each
+// step the tightest index among the atom's bound positions (mirroring
+// hom.bestIndex), and calls leaf for every full match.
+func (st *joinState) searchRest(rest []catom, i int, leaf func()) {
+	if i == len(rest) {
+		leaf()
+		return
+	}
+	ca := &rest[i]
+	if !ca.ok {
+		return
+	}
+	bestPos, bestCount := -1, 0
+	var bestID uint32
+	for k := range ca.pos {
+		p := &ca.pos[k]
+		var id uint32
+		switch {
+		case p.slot < 0:
+			id = p.id
+		case st.bd[p.slot]:
+			id = st.b[p.slot]
+		default:
+			continue
+		}
+		n := st.db.CountWithID(ca.rk, k, id)
+		if bestPos < 0 || n < bestCount {
+			bestPos, bestID, bestCount = k, id, n
+			if n == 0 {
+				return
+			}
+		}
+	}
+	w := len(ca.pos)
+	tuples := st.db.IDTuples(ca.rk)
+	try := func(ix int) bool {
+		mark := len(st.trail)
+		if st.match(ca, tuples[ix*w:(ix+1)*w]) {
+			st.searchRest(rest, i+1, leaf)
+		}
+		st.unwind(mark)
+		return true
+	}
+	if bestPos >= 0 {
+		st.db.ForEachIndexWithID(ca.rk, bestPos, bestID, try)
+		return
+	}
+	for ix := 0; ix < len(st.db.Facts(ca.rk)); ix++ {
+		try(ix)
+	}
+}
+
+// appendID32 appends id to dst in the little-endian encoding of the
+// database's packed keys, so keys built here compare against SeenKey.
+func appendID32(dst []byte, id uint32) []byte {
+	return append(dst, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+}
+
+// packApplied appends the packed id key of ca's instantiation under the
+// current bindings; ok is false when a constant is uninterned or a
+// variable unbound — the instantiation then cannot be in the database.
+func (st *joinState) packApplied(dst []byte, ca *catom) ([]byte, bool) {
+	if !ca.ok {
+		return dst, false
+	}
+	for k := range ca.pos {
+		p := &ca.pos[k]
+		switch {
+		case p.slot < 0:
+			dst = appendID32(dst, p.id)
+		case st.bd[p.slot]:
+			dst = appendID32(dst, st.b[p.slot])
+		default:
+			return dst, false
+		}
+	}
+	return dst, true
+}
+
+// materialize builds the instantiated atom: bound slots become their
+// interned terms; constants and unbound variables keep their original
+// term (an unbound head variable yields a non-ground atom, which the
+// merge rejects exactly as the substitution-based path did).
+func (st *joinState) materialize(ca *catom) core.Atom {
+	at := func(k int) core.Term {
+		p := &ca.pos[k]
+		if p.slot >= 0 && st.bd[p.slot] {
+			return st.db.Term(st.b[p.slot])
+		}
+		return p.term
+	}
+	out := core.Atom{Relation: ca.atom.Relation}
+	n := len(ca.atom.Args)
+	out.Args = make([]core.Term, n)
+	for k := 0; k < n; k++ {
+		out.Args[k] = at(k)
+	}
+	if ca.atom.Annotation != nil {
+		out.Annotation = make([]core.Term, len(ca.atom.Annotation))
+		for k := range ca.atom.Annotation {
+			out.Annotation[k] = at(n + k)
+		}
+	}
+	return out
+}
+
+// runUnits executes run(0..n-1) across the worker pool. Units are claimed
+// from a shared counter; determinism is preserved because each unit writes
+// only its own result slot and the caller merges slots in unit order.
+func runUnits(n, workers int, run func(u int)) {
+	if workers <= 1 || n <= 1 {
+		for u := 0; u < n; u++ {
+			run(u)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					return
+				}
+				run(u)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// seqThreshold is the round size (delta facts) below which a round runs
+// sequentially: goroutine fan-out costs more than the joins it splits.
+const seqThreshold = 128
+
+// evalStratum computes the fixpoint of one stratum with a parallel
+// semi-naive loop. Each round freezes the database, fans (rule ×
+// delta-position × delta-shard) work items out over the worker pool —
+// workers only read the database and buffer candidate head atoms — and
+// then a single writer merges the buffers in work-item order. The merge
+// uses AddNotify so that ACDom facts derived from fresh head constants
+// enter the next delta; without this, ACDom-reading rules in the same
+// stratum would miss constants introduced mid-fixpoint.
 //
 // Negated literals are evaluated against the current database; callers
-// guarantee stratification (the negated relations are fully computed).
-func evalStratum(rules []*core.Rule, db *database.Database, maxRounds int) error {
-	// Round 0: full evaluation.
-	delta := make([]core.Atom, 0, db.Len())
-	delta = append(delta, db.UserFacts()...)
-	firstRound := true
-	for round := 0; ; round++ {
-		if round > maxRounds {
-			return fmt.Errorf("datalog: stratum exceeded %d rounds", maxRounds)
+// guarantee stratification (the negated relations are fully computed, and
+// Stratify's implicit head→ACDom edges extend the guarantee to ACDom).
+func evalStratum(rules []*core.Rule, db *database.Database, opts Options) error {
+	workers := opts.workers()
+	items := compileItems(deltaItemsOf(rules))
+
+	// emitInto returns the callback buffering r's instantiated heads into
+	// *out. db is frozen during a round, so its seen-set is a stable
+	// prefilter; a unit-local seen-set on the same packed id keys
+	// additionally drops within-unit duplicates (in recursive rules the
+	// same new fact is typically re-derived many times per round), so
+	// candidates are materialized only when genuinely unseen. Remaining
+	// cross-unit duplicates are resolved by the single-writer merge.
+	emitInto := func(r *core.Rule, out *[]core.Atom) func(core.Subst) bool {
+		headRK := make([]core.RelKey, len(r.Head))
+		local := make([]map[string]bool, len(r.Head))
+		for i, h := range r.Head {
+			headRK[i] = h.Key()
+			local[i] = make(map[string]bool)
 		}
-		var next []core.Atom
-		emit := func(r *core.Rule) func(core.Subst) bool {
-			return func(s core.Subst) bool {
-				for _, l := range r.Body {
-					if l.Negated && db.Has(s.ApplyAtom(l.Atom)) {
-						return true
-					}
-				}
-				for _, h := range r.Head {
-					a := s.ApplyAtom(h)
-					if db.Add(a) {
-						next = append(next, a)
-					}
-				}
-				return true
-			}
-		}
-		deltaDB := database.FromAtoms(delta)
-		for _, r := range rules {
-			body := r.PositiveBody()
-			if len(body) == 0 {
-				if firstRound {
-					emit(r)(core.Subst{})
-				}
-				continue
-			}
-			if firstRound {
-				hom.ForEach(body, db, nil, emit(r))
-				continue
-			}
-			for i, b := range body {
-				rest := make([]core.Atom, 0, len(body)-1)
-				rest = append(rest, body[:i]...)
-				rest = append(rest, body[i+1:]...)
-				e := emit(r)
-				hom.ForEach([]core.Atom{b}, deltaDB, nil, func(s core.Subst) bool {
-					hom.ForEach(rest, db, s, e)
+		var scratch [64]byte
+		return func(s core.Subst) bool {
+			for _, l := range r.Body {
+				if l.Negated && db.HasApplied(l.Atom, s) {
 					return true
-				})
+				}
+			}
+			for i, h := range r.Head {
+				key, ok := db.AppliedKey(scratch[:0], h, s)
+				if !ok {
+					// A head constant not yet interned: certainly new, but
+					// with no id key to dedup on; the merge dedups it.
+					*out = append(*out, s.ApplyAtom(h))
+					continue
+				}
+				if db.SeenKey(headRK[i], key) || local[i][string(key)] {
+					continue
+				}
+				local[i][string(key)] = true
+				*out = append(*out, s.ApplyAtom(h))
+			}
+			return true
+		}
+	}
+
+	// Round 0: full evaluation, one work unit per rule.
+	bufs := make([][]core.Atom, len(rules))
+	runUnits(len(rules), workers, func(u int) {
+		r := rules[u]
+		body := r.PositiveBody()
+		emit := emitInto(r, &bufs[u])
+		if len(body) == 0 {
+			emit(core.Subst{})
+			return
+		}
+		hom.ForEach(reorderMostBound(body, nil), db, nil, emit)
+	})
+
+	for round := 0; ; round++ {
+		if round > opts.maxRounds() {
+			return fmt.Errorf("datalog: stratum exceeded %d rounds", opts.maxRounds())
+		}
+		// Single-writer merge; newly inserted facts — including derived
+		// ACDom facts — form the next delta.
+		deltaCount := make(map[core.RelKey]int)
+		ndelta := 0
+		note := func(a core.Atom) { deltaCount[a.Key()]++; ndelta++ }
+		for _, buf := range bufs {
+			for _, a := range buf {
+				db.AddNotify(a, note)
 			}
 		}
-		firstRound = false
-		if len(next) == 0 {
+		if ndelta == 0 {
 			return nil
 		}
-		delta = next
+		// Freeze the round: re-resolve compiled constants, then slice each
+		// relation's delta — the newly merged tail of its id-tuple array.
+		for i := range items {
+			items[i].resolve(db)
+		}
+		type group struct {
+			n, w int
+			ids  []uint32
+		}
+		groups := make(map[core.RelKey]group, len(deltaCount))
+		for rk, k := range deltaCount {
+			w := rk.Arity + rk.AnnArity
+			all := db.IDTuples(rk)
+			groups[rk] = group{n: k, w: w, ids: all[len(all)-k*w:]}
+		}
+		// Fan out (item × shard) units; shards stripe each item's delta
+		// facts so a round dominated by one rule still parallelizes.
+		shards := workers
+		if ndelta < seqThreshold {
+			shards = 1
+		}
+		type unit struct {
+			c     *citem
+			shard int
+		}
+		var units []unit
+		for i := range items {
+			c := &items[i]
+			g, found := groups[c.pattern.rk]
+			if !found || !c.pattern.ok {
+				continue
+			}
+			n := shards
+			if g.n < n {
+				n = g.n
+			}
+			for s := 0; s < n; s++ {
+				units = append(units, unit{c, s})
+			}
+		}
+		bufs = make([][]core.Atom, len(units))
+		runUnits(len(units), workers, func(u int) {
+			c := units[u].c
+			g := groups[c.pattern.rk]
+			n := shards
+			if g.n < n {
+				n = g.n
+			}
+			st := &joinState{db: db, b: make([]uint32, c.nvars), bd: make([]bool, c.nvars)}
+			out := &bufs[u]
+			local := make([]map[string]bool, len(c.heads))
+			for i := range local {
+				local[i] = make(map[string]bool)
+			}
+			var scratch [64]byte
+			leaf := func() {
+				for i := range c.neg {
+					key, ok := st.packApplied(scratch[:0], &c.neg[i])
+					if ok && db.SeenKey(c.neg[i].rk, key) {
+						return
+					}
+				}
+				for i := range c.heads {
+					h := &c.heads[i]
+					key, ok := st.packApplied(scratch[:0], h)
+					if !ok {
+						// A head constant not yet interned (or an unbound
+						// head variable): no id key to dedup on; buffer and
+						// let the merge decide.
+						*out = append(*out, st.materialize(h))
+						continue
+					}
+					if db.SeenKey(h.rk, key) || local[i][string(key)] {
+						continue
+					}
+					local[i][string(key)] = true
+					*out = append(*out, st.materialize(h))
+				}
+			}
+			for j := units[u].shard; j < g.n; j += n {
+				mark := len(st.trail)
+				if st.match(&c.pattern, g.ids[j*g.w:(j+1)*g.w]) {
+					st.searchRest(c.rest, 0, leaf)
+				}
+				st.unwind(mark)
+			}
+		})
 	}
 }
 
 // EvalSemiNaive computes the stratified fixpoint with the native
-// semi-naive evaluator. It is the default engine behind Eval; the
-// chase-based EvalViaChase remains available for the ablation benchmarks.
+// semi-naive evaluator and default options (parallel across all CPUs). It
+// is the default engine behind Eval; the chase-based EvalViaChase remains
+// available for the ablation benchmarks.
 func EvalSemiNaive(th *core.Theory, d *database.Database) (*database.Database, error) {
+	return EvalSemiNaiveOpts(th, d, Options{})
+}
+
+// EvalSemiNaiveOpts is EvalSemiNaive with explicit options.
+func EvalSemiNaiveOpts(th *core.Theory, d *database.Database, opts Options) (*database.Database, error) {
 	for _, r := range th.Rules {
 		if !r.IsDatalog() {
 			return nil, fmt.Errorf("datalog: rule %s has existential variables", r.Label)
@@ -90,7 +599,7 @@ func EvalSemiNaive(th *core.Theory, d *database.Database) (*database.Database, e
 	}
 	out := d.Clone()
 	for i, rules := range strata {
-		if err := evalStratum(rules, out, 1_000_000); err != nil {
+		if err := evalStratum(rules, out, opts); err != nil {
 			return nil, fmt.Errorf("datalog: stratum %d: %w", i, err)
 		}
 	}

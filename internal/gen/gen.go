@@ -44,6 +44,23 @@ func Path(n int) *database.Database {
 	return d
 }
 
+// ChainForest builds disjoint E-chains: `chains` paths of `chainLen`
+// nodes each, chains*(chainLen-1) edges in total. Its transitive closure
+// has chains*chainLen*(chainLen-1)/2 pairs — linear in the edge count for
+// fixed chain length — which makes it a scalable closure benchmark whose
+// output does not explode quadratically with the input.
+func ChainForest(chains, chainLen int) *database.Database {
+	d := database.New()
+	for c := 0; c < chains; c++ {
+		for i := 1; i < chainLen; i++ {
+			d.Add(core.NewAtom("E",
+				core.Const(fmt.Sprintf("c%dn%d", c, i-1)),
+				core.Const(fmt.Sprintf("c%dn%d", c, i))))
+		}
+	}
+	return d
+}
+
 // Grid builds an n×n grid with E edges right and down.
 func Grid(n int) *database.Database {
 	d := database.New()

@@ -58,14 +58,14 @@ func search(atoms []core.Atom, done []bool, db *database.Database, s core.Subst,
 	best := -1
 	bestCount := -1
 	bestPos := -1
-	var bestTerm core.Term
+	var bestID uint32
 	for i, a := range atoms {
 		if done[i] {
 			continue
 		}
-		pos, term, count := bestIndex(a, db, s)
+		pos, id, count := bestIndex(a, db, s)
 		if best == -1 || count < bestCount {
-			best, bestCount, bestPos, bestTerm = i, count, pos, term
+			best, bestCount, bestPos, bestID = i, count, pos, id
 			if count == 0 {
 				return true // dead branch
 			}
@@ -80,7 +80,7 @@ func search(atoms []core.Atom, done []bool, db *database.Database, s core.Subst,
 	rk := pattern.Key()
 	cont := true
 	try := func(fact core.Atom) bool {
-		trail, ok := matchInPlace(pattern, fact, s)
+		trail, ok := MatchInPlace(pattern, fact, s)
 		if ok {
 			if !search(atoms, done, db, s, fn) {
 				cont = false
@@ -92,7 +92,7 @@ func search(atoms []core.Atom, done []bool, db *database.Database, s core.Subst,
 		return cont
 	}
 	if bestPos >= 0 {
-		db.ForEachWith(rk, bestPos, bestTerm, try)
+		db.ForEachWithID(rk, bestPos, bestID, try)
 	} else {
 		db.ForEachFact(rk, try)
 	}
@@ -102,11 +102,13 @@ func search(atoms []core.Atom, done []bool, db *database.Database, s core.Subst,
 // bestIndex picks the tightest index for the pattern under the current
 // bindings: the ground position with the fewest facts, or the whole
 // relation when no position is ground. It returns the flat position (-1
-// for a full scan), its term, and the candidate count.
-func bestIndex(pattern core.Atom, db *database.Database, s core.Subst) (int, core.Term, int) {
+// for a full scan), the interned id of its term, and the candidate count.
+// Terms are resolved to database ids once here, so the subsequent index
+// scan avoids re-hashing term structs.
+func bestIndex(pattern core.Atom, db *database.Database, s core.Subst) (int, uint32, int) {
 	rk := pattern.Key()
 	bestPos := -1
-	var bestTerm core.Term
+	var bestID uint32
 	bestCount := len(db.Facts(rk))
 	consider := func(flatPos int, t core.Term) {
 		if t.IsVar() {
@@ -115,10 +117,18 @@ func bestIndex(pattern core.Atom, db *database.Database, s core.Subst) (int, cor
 				return
 			}
 		}
-		if c := db.CountWith(rk, flatPos, t); c < bestCount || bestPos == -1 && c <= bestCount {
+		// A term the database has never interned occurs in no fact: the
+		// position has zero candidates and the branch is dead.
+		c := 0
+		var id uint32
+		if tid, ok := db.TermID(t); ok {
+			id = tid
+			c = db.CountWithID(rk, flatPos, tid)
+		}
+		if c < bestCount || bestPos == -1 && c <= bestCount {
 			bestCount = c
 			bestPos = flatPos
-			bestTerm = t
+			bestID = id
 		}
 	}
 	for i, t := range pattern.Args {
@@ -127,13 +137,15 @@ func bestIndex(pattern core.Atom, db *database.Database, s core.Subst) (int, cor
 	for i, t := range pattern.Annotation {
 		consider(len(pattern.Args)+i, t)
 	}
-	return bestPos, bestTerm, bestCount
+	return bestPos, bestID, bestCount
 }
 
-// matchInPlace extends s so that s(pattern) = fact, binding unbound
-// variables in place and returning the trail of newly bound variables.
-// On mismatch it undoes its own bindings and returns ok=false.
-func matchInPlace(pattern, fact core.Atom, s core.Subst) ([]core.Term, bool) {
+// MatchInPlace extends s so that s(pattern) = fact, binding unbound
+// variables in place and returning the trail of newly bound variables
+// (callers undo the bindings by deleting the trail from s). On mismatch it
+// undoes its own bindings and returns ok=false. The relation names are not
+// compared; callers match patterns against facts of the same relation key.
+func MatchInPlace(pattern, fact core.Atom, s core.Subst) ([]core.Term, bool) {
 	var trail []core.Term
 	bind := func(p, f core.Term) bool {
 		if p.IsVar() {
