@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"guardedrules/internal/lint"
+	"guardedrules/internal/parser"
+)
+
+// cmdLint runs the static analyzer over one or more theory files and
+// prints positioned diagnostics. The exit code is severity based: 2 with
+// any error, 1 with any warning, 0 otherwise (lintExit performs the
+// exit so main's generic error path is not taken).
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	format := fs.String("format", "text", "output format: text or json")
+	minSev := fs.String("min-severity", "info", "suppress findings below this severity: info, warning or error")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("lint: expected at least one theory file")
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("lint: unknown format %q (want text or json)", *format)
+	}
+	threshold, err := lint.ParseSeverity(*minSev)
+	if err != nil {
+		return fmt.Errorf("lint: %v", err)
+	}
+	findings, err := lintFiles(fs.Args(), threshold)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "json":
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			return err
+		}
+	default:
+		if err := lint.WriteText(os.Stdout, findings); err != nil {
+			return err
+		}
+	}
+	diags := make([]lint.Diagnostic, len(findings))
+	for i, f := range findings {
+		diags[i] = f.Diagnostic
+	}
+	lintExit(lint.ExitCode(diags))
+	return nil
+}
+
+// lintExit is swapped out by tests to observe the exit code.
+var lintExit = os.Exit
+
+// lintFiles lints each file leniently — rule-safety violations become
+// SF diagnostics rather than parse failures — and keeps findings at or
+// above the threshold.
+func lintFiles(paths []string, threshold lint.Severity) ([]lint.Finding, error) {
+	var findings []lint.Finding
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := parser.ParseLenient(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		for _, d := range lint.Run(prog.Theory) {
+			if d.Severity >= threshold {
+				findings = append(findings, lint.Finding{File: path, Diagnostic: d})
+			}
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"guardedrules/internal/lint"
+)
+
+// captureExit routes lintExit into a variable for the duration of fn.
+func captureExit(t *testing.T, fn func()) int {
+	t.Helper()
+	code := -1
+	orig := lintExit
+	lintExit = func(c int) { code = c }
+	defer func() { lintExit = orig }()
+	fn()
+	return code
+}
+
+const brokenFixture = "../../testdata/lint/broken.rules"
+
+func TestCmdLintBrokenFixtureExitsNonZero(t *testing.T) {
+	code := captureExit(t, func() {
+		if err := cmdLint([]string{brokenFixture}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2 (error findings)", code)
+	}
+}
+
+func TestCmdLintJSONRoundTrips(t *testing.T) {
+	findings, err := lintFiles([]string{brokenFixture}, lint.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The broken fixture must surface all four defect classes.
+	want := map[string]bool{"GR001": false, "SF001": false, "ST001": false, "TM001": false}
+	for _, f := range findings {
+		if _, ok := want[f.Code]; ok {
+			want[f.Code] = true
+		}
+		if !f.Span.Known() {
+			t.Errorf("%s finding has no source position: %v", f.Code, f)
+		}
+	}
+	for code, seen := range want {
+		if !seen {
+			t.Errorf("broken fixture must trigger %s", code)
+		}
+	}
+	// JSON round trip through encoding/json.
+	data, err := json.Marshal(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []lint.Finding
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(findings) {
+		t.Errorf("round trip changed finding count: %d vs %d", len(back), len(findings))
+	}
+}
+
+func TestCmdLintSeverityThresholdAndCleanExit(t *testing.T) {
+	rules, _ := fixtures(t)
+	code := captureExit(t, func() {
+		if err := cmdLint([]string{"-min-severity", "warning", rules}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if code != 0 {
+		t.Errorf("clean fixture exit code = %d, want 0", code)
+	}
+	findings, err := lintFiles([]string{brokenFixture}, lint.Error)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Severity < lint.Error {
+			t.Errorf("threshold leak: %v", f)
+		}
+	}
+}
+
+func TestCmdLintBadArgs(t *testing.T) {
+	if err := cmdLint([]string{}); err == nil {
+		t.Error("missing file must error")
+	}
+	if err := cmdLint([]string{"-format", "yaml", brokenFixture}); err == nil {
+		t.Error("unknown format must error")
+	}
+	if err := cmdLint([]string{"-min-severity", "fatal", brokenFixture}); err == nil {
+		t.Error("unknown severity must error")
+	}
+	if err := cmdLint([]string{filepath.Join(t.TempDir(), "missing.rules")}); err == nil {
+		t.Error("nonexistent file must error")
+	}
+}
+
+// A syntactically broken file is a lint error, not a crash; an unsafe
+// rule alone parses leniently and lints.
+func TestCmdLintLenientParsing(t *testing.T) {
+	dir := t.TempDir()
+	unsafe := filepath.Join(dir, "unsafe.rules")
+	if err := os.WriteFile(unsafe, []byte("R(X) -> P(X,W).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code := captureExit(t, func() {
+		if err := cmdLint([]string{unsafe}); err != nil {
+			t.Fatalf("unsafe rule must lint, not fail parsing: %v", err)
+		}
+	})
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	bad := filepath.Join(dir, "bad.rules")
+	if err := os.WriteFile(bad, []byte("R(X -> .\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLint([]string{bad}); err == nil {
+		t.Error("syntax error must be reported")
+	}
+}
+
+func TestCmdClassifyExplain(t *testing.T) {
+	rules, _ := fixtures(t)
+	if err := cmdClassify([]string{"-explain", rules}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"guardedrules"
 	"guardedrules/internal/classify"
 	"guardedrules/internal/datalog"
+	"guardedrules/internal/lint"
 	"guardedrules/internal/parser"
 	"guardedrules/internal/tm"
 )
@@ -34,6 +35,8 @@ func main() {
 	switch os.Args[1] {
 	case "classify":
 		err = cmdClassify(os.Args[2:])
+	case "lint":
+		err = cmdLint(os.Args[2:])
 	case "normalize":
 		err = cmdNormalize(os.Args[2:])
 	case "translate":
@@ -73,7 +76,10 @@ func usage() {
 	fmt.Fprint(os.Stderr, `rulekit — guarded existential rule toolkit (PODS 2014 reproduction)
 
 commands:
-  classify  <theory>                     report Figure 1 fragment membership
+  classify  [-explain] <theory>          report Figure 1 fragment membership
+  lint      [-format text|json] [-min-severity info|warning|error] <theory>...
+                                         static analysis with positioned diagnostics
+                                         (exit 2 on errors, 1 on warnings)
   normalize <theory>                     print the Proposition 1 normal form
   translate -to ng|wg|datalog <theory>   run the paper's translations
   chase     -data <facts> [-depth N] [-variant oblivious|restricted] <theory>
@@ -110,6 +116,7 @@ func loadFacts(path string) (*guardedrules.Database, error) {
 
 func cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	explain := fs.Bool("explain", false, "explain failed memberships with the lint fragment explainers")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("classify: expected one theory file")
@@ -136,6 +143,18 @@ func cmdClassify(args []string) error {
 			fmt.Printf(" %v", p)
 		}
 		fmt.Println()
+	}
+	if *explain {
+		// The same explainer pass backs `rulekit lint`, so classify and
+		// lint cannot drift apart on why membership fails.
+		pass, _ := lint.Lookup("fragments")
+		diags := lint.RunPasses(th, []lint.Pass{pass})
+		if len(diags) > 0 {
+			fmt.Println()
+			if err := lint.WriteText(os.Stdout, lint.Findings(fs.Arg(0), diags)); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -38,6 +38,7 @@ import (
 	"guardedrules/internal/datalog"
 	"guardedrules/internal/hom"
 	"guardedrules/internal/kb"
+	"guardedrules/internal/lint"
 	"guardedrules/internal/normalize"
 	"guardedrules/internal/parser"
 	"guardedrules/internal/rewrite"
@@ -71,6 +72,8 @@ type (
 	CQ = kb.CQ
 	// ATM is an alternating Turing machine.
 	ATM = tm.ATM
+	// Diagnostic is a positioned static-analysis finding.
+	Diagnostic = lint.Diagnostic
 )
 
 // Fragments of Figure 1.
@@ -116,6 +119,12 @@ func PrintTheory(th *Theory) string { return parser.PrintTheory(th) }
 
 // Classify reports the Figure 1 fragments the theory belongs to.
 func Classify(th *Theory) *ClassReport { return classify.Classify(th) }
+
+// Lint runs the full static-analysis registry over the theory: fragment
+// membership explainers, safety, negation stratifiability, chase
+// termination, and hygiene checks. Diagnostics come back sorted by
+// source position.
+func Lint(th *Theory) []Diagnostic { return lint.Run(th) }
 
 // Normalize brings a theory into the normal form of Proposition 1:
 // singleton heads, guarded existential rules, constants isolated.

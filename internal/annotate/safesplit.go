@@ -54,8 +54,8 @@ func SplitSafeFrontier(th *core.Theory) (*core.Theory, error) {
 			fs.Annotation = ann.Sorted()
 		}
 		out.Add(
-			&core.Rule{Body: r.Body, Head: []core.Atom{fs}, Label: r.Label + "_fs1"},
-			&core.Rule{Body: []core.Literal{core.Pos(fs)}, Head: r.Head, Label: r.Label + "_fs2"},
+			&core.Rule{Body: r.Body, Head: []core.Atom{fs}, Label: r.Label + "_fs1", Span: core.GeneratedSpan("safe-frontier-split")},
+			&core.Rule{Body: []core.Literal{core.Pos(fs)}, Head: r.Head, Label: r.Label + "_fs2", Span: core.GeneratedSpan("safe-frontier-split")},
 		)
 	}
 	return out, nil

@@ -76,7 +76,7 @@ func BooleanQueryK(m *tm.ATM, rels []string, k int) (*core.Theory, error) {
 	if err := th.CheckSafe(); err != nil {
 		return nil, fmt.Errorf("capture: Theorem 5 theory unsafe: %w", err)
 	}
-	return th, nil
+	return core.StampGenerated(th, "boolean-query-compilation"), nil
 }
 
 // addCode appends Σcode: the characteristic symbol of every k-tuple of

@@ -33,7 +33,7 @@ func Compile(m *tm.ATM, k int, alphabet []string) (*core.Theory, error) {
 	if err := c.th.CheckSafe(); err != nil {
 		return nil, fmt.Errorf("capture: compiled theory unsafe: %w", err)
 	}
-	return c.th, nil
+	return core.StampGenerated(c.th, "atm-compilation"), nil
 }
 
 type compiler struct {

@@ -117,18 +117,50 @@ func Unsafe(r *core.Rule, ap PosSet) core.TermSet {
 	return out
 }
 
+// GuardResidue returns the best guard candidate for covering need among
+// the positive body atoms of r — the atom whose argument variables cover
+// the most variables of need, the earliest in body order on ties — and the
+// residue need \ vars(candidate): the variables the candidate fails to
+// cover. The residue is empty exactly when r has a body atom guarding all
+// of need, and the candidate then is the first such atom, so callers that
+// only test guardedness and callers that explain a failure (internal/lint)
+// share one coverage computation. With an empty need, or when r has no
+// positive body atom, the zero atom is returned; the residue then is need
+// itself.
+func GuardResidue(r *core.Rule, need core.TermSet) (core.Atom, core.TermSet) {
+	if len(need) == 0 {
+		return core.Atom{}, nil
+	}
+	body := r.PositiveBody()
+	best, bestCover := -1, -1
+	for i, a := range body {
+		vars := a.Vars()
+		cover := 0
+		for v := range need {
+			if vars.Has(v) {
+				cover++
+			}
+		}
+		if cover > bestCover {
+			best, bestCover = i, cover
+			if cover == len(need) {
+				break
+			}
+		}
+	}
+	if best < 0 {
+		residue := make(core.TermSet, len(need))
+		residue.AddAll(need)
+		return core.Atom{}, residue
+	}
+	return body[best], need.Minus(body[best].Vars())
+}
+
 // guardFor returns a positive body atom containing every variable of need,
 // or ok=false. When need is empty any rule qualifies (an empty guard).
 func guardFor(r *core.Rule, need core.TermSet) (core.Atom, bool) {
-	if len(need) == 0 {
-		return core.Atom{}, true
-	}
-	for _, a := range r.PositiveBody() {
-		if a.Vars().ContainsAll(need) {
-			return a, true
-		}
-	}
-	return core.Atom{}, false
+	a, residue := GuardResidue(r, need)
+	return a, len(residue) == 0
 }
 
 // IsGuarded reports whether σ has a body atom containing uvars(σ)

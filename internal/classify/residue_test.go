@@ -1,0 +1,122 @@
+package classify
+
+import (
+	"testing"
+
+	"guardedrules/internal/core"
+)
+
+func varSet(names ...string) core.TermSet {
+	s := make(core.TermSet)
+	for _, n := range names {
+		s.Add(core.Var(n))
+	}
+	return s
+}
+
+func TestGuardResidueCovered(t *testing.T) {
+	// R(x,y,z) covers everything; the residue is empty and the candidate
+	// is the first fully covering atom.
+	r := core.NewRule(
+		[]core.Atom{
+			core.NewAtom("S", core.Var("x"), core.Var("y")),
+			core.NewAtom("R", core.Var("x"), core.Var("y"), core.Var("z")),
+		},
+		nil,
+		core.NewAtom("H", core.Var("x")),
+	)
+	guard, residue := GuardResidue(r, varSet("x", "y", "z"))
+	if len(residue) != 0 {
+		t.Fatalf("residue = %v, want empty", residue)
+	}
+	if guard.Relation != "R" {
+		t.Fatalf("guard = %v, want the R atom", guard)
+	}
+	if !IsGuarded(r) {
+		t.Fatal("rule must be guarded")
+	}
+}
+
+func TestGuardResiduePicksBestCandidate(t *testing.T) {
+	// No atom covers {x,y,z}; S(x,y) covers two of three, T(z) one.
+	r := core.NewRule(
+		[]core.Atom{
+			core.NewAtom("T", core.Var("z")),
+			core.NewAtom("S", core.Var("x"), core.Var("y")),
+		},
+		nil,
+		core.NewAtom("H", core.Var("x"), core.Var("z")),
+	)
+	guard, residue := GuardResidue(r, varSet("x", "y", "z"))
+	if guard.Relation != "S" {
+		t.Fatalf("guard candidate = %v, want the S atom (largest cover)", guard)
+	}
+	if len(residue) != 1 || !residue.Has(core.Var("z")) {
+		t.Fatalf("residue = %v, want {z}", residue)
+	}
+	if IsGuarded(r) {
+		t.Fatal("rule must not be guarded")
+	}
+}
+
+func TestGuardResidueTieKeepsBodyOrder(t *testing.T) {
+	// Both atoms cover exactly one needed variable; the earliest wins.
+	r := core.NewRule(
+		[]core.Atom{
+			core.NewAtom("A", core.Var("x")),
+			core.NewAtom("B", core.Var("y")),
+		},
+		nil,
+		core.NewAtom("H", core.Var("x"), core.Var("y")),
+	)
+	guard, residue := GuardResidue(r, varSet("x", "y"))
+	if guard.Relation != "A" {
+		t.Fatalf("guard candidate = %v, want the A atom (first on ties)", guard)
+	}
+	if len(residue) != 1 || !residue.Has(core.Var("y")) {
+		t.Fatalf("residue = %v, want {y}", residue)
+	}
+}
+
+func TestGuardResidueEdgeCases(t *testing.T) {
+	r := core.NewRule(nil, []core.Term{core.Var("y")}, core.NewAtom("H", core.Var("y")))
+	if _, residue := GuardResidue(r, nil); len(residue) != 0 {
+		t.Fatalf("empty need: residue = %v, want empty", residue)
+	}
+	// Non-empty need but no positive body atom: the residue is all of
+	// need.
+	neg := &core.Rule{
+		Body: []core.Literal{core.Neg(core.NewAtom("S", core.Var("x")))},
+		Head: []core.Atom{core.NewAtom("H", core.Var("x"))},
+	}
+	_, residue := GuardResidue(neg, varSet("x"))
+	if len(residue) != 1 || !residue.Has(core.Var("x")) {
+		t.Fatalf("no positive body: residue = %v, want {x}", residue)
+	}
+}
+
+// GuardResidue must agree with the membership predicates on every rule of
+// a mixed theory: empty residue iff guarded (and likewise for the
+// frontier).
+func TestGuardResidueAgreesWithMembership(t *testing.T) {
+	th := core.NewTheory(
+		core.NewRule([]core.Atom{core.NewAtom("R", core.Var("x"), core.Var("y"))}, nil,
+			core.NewAtom("P", core.Var("x"))),
+		core.NewRule([]core.Atom{
+			core.NewAtom("R", core.Var("x"), core.Var("y")),
+			core.NewAtom("R", core.Var("y"), core.Var("z")),
+		}, nil, core.NewAtom("R", core.Var("x"), core.Var("z"))),
+		core.NewRule([]core.Atom{core.NewAtom("P", core.Var("x"))}, []core.Term{core.Var("w")},
+			core.NewAtom("R", core.Var("x"), core.Var("w"))),
+	)
+	for _, r := range th.Rules {
+		_, ures := GuardResidue(r, r.UVars())
+		if (len(ures) == 0) != IsGuarded(r) {
+			t.Errorf("rule %v: uvars residue %v disagrees with IsGuarded=%v", r, ures, IsGuarded(r))
+		}
+		_, fres := GuardResidue(r, r.FVars())
+		if (len(fres) == 0) != IsFrontierGuarded(r) {
+			t.Errorf("rule %v: fvars residue %v disagrees with IsFrontierGuarded=%v", r, fres, IsFrontierGuarded(r))
+		}
+	}
+}

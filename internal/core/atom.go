@@ -11,6 +11,9 @@ type Atom struct {
 	Relation   string
 	Annotation []Term // nil when the relation name is not annotated
 	Args       []Term
+	// Span is the source position of the atom; zero for programmatically
+	// built atoms. It is ignored by Equal.
+	Span Span
 }
 
 // NewAtom returns an unannotated atom.
@@ -99,7 +102,7 @@ func (a Atom) AllVars() TermSet {
 
 // Clone returns a deep copy of the atom.
 func (a Atom) Clone() Atom {
-	out := Atom{Relation: a.Relation}
+	out := Atom{Relation: a.Relation, Span: a.Span}
 	if a.Annotation != nil {
 		out.Annotation = append([]Term(nil), a.Annotation...)
 	}

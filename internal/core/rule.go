@@ -39,6 +39,9 @@ type Rule struct {
 	Exist []Term
 	// Label is optional provenance (e.g. "sigma3" or "rc(sigma3,mu7)").
 	Label string
+	// Span is the source position of the rule, or a generated
+	// pseudo-position for synthesized rules. Zero when unknown.
+	Span Span
 }
 
 // NewRule builds a rule from positive body atoms, existential variables and
@@ -209,7 +212,7 @@ func (r *Rule) CheckSafe() error {
 
 // Clone returns a deep copy of the rule.
 func (r *Rule) Clone() *Rule {
-	out := &Rule{Label: r.Label}
+	out := &Rule{Label: r.Label, Span: r.Span}
 	out.Body = make([]Literal, len(r.Body))
 	for i, l := range r.Body {
 		out.Body[i] = Literal{Atom: l.Atom.Clone(), Negated: l.Negated}

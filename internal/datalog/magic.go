@@ -76,7 +76,7 @@ func MagicRewrite(th *core.Theory, query core.Atom) (*MagicResult, error) {
 		}
 	}
 	return &MagicResult{
-		Program:  m.out,
+		Program:  core.StampGenerated(m.out, "magic-sets"),
 		Seed:     core.NewAtom(magicName(query.Relation, qa), bound...),
 		QueryRel: adornedName(query.Relation, qa),
 	}, nil

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Finding couples a diagnostic with the file it was found in, for output
+// covering several files.
+type Finding struct {
+	File string `json:"file"`
+	Diagnostic
+}
+
+// Findings attaches a file name to each diagnostic.
+func Findings(file string, diags []Diagnostic) []Finding {
+	out := make([]Finding, len(diags))
+	for i, d := range diags {
+		out[i] = Finding{File: file, Diagnostic: d}
+	}
+	return out
+}
+
+// WriteText renders findings one per line:
+//
+//	theory.rules:3:1: warning: GR004: rule is not weakly frontier-guarded: ...
+//
+// Generated and unknown positions render as the span's description in
+// place of line:col.
+func WriteText(w io.Writer, findings []Finding) error {
+	for _, f := range findings {
+		prefix := f.Span.String()
+		if f.File != "" {
+			prefix = f.File + ":" + prefix
+		}
+		if _, err := fmt.Fprintf(w, "%s: %s: %s: %s\n", prefix, f.Severity, f.Code, f.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders findings as a JSON array (never null), one object per
+// finding, indented for readability. The output round-trips through
+// encoding/json back into []Finding.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"guardedrules/internal/parser"
+)
+
+var update = flag.Bool("update", false, "rewrite .lint.golden files")
+
+// TestGoldenTheories runs every theory under testdata/ through the full
+// lint registry and compares the text rendering against a .lint.golden
+// file next to the fixture. Regenerate with:
+//
+//	go test ./internal/lint -run Golden -update
+func TestGoldenTheories(t *testing.T) {
+	paths, err := filepath.Glob("../../testdata/*.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := filepath.Glob("../../testdata/*/*.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, nested...)
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		t.Fatal("no fixtures found under testdata/")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := parser.ParseLenient(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			diags := Run(prog.Theory)
+			var buf bytes.Buffer
+			if err := WriteText(&buf, Findings(filepath.Base(path), diags)); err != nil {
+				t.Fatal(err)
+			}
+			golden := path + ".lint.golden"
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("lint output drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+					golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestExamplesLintClean extracts every inline theory passed to
+// ParseTheory in examples/*/main.go and asserts none of them has
+// error-severity findings — the runnable documentation must stay clean.
+func TestExamplesLintClean(t *testing.T) {
+	mains, err := filepath.Glob("../../examples/*/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mains) == 0 {
+		t.Fatal("no examples found")
+	}
+	theoryLit := regexp.MustCompile("(?s)ParseTheory\\(`([^`]*)`\\)")
+	seen := 0
+	for _, path := range mains {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range theoryLit.FindAllStringSubmatch(string(src), -1) {
+			seen++
+			prog, err := parser.ParseLenient(m[1])
+			if err != nil {
+				t.Errorf("%s theory %d: parse: %v", path, i, err)
+				continue
+			}
+			for _, d := range Run(prog.Theory) {
+				if d.Severity >= Error {
+					t.Errorf("%s theory %d: %v", path, i, d)
+				}
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no inline theories extracted from examples — did the idiom change?")
+	}
+}

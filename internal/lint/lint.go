@@ -1,0 +1,282 @@
+// Package lint is a theory-level static analyzer for existential rule
+// theories. It runs a registry of passes over a parsed core.Theory and
+// emits structured, source-positioned Diagnostics: fragment-membership
+// explainers for every class of internal/classify (why a rule is not
+// guarded / frontier-guarded / weakly / nearly guarded, with the
+// uncovered variables computed via classify.GuardResidue), rule-safety
+// violations, likely authoring mistakes (singleton variables, near-miss
+// variable names, predicate shape and case inconsistencies), negation
+// stratifiability, and the weak-acyclicity termination risk of
+// internal/termination.
+//
+// Diagnostics are machine-readable (JSON) and carry an explanation
+// Detail, so tools can act on *why* membership fails, not only that it
+// does. The classify explainers are the single implementation behind both
+// `rulekit lint` and `rulekit classify -explain`.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"guardedrules/internal/classify"
+	"guardedrules/internal/core"
+)
+
+// Severity orders diagnostics: Info notes a property (e.g. a fragment the
+// theory is outside of), Warning flags a likely mistake, Error flags a
+// theory that is broken (unsafe or not stratifiable).
+type Severity int
+
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the severity as its name, so JSON output is
+// self-describing.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON parses a severity name, inverting MarshalJSON.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	v, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// ParseSeverity maps a severity name to its value.
+func ParseSeverity(name string) (Severity, error) {
+	switch name {
+	case "info":
+		return Info, nil
+	case "warning":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	}
+	return 0, fmt.Errorf("lint: unknown severity %q", name)
+}
+
+// Detail is the machine-readable explanation of a diagnostic. Only the
+// fields relevant to the diagnostic's code are set.
+type Detail struct {
+	// Vars are the offending variables (e.g. the guard residue: the
+	// universal variables no single body atom covers).
+	Vars []string `json:"vars,omitempty"`
+	// Guard is the best guard candidate, when one exists.
+	Guard string `json:"guard,omitempty"`
+	// Positions are the affected argument positions involved.
+	Positions []string `json:"positions,omitempty"`
+	// Relations are the offending relation names.
+	Relations []string `json:"relations,omitempty"`
+	// Cycle is an offending cycle, through relations (stratification) or
+	// positions (weak acyclicity), with the first element repeated last.
+	Cycle []string `json:"cycle,omitempty"`
+}
+
+// Diagnostic is one finding of a pass.
+type Diagnostic struct {
+	// Code identifies the check, e.g. "GR001".
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Message  string   `json:"message"`
+	// Rule is the label of the rule the diagnostic is about, when any.
+	Rule string `json:"rule,omitempty"`
+	// Span is the source position: the offending atom where one can be
+	// singled out, otherwise the rule.
+	Span core.Span `json:"span"`
+	// Detail explains the finding in machine-readable form.
+	Detail *Detail `json:"detail,omitempty"`
+}
+
+// String renders the diagnostic as "span: severity: CODE: message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s: %s", d.Span, d.Severity, d.Code, d.Message)
+}
+
+// A Pass inspects a theory and reports diagnostics. Passes must not
+// modify the theory.
+type Pass struct {
+	// Name identifies the pass in the registry, e.g. "fragments".
+	Name string
+	// Doc is a one-line description, naming the paper definition the pass
+	// checks where applicable.
+	Doc string
+	// Run produces the diagnostics of the pass.
+	Run func(*Context) []Diagnostic
+}
+
+// Context carries the theory under analysis and analyses shared between
+// passes, computed once per Run.
+type Context struct {
+	Theory *core.Theory
+
+	ap     classify.PosSet
+	apDone bool
+}
+
+// AP returns the affected positions of the theory (Definition 2),
+// computed lazily and shared by all passes.
+func (c *Context) AP() classify.PosSet {
+	if !c.apDone {
+		c.ap = classify.AffectedPositions(c.Theory)
+		c.apDone = true
+	}
+	return c.ap
+}
+
+// Registry returns the built-in passes in their canonical order.
+func Registry() []Pass {
+	return []Pass{
+		{Name: "safety", Doc: "rule safety (Section 2) and ACDom head prohibition — SF001..SF005", Run: runSafety},
+		{Name: "fragments", Doc: "Figure 1 fragment-membership explainers (Definitions 1-3) — GR000..GR006", Run: runFragments},
+		{Name: "variables", Doc: "singleton variables and near-miss variable names — VAR001, VAR002", Run: runVariables},
+		{Name: "predicates", Doc: "relation shape, case consistency, unused and negation-only relations — PRED001..PRED004", Run: runPredicates},
+		{Name: "stratify", Doc: "stratifiability of negation (Definition 22) — ST001", Run: runStratify},
+		{Name: "termination", Doc: "weak-acyclicity chase-termination risk — TM001", Run: runTermination},
+	}
+}
+
+// Lookup returns the registered pass with the given name.
+func Lookup(name string) (Pass, bool) {
+	for _, p := range Registry() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pass{}, false
+}
+
+// Run analyzes the theory with every registered pass and returns the
+// diagnostics in source order (unknown and generated positions last),
+// breaking ties by code.
+func Run(th *core.Theory) []Diagnostic {
+	return RunPasses(th, Registry())
+}
+
+// RunPasses analyzes the theory with the given passes.
+func RunPasses(th *core.Theory, passes []Pass) []Diagnostic {
+	ctx := &Context{Theory: th}
+	var out []Diagnostic
+	for _, p := range passes {
+		out = append(out, p.Run(ctx)...)
+	}
+	Sort(out)
+	return out
+}
+
+// Sort orders diagnostics by source position, then code, then message.
+// Diagnostics without a known position sort last.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		ak, bk := a.Span.Known(), b.Span.Known()
+		if ak != bk {
+			return ak
+		}
+		if ak && (a.Span.Line != b.Span.Line || a.Span.Col != b.Span.Col) {
+			if a.Span.Line != b.Span.Line {
+				return a.Span.Line < b.Span.Line
+			}
+			return a.Span.Col < b.Span.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// MaxSeverity returns the highest severity among the diagnostics, and
+// false when there are none.
+func MaxSeverity(diags []Diagnostic) (Severity, bool) {
+	if len(diags) == 0 {
+		return 0, false
+	}
+	max := diags[0].Severity
+	for _, d := range diags[1:] {
+		if d.Severity > max {
+			max = d.Severity
+		}
+	}
+	return max, true
+}
+
+// ExitCode maps diagnostics to a process exit code: 2 with any error, 1
+// with any warning, 0 otherwise. Info-level diagnostics do not fail a
+// run.
+func ExitCode(diags []Diagnostic) int {
+	max, ok := MaxSeverity(diags)
+	switch {
+	case ok && max >= Error:
+		return 2
+	case ok && max >= Warning:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ruleSpan returns the best span for a rule-level diagnostic: the rule's
+// own span, falling back to its first head atom.
+func ruleSpan(r *core.Rule) core.Span {
+	if !r.Span.IsZero() {
+		return r.Span
+	}
+	if len(r.Head) > 0 {
+		return r.Head[0].Span
+	}
+	return core.Span{}
+}
+
+// atomSpan returns the atom's span, falling back to the enclosing rule.
+func atomSpan(a core.Atom, r *core.Rule) core.Span {
+	if !a.Span.IsZero() {
+		return a.Span
+	}
+	return ruleSpan(r)
+}
+
+// varNames renders a term set as sorted names.
+func varNames(s core.TermSet) []string {
+	ts := s.Sorted()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// posNames renders positions deterministically.
+func posNames(ps []classify.Position) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.String()
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"guardedrules/internal/core"
+	"guardedrules/internal/parser"
+)
+
+// lintSrc parses leniently and lints; the helper fails the test on
+// syntax errors only.
+func lintSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	prog, err := parser.ParseLenient(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Run(prog.Theory)
+}
+
+func codes(diags []Diagnostic) map[string]int {
+	out := map[string]int{}
+	for _, d := range diags {
+		out[d.Code]++
+	}
+	return out
+}
+
+func find(t *testing.T, diags []Diagnostic, code string) Diagnostic {
+	t.Helper()
+	for _, d := range diags {
+		if d.Code == code {
+			return d
+		}
+	}
+	t.Fatalf("no %s diagnostic in %v", code, diags)
+	return Diagnostic{}
+}
+
+func TestCleanGuardedTheory(t *testing.T) {
+	diags := lintSrc(t, `Person(X) -> Human(X).
+Human(X) -> Mortal(X).
+Mortal(X) -> Q(X).`)
+	for _, d := range diags {
+		if d.Severity > Info {
+			t.Errorf("unexpected %v", d)
+		}
+	}
+	if ExitCode(diags) != 0 {
+		t.Errorf("exit code = %d, want 0", ExitCode(diags))
+	}
+}
+
+func TestNotGuardedExplainer(t *testing.T) {
+	// The transitivity rule is the canonical non-guarded Datalog rule.
+	diags := lintSrc(t, `T(X,Y), T(Y,Z) -> T(X,Z).`)
+	d := find(t, diags, "GR001")
+	if d.Severity != Info {
+		t.Errorf("GR001 severity = %v, want info", d.Severity)
+	}
+	if d.Detail == nil || len(d.Detail.Vars) != 1 {
+		t.Fatalf("GR001 detail = %+v, want exactly one uncovered variable", d.Detail)
+	}
+	if d.Detail.Guard == "" {
+		t.Error("GR001 must name the best guard candidate")
+	}
+	if d.Span.Line != 1 || d.Span.Col != 1 {
+		t.Errorf("GR001 span = %v, want 1:1", d.Span)
+	}
+	// Not frontier-guarded either ({X,Z} split across atoms), but weakly
+	// guarded (no affected positions) and nearly guarded.
+	c := codes(diags)
+	if c["GR002"] != 1 || c["GR003"] != 0 || c["GR005"] != 0 {
+		t.Errorf("codes = %v", c)
+	}
+}
+
+func TestUnsafeRule(t *testing.T) {
+	diags := lintSrc(t, `R(X,Y) -> P(X,W).`)
+	d := find(t, diags, "SF001")
+	if d.Severity != Error {
+		t.Errorf("severity = %v, want error", d.Severity)
+	}
+	if d.Detail == nil || len(d.Detail.Vars) != 1 || d.Detail.Vars[0] != "W" {
+		t.Errorf("detail = %+v, want W", d.Detail)
+	}
+	// The span points at the head atom P(X,W), column 11.
+	if d.Span.Line != 1 || d.Span.Col != 11 {
+		t.Errorf("span = %v, want 1:11", d.Span)
+	}
+	if ExitCode(diags) != 2 {
+		t.Errorf("exit code = %d, want 2", ExitCode(diags))
+	}
+}
+
+func TestNegatedUnboundAndACDomHead(t *testing.T) {
+	diags := lintSrc(t, `R(X), not S(X,Y) -> P(X).
+R(X) -> ACDom(X).`)
+	if c := codes(diags); c["SF003"] != 1 || c["SF005"] != 1 {
+		t.Errorf("codes = %v, want one SF003 and one SF005", c)
+	}
+}
+
+func TestNonStratifiableNegation(t *testing.T) {
+	diags := lintSrc(t, `Node(X), not Bad(X) -> Good(X).
+Node(X), not Good(X) -> Bad(X).`)
+	d := find(t, diags, "ST001")
+	if d.Severity != Error {
+		t.Errorf("severity = %v, want error", d.Severity)
+	}
+	if d.Detail == nil || len(d.Detail.Cycle) < 3 {
+		t.Fatalf("detail = %+v, want a cycle", d.Detail)
+	}
+	if first, last := d.Detail.Cycle[0], d.Detail.Cycle[len(d.Detail.Cycle)-1]; first != last {
+		t.Errorf("cycle %v must close", d.Detail.Cycle)
+	}
+	// Only one diagnostic for the single offending SCC.
+	if c := codes(diags); c["ST001"] != 1 {
+		t.Errorf("ST001 count = %d, want 1", c["ST001"])
+	}
+}
+
+func TestStratifiedNegationClean(t *testing.T) {
+	diags := lintSrc(t, `Edge(X,Y) -> Reach(Y).
+Node(X), not Reach(X) -> Unreach(X).`)
+	if c := codes(diags); c["ST001"] != 0 {
+		t.Errorf("stratified theory flagged: %v", diags)
+	}
+}
+
+func TestWeakAcyclicityWitness(t *testing.T) {
+	diags := lintSrc(t, `Person(X) -> exists Y. hasParent(X,Y).
+hasParent(X,Y) -> Person(Y).`)
+	d := find(t, diags, "TM001")
+	if d.Severity != Warning {
+		t.Errorf("severity = %v, want warning", d.Severity)
+	}
+	if d.Detail == nil || len(d.Detail.Cycle) < 2 {
+		t.Fatalf("detail = %+v, want a position cycle", d.Detail)
+	}
+	if !d.Span.Known() {
+		t.Errorf("span = %v, want a source position", d.Span)
+	}
+	if ExitCode(diags) != 1 {
+		t.Errorf("exit code = %d, want 1 (warnings only)", ExitCode(diags))
+	}
+}
+
+func TestSingletonAndNearMissVariables(t *testing.T) {
+	diags := lintSrc(t, `Keywords(X,K1,K2), Topic(K1) -> Q(X,K1).`)
+	d := find(t, diags, "VAR001")
+	if !strings.Contains(d.Message, "K2") {
+		t.Errorf("message %q must name K2", d.Message)
+	}
+	// K1 vs K2 follows the enumeration convention: no typo warning.
+	if c := codes(diags); c["VAR002"] != 0 {
+		t.Errorf("enumerated variables flagged as typos: %v", diags)
+	}
+	// Authr occurs once and is one deletion away from Author: a typo.
+	diags = lintSrc(t, `Wrote(X,Author), Edited(X,Authr) -> Q(Author).`)
+	d = find(t, diags, "VAR002")
+	if d.Detail == nil || len(d.Detail.Vars) != 2 || d.Detail.Vars[0] != "Authr" {
+		t.Errorf("VAR002 detail = %+v, want [Authr Author]", d.Detail)
+	}
+	// An underscore prefix silences the singleton warning.
+	diags = lintSrc(t, `Keywords(X,_K1,_K2) -> Q(X).`)
+	if c := codes(diags); c["VAR001"] != 0 {
+		t.Errorf("underscore variables flagged: %v", diags)
+	}
+	// Distinct single-character variables are conventional, not typos.
+	diags = lintSrc(t, `R(X,Y) -> P(X).`)
+	if c := codes(diags); c["VAR002"] != 0 {
+		t.Errorf("X vs Y flagged as typo: %v", diags)
+	}
+}
+
+func TestPredicateShapeAndCase(t *testing.T) {
+	diags := lintSrc(t, `R(X,Y) -> P(X).
+R(X) -> P(X).
+hasTopic(X) -> HasTopic(X).`)
+	if c := codes(diags); c["PRED001"] != 1 || c["PRED002"] != 1 {
+		t.Errorf("codes = %v, want one PRED001 and one PRED002", c)
+	}
+	d := find(t, diags, "PRED001")
+	if d.Span.Line != 2 {
+		t.Errorf("PRED001 span = %v, want line 2 (the second shape)", d.Span)
+	}
+}
+
+func TestUnusedAndNegationOnlyPredicates(t *testing.T) {
+	diags := lintSrc(t, `R(X), not Gone(X) -> Out(X).`)
+	c := codes(diags)
+	if c["PRED003"] != 1 {
+		t.Errorf("Out is derived but never read; codes = %v", c)
+	}
+	if c["PRED004"] != 1 {
+		t.Errorf("Gone occurs only under negation; codes = %v", c)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	diags := lintSrc(t, `T(X,Y), T(Y,Z) -> T(X,Z).
+R(X,Y) -> P(X,W).`)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, Findings("theory.rules", diags)); err != nil {
+		t.Fatal(err)
+	}
+	var back []Finding
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, buf.String())
+	}
+	if len(back) != len(diags) {
+		t.Fatalf("round trip changed count: %d vs %d", len(back), len(diags))
+	}
+	for i := range back {
+		if back[i].File != "theory.rules" {
+			t.Errorf("finding %d lost its file", i)
+		}
+		if back[i].Code != diags[i].Code || back[i].Severity != diags[i].Severity ||
+			back[i].Message != diags[i].Message || back[i].Span != diags[i].Span {
+			t.Errorf("finding %d changed: %+v vs %+v", i, back[i], diags[i])
+		}
+	}
+}
+
+func TestSeverityJSONRejectsUnknown(t *testing.T) {
+	var s Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Error("unknown severity must not unmarshal")
+	}
+	if err := json.Unmarshal([]byte(`"warning"`), &s); err != nil || s != Warning {
+		t.Errorf("got %v, %v", s, err)
+	}
+}
+
+func TestDiagnosticsSorted(t *testing.T) {
+	diags := lintSrc(t, `R(X,Y) -> P(X,W).
+T(X,Y), T(Y,Z) -> T(X,Z).`)
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Span.Known() && b.Span.Known() && a.Span.Line > b.Span.Line {
+			t.Errorf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+}
+
+// Generated rules (zero-span, or stamped) keep lint total and must not
+// panic any pass.
+func TestProgrammaticTheory(t *testing.T) {
+	th := core.NewTheory(
+		core.NewRule([]core.Atom{core.NewAtom("R", core.Var("x"), core.Var("y"))}, nil,
+			core.NewAtom("P", core.Var("x"))),
+	)
+	core.StampGenerated(th, "test")
+	diags := Run(th)
+	for _, d := range diags {
+		if d.Span.Known() {
+			t.Errorf("programmatic rule has source span: %v", d)
+		}
+	}
+	if th.Rules[0].Span.Gen != "test" {
+		t.Errorf("span = %v, want generated-by-test", th.Rules[0].Span)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if len(Registry()) != 6 {
+		t.Errorf("registry size = %d, want 6", len(Registry()))
+	}
+	p, ok := Lookup("fragments")
+	if !ok || p.Name != "fragments" {
+		t.Fatalf("Lookup(fragments) = %v, %v", p, ok)
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Error("Lookup(nonsense) must fail")
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	diags := lintSrc(t, `R(X,Y) -> P(X,W).`)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, Findings("t.rules", diags)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "t.rules:1:11: error: SF001:") {
+		t.Errorf("text output missing positioned finding:\n%s", buf.String())
+	}
+}

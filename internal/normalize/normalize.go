@@ -41,7 +41,7 @@ func Normalize(th *core.Theory) *core.Theory {
 	out.Rules = eliminateConstants(out)
 	out.Rules = splitHeads(out)
 	out.Rules = guardExistentials(out)
-	return out
+	return core.StampGenerated(out, "normalize")
 }
 
 // eliminateConstants replaces constants in rules (other than → R(~c)

@@ -1,9 +1,11 @@
 package parser
 
 import (
+	"strings"
 	"testing"
 
 	"guardedrules/internal/core"
+	"guardedrules/internal/lint"
 )
 
 // FuzzParse checks that the parser never panics and that everything it
@@ -51,6 +53,53 @@ func FuzzParse(f *testing.F) {
 		}
 		if len(re.Facts) != len(prog.Facts) {
 			t.Fatalf("fact count changed after round trip")
+		}
+	})
+}
+
+// FuzzLint feeds everything the lenient parser accepts to the full lint
+// registry: no pass may panic, and every diagnostic span must lie within
+// the source text.
+func FuzzLint(f *testing.F) {
+	seeds := []string{
+		`T(X,Y), T(Y,Z) -> T(X,Z).`,
+		`R(X,Y) -> P(X,W).`, // unsafe: only parses leniently
+		`Node(X), not Bad(X) -> Good(X).
+Node(X), not Good(X) -> Bad(X).`,
+		`Person(X) -> exists Y. hasParent(X,Y).
+hasParent(X,Y) -> Person(Y).`,
+		`R(X) -> ACDom(X).`,
+		`Wrote(X,Author), Edited(X,Authr) -> Q(Author).`,
+		`R(X,Y) -> P(X).
+R(X) -> P(X).`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseLenient(src)
+		if err != nil {
+			return
+		}
+		lines := strings.Split(src, "\n")
+		for _, d := range lint.Run(prog.Theory) {
+			s := d.Span
+			if !s.Known() {
+				continue
+			}
+			if s.Line > len(lines) {
+				t.Fatalf("span %v beyond last line %d of input %q (diag %v)",
+					s, len(lines), src, d)
+			}
+			// Columns are byte-based and 1-indexed; the span may point at
+			// the position just past the final byte (e.g. a trailing dot).
+			if s.Col > len(lines[s.Line-1])+1 {
+				t.Fatalf("span %v beyond line %q of input %q (diag %v)",
+					s, lines[s.Line-1], src, d)
+			}
+			if s.EndLine > 0 && (s.EndLine < s.Line || (s.EndLine == s.Line && s.EndCol < s.Col)) {
+				t.Fatalf("span %v ends before it starts (input %q, diag %v)", s, src, d)
+			}
 		}
 	})
 }

@@ -18,6 +18,10 @@ type parser struct {
 	lex  *lexer
 	tok  token
 	prev token
+	// lenient parsing skips the per-rule safety check, so that the lint
+	// package can report safety violations as positioned diagnostics
+	// instead of the parser rejecting the input outright.
+	lenient bool
 }
 
 func newParser(src string) (*parser, error) {
@@ -47,11 +51,20 @@ func (p *parser) expect(kind tokenKind) (token, error) {
 }
 
 // Parse parses a program containing rules and facts.
-func Parse(src string) (*Program, error) {
+func Parse(src string) (*Program, error) { return parse(src, false) }
+
+// ParseLenient parses like Parse but does not enforce rule safety
+// (core.Rule.CheckSafe): unsafe rules are kept in the theory so that the
+// lint package can report each violation as a positioned diagnostic.
+// Syntax errors are still rejected.
+func ParseLenient(src string) (*Program, error) { return parse(src, true) }
+
+func parse(src string, lenient bool) (*Program, error) {
 	p, err := newParser(src)
 	if err != nil {
 		return nil, err
 	}
+	p.lenient = lenient
 	prog := &Program{Theory: core.NewTheory()}
 	for p.tok.kind != tokEOF {
 		if err := p.statement(prog); err != nil {
@@ -106,10 +119,10 @@ func MustParseFacts(src string) []core.Atom {
 
 // statement parses one rule or fact terminated by '.'.
 func (p *parser) statement(prog *Program) error {
-	line := p.tok.line
+	line, col := p.tok.line, p.tok.col
 	// A statement starting with '->' is a body-less rule.
 	if p.tok.kind == tokArrow {
-		return p.ruleFrom(prog, nil, line)
+		return p.ruleFrom(prog, nil, line, col)
 	}
 	var body []core.Literal
 	for {
@@ -124,7 +137,7 @@ func (p *parser) statement(prog *Program) error {
 				return err
 			}
 		case tokArrow:
-			return p.ruleFrom(prog, body, line)
+			return p.ruleFrom(prog, body, line, col)
 		case tokDot:
 			// A fact.
 			if len(body) != 1 || body[0].Negated {
@@ -142,7 +155,7 @@ func (p *parser) statement(prog *Program) error {
 }
 
 // ruleFrom parses the head part after '->' and appends the rule.
-func (p *parser) ruleFrom(prog *Program, body []core.Literal, line int) error {
+func (p *parser) ruleFrom(prog *Program, body []core.Literal, line, col int) error {
 	if _, err := p.expect(tokArrow); err != nil {
 		return err
 	}
@@ -185,9 +198,13 @@ func (p *parser) ruleFrom(prog *Program, body []core.Literal, line int) error {
 	if _, err := p.expect(tokDot); err != nil {
 		return err
 	}
-	r := &core.Rule{Body: body, Head: head, Exist: exist, Label: fmt.Sprintf("line%d", line)}
-	if err := r.CheckSafe(); err != nil {
-		return fmt.Errorf("line %d: %v", line, err)
+	// p.prev is the terminating dot.
+	span := core.Span{Line: line, Col: col, EndLine: p.prev.line, EndCol: p.prev.col + len(p.prev.text)}
+	r := &core.Rule{Body: body, Head: head, Exist: exist, Label: fmt.Sprintf("line%d", line), Span: span}
+	if !p.lenient {
+		if err := r.CheckSafe(); err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
 	}
 	prog.Theory.Add(r)
 	return nil
@@ -215,7 +232,7 @@ func (p *parser) atom() (core.Atom, error) {
 	if p.tok.kind != tokIdent && p.tok.kind != tokVariable {
 		return core.Atom{}, fmt.Errorf("%d:%d: expected a relation name, found %v %q", p.tok.line, p.tok.col, p.tok.kind, p.tok.text)
 	}
-	a := core.Atom{Relation: p.tok.text}
+	a := core.Atom{Relation: p.tok.text, Span: core.Span{Line: p.tok.line, Col: p.tok.col}}
 	if err := p.next(); err != nil {
 		return core.Atom{}, err
 	}
@@ -244,6 +261,7 @@ func (p *parser) atom() (core.Atom, error) {
 		return core.Atom{}, err
 	}
 	if p.tok.kind == tokRParen {
+		a.Span.EndLine, a.Span.EndCol = p.tok.line, p.tok.col+1
 		return a, p.next()
 	}
 	for {
@@ -262,6 +280,8 @@ func (p *parser) atom() (core.Atom, error) {
 	if _, err := p.expect(tokRParen); err != nil {
 		return core.Atom{}, err
 	}
+	// p.prev is the closing ')'.
+	a.Span.EndLine, a.Span.EndCol = p.prev.line, p.prev.col+1
 	return a, nil
 }
 

@@ -62,7 +62,7 @@ func Axiomatize(th *core.Theory) *core.Theory {
 	for _, c := range th.Constants().Sorted() {
 		out.Add(core.Fact(core.NewAtom(acdomStar, c)))
 	}
-	return out
+	return core.StampGenerated(out, "acdom-axiomatization")
 }
 
 func varName(i int) string {

@@ -102,7 +102,7 @@ func Expand(th *core.Theory, opts Options) (*core.Theory, *Stats, error) {
 	}
 	e.stats.ExpansionRules = len(e.rules)
 	out := core.NewTheory(e.rules...)
-	return out, &e.stats, nil
+	return core.StampGenerated(out, "fg-expansion"), &e.stats, nil
 }
 
 // add inserts a rule into the expansion (deduplicated up to renaming);
@@ -377,5 +377,5 @@ func Rewrite(th *core.Theory, opts Options) (*core.Theory, *Stats, error) {
 		}
 		out.Add(r2)
 	}
-	return out, stats, nil
+	return core.StampGenerated(out, "nearly-guarded-rewrite"), stats, nil
 }

@@ -64,7 +64,7 @@ func Datalog(th *core.Theory, opts Options) (*core.Theory, *Stats, error) {
 		}
 	}
 	stats.DatalogRules = len(out.Rules)
-	return out, stats, nil
+	return core.StampGenerated(out, "guarded-saturation"), stats, nil
 }
 
 // NearlyGuardedToDatalog translates a nearly guarded theory into Datalog

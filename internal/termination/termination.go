@@ -24,6 +24,9 @@ import (
 type Edge struct {
 	From, To classify.Position
 	Special  bool
+	// Rule is the first rule (in theory order) inducing the edge. It
+	// does not take part in edge identity.
+	Rule *core.Rule
 }
 
 // Report is the outcome of the analysis.
@@ -31,7 +34,11 @@ type Report struct {
 	WeaklyAcyclic bool
 	// Witness is a special edge lying on a cycle when not weakly acyclic.
 	Witness *Edge
-	Edges   []Edge
+	// WitnessCycle is the cycle through the witness edge:
+	// Witness.From ⇒ Witness.To → ... → Witness.From. Nil when weakly
+	// acyclic.
+	WitnessCycle []classify.Position
+	Edges        []Edge
 }
 
 // Analyze builds the position dependency graph of the theory: for every
@@ -40,9 +47,12 @@ type Report struct {
 // p⇒q' for each position q' holding an existential variable of σ.
 func Analyze(th *core.Theory) *Report {
 	var edges []Edge
+	// Edge identity excludes the inducing rule: the first rule to
+	// contribute an edge keeps it.
+	edgeKey := func(e Edge) string { return fmt.Sprint(e.From, e.To, e.Special) }
 	seen := map[string]bool{}
 	add := func(e Edge) {
-		k := fmt.Sprint(e)
+		k := edgeKey(e)
 		if !seen[k] {
 			seen[k] = true
 			edges = append(edges, e)
@@ -79,15 +89,15 @@ func Analyze(th *core.Theory) *Report {
 			}
 			for _, p := range bodyPos {
 				for _, q := range headPos {
-					add(Edge{From: p, To: q})
+					add(Edge{From: p, To: q, Rule: r})
 				}
 				for _, q := range evPos {
-					add(Edge{From: p, To: q, Special: true})
+					add(Edge{From: p, To: q, Special: true, Rule: r})
 				}
 			}
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool { return fmt.Sprint(edges[i]) < fmt.Sprint(edges[j]) })
+	sort.Slice(edges, func(i, j int) bool { return edgeKey(edges[i]) < edgeKey(edges[j]) })
 	rep := &Report{WeaklyAcyclic: true, Edges: edges}
 	// Weak acyclicity fails iff some special edge lies on a cycle:
 	// its target reaches its source.
@@ -99,35 +109,51 @@ func Analyze(th *core.Theory) *Report {
 		if !e.Special {
 			continue
 		}
-		if reaches(adj, e.To, e.From) {
+		if path := pathBetween(adj, e.To, e.From); path != nil {
 			rep.WeaklyAcyclic = false
 			rep.Witness = &edges[i]
+			rep.WitnessCycle = append([]classify.Position{e.From}, path...)
 			break
 		}
 	}
 	return rep
 }
 
-func reaches(adj map[classify.Position][]classify.Position, from, to classify.Position) bool {
+// pathBetween returns a shortest path from → ... → to in the graph, or
+// nil when to is unreachable. A trivial path [from] is returned when from
+// equals to.
+func pathBetween(adj map[classify.Position][]classify.Position, from, to classify.Position) []classify.Position {
 	if from == to {
-		return true
+		return []classify.Position{from}
 	}
-	seen := map[classify.Position]bool{from: true}
-	stack := []classify.Position{from}
-	for len(stack) > 0 {
-		p := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	parent := map[classify.Position]classify.Position{from: from}
+	queue := []classify.Position{from}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
 		for _, q := range adj[p] {
+			if _, ok := parent[q]; ok {
+				continue
+			}
+			parent[q] = p
 			if q == to {
-				return true
+				var rev []classify.Position
+				for cur := to; ; cur = parent[cur] {
+					rev = append(rev, cur)
+					if cur == from {
+						break
+					}
+				}
+				out := make([]classify.Position, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					out = append(out, rev[i])
+				}
+				return out
 			}
-			if !seen[q] {
-				seen[q] = true
-				stack = append(stack, q)
-			}
+			queue = append(queue, q)
 		}
 	}
-	return false
+	return nil
 }
 
 // IsWeaklyAcyclic reports whether the chase of th terminates on every
