@@ -67,11 +67,11 @@ func runA2(quick bool) error {
 	fmt.Printf("%-6s %-12s %-12s %-12s %s\n", "n", "oblivious", "restricted", "same core", "ground agree")
 	for _, n := range sizes {
 		d := gen.CitationGraph(n)
-		ob, err := chase.Run(th, d, chase.Options{Variant: chase.Oblivious, MaxDepth: 3, MaxFacts: 500_000})
+		ob, err := chase.Run(th, d, govern(chase.Options{Variant: chase.Oblivious, MaxDepth: 3, MaxFacts: 500_000}))
 		if err != nil {
 			return err
 		}
-		re, err := chase.Run(th, d, chase.Options{Variant: chase.Restricted, MaxDepth: 3, MaxFacts: 500_000})
+		re, err := chase.Run(th, d, govern(chase.Options{Variant: chase.Restricted, MaxDepth: 3, MaxFacts: 500_000}))
 		if err != nil {
 			return err
 		}
@@ -103,7 +103,7 @@ func runA3(quick bool) error {
 		if termination.IsWeaklyAcyclic(th) {
 			wa++
 			d := gen.ABDatabase(5, seed)
-			res, err := chase.Run(th, d, chase.Options{Variant: chase.Restricted, MaxFacts: 200_000, MaxRounds: 5_000})
+			res, err := chase.Run(th, d, govern(chase.Options{Variant: chase.Restricted, MaxFacts: 200_000, MaxRounds: 5_000}))
 			if err != nil {
 				return err
 			}
@@ -138,7 +138,7 @@ func runA4(bool) error {
 		R(X,Y) -> B(Y).
 	`)
 	d := database.FromAtoms(parser.MustParseFacts(`A(a). A(b). R(a,c).`))
-	ob, err := chase.Run(th, d, chase.Options{Variant: chase.Oblivious})
+	ob, err := chase.Run(th, d, govern(chase.Options{Variant: chase.Oblivious}))
 	if err != nil {
 		return err
 	}
@@ -213,7 +213,7 @@ func runA6(quick bool) error {
 	for i := 0; i < n; i++ {
 		d.Add(core.NewAtom("Obj", core.Const(fmt.Sprintf("o%d", i))))
 	}
-	opts := chase.Options{Variant: chase.Restricted, MaxDepth: 3, MaxFacts: 3_000_000}
+	opts := govern(chase.Options{Variant: chase.Restricted, MaxDepth: 3, MaxFacts: 3_000_000})
 	t0 := time.Now()
 	seq, err := chase.Run(th, d, opts)
 	if err != nil {

@@ -61,7 +61,7 @@ func runE1(quick bool) error {
 	orig := parser.MustParseTheory(sigmaP)
 	norm := normalize.Normalize(orig)
 	t0 := time.Now()
-	rew, stats, err := rewrite.Rewrite(norm, rewrite.Options{})
+	rew, stats, err := rewrite.Rewrite(norm, rewrite.Options{Budget: benchBudget})
 	if err != nil {
 		return err
 	}
@@ -77,11 +77,11 @@ func runE1(quick bool) error {
 	fmt.Printf("%-6s %-8s %-14s %-14s %-10s %s\n", "n", "|D|", "chase(Σ)", "chase(rew(Σ))", "Q answers", "agree")
 	for _, n := range sizes {
 		d := gen.CitationGraph(n)
-		r1, err := chase.Run(orig, d, chase.Options{Variant: chase.Restricted, MaxDepth: 6, MaxFacts: 2_000_000})
+		r1, err := chase.Run(orig, d, govern(chase.Options{Variant: chase.Restricted, MaxDepth: 6, MaxFacts: 2_000_000}))
 		if err != nil {
 			return err
 		}
-		r2, err := chase.Run(rew, d, chase.Options{Variant: chase.Restricted, MaxDepth: 6, MaxFacts: 2_000_000})
+		r2, err := chase.Run(rew, d, govern(chase.Options{Variant: chase.Restricted, MaxDepth: 6, MaxFacts: 2_000_000}))
 		if err != nil {
 			return err
 		}
@@ -108,7 +108,7 @@ func runE2(quick bool) error {
 		T(X,Y), T(Y,Z) -> T(X,Z).
 		T(X,Y), B(X) -> Linked(X,Y).
 	`))
-	rew, stats, err := rewrite.Rewrite(th, rewrite.Options{})
+	rew, stats, err := rewrite.Rewrite(th, rewrite.Options{Budget: benchBudget})
 	if err != nil {
 		return err
 	}
@@ -125,11 +125,11 @@ func runE2(quick bool) error {
 			d.Add(core.NewAtom("B", core.Const(fmt.Sprintf("v%d", i))))
 			d.Add(core.NewAtom("A", core.Const(fmt.Sprintf("v%d", i))))
 		}
-		r1, err := chase.Run(th, d, chase.Options{Variant: chase.Restricted, MaxDepth: 4, MaxFacts: 2_000_000})
+		r1, err := chase.Run(th, d, govern(chase.Options{Variant: chase.Restricted, MaxDepth: 4, MaxFacts: 2_000_000}))
 		if err != nil {
 			return err
 		}
-		r2, err := chase.Run(rew, d, chase.Options{Variant: chase.Restricted, MaxDepth: 4, MaxFacts: 2_000_000})
+		r2, err := chase.Run(rew, d, govern(chase.Options{Variant: chase.Restricted, MaxDepth: 4, MaxFacts: 2_000_000}))
 		if err != nil {
 			return err
 		}
@@ -195,7 +195,7 @@ func runE3(quick bool) error {
 	fmt.Printf("%-12s %-6s %-10s %-8s %s\n", "case", "n", "rew rules", "wg", "agree")
 	for _, c := range cases {
 		th := parser.MustParseTheory(c.theory)
-		res, err := annotate.RewriteWFG(th, rewrite.Options{})
+		res, err := annotate.RewriteWFG(th, rewrite.Options{Budget: benchBudget})
 		if err != nil {
 			return fmt.Errorf("%s: %v", c.name, err)
 		}
@@ -203,12 +203,12 @@ func runE3(quick bool) error {
 		for _, n := range sizes {
 			d := c.facts(n)
 			depth := n + 3
-			r1, err := chase.Run(th, d, chase.Options{Variant: chase.Restricted, MaxDepth: depth, MaxFacts: 2_000_000})
+			r1, err := chase.Run(th, d, govern(chase.Options{Variant: chase.Restricted, MaxDepth: depth, MaxFacts: 2_000_000}))
 			if err != nil {
 				return err
 			}
 			dRe := res.Reorder.Database(d)
-			r2, err := chase.Run(res.Rewritten, dRe, chase.Options{Variant: chase.Restricted, MaxDepth: depth, MaxFacts: 2_000_000})
+			r2, err := chase.Run(res.Rewritten, dRe, govern(chase.Options{Variant: chase.Restricted, MaxDepth: depth, MaxFacts: 2_000_000}))
 			if err != nil {
 				return err
 			}
@@ -230,7 +230,7 @@ func runE3(quick bool) error {
 func runE4(quick bool) error {
 	th := parser.MustParseTheory(exampleSeven)
 	t0 := time.Now()
-	dat, stats, err := saturate.Datalog(th, saturate.Options{})
+	dat, stats, err := saturate.Datalog(th, saturate.Options{Budget: benchBudget})
 	if err != nil {
 		return err
 	}
@@ -252,13 +252,13 @@ func runE4(quick bool) error {
 	for _, n := range sizes {
 		g := gen.RandomGuardedTheory(n, int64(n))
 		t1 := time.Now()
-		dg, st, err := saturate.Datalog(g, saturate.Options{})
+		dg, st, err := saturate.Datalog(g, saturate.Options{Budget: benchBudget})
 		if err != nil {
 			return err
 		}
 		dt := time.Since(t1)
 		db := gen.ABDatabase(6, int64(n))
-		r, err := chase.Run(g, db, chase.Options{Variant: chase.Restricted, MaxDepth: 8, MaxFacts: 500_000})
+		r, err := chase.Run(g, db, govern(chase.Options{Variant: chase.Restricted, MaxDepth: 8, MaxFacts: 500_000}))
 		if err != nil {
 			return err
 		}
@@ -288,7 +288,7 @@ func runE5(quick bool) error {
 		T(X,Y), T(Y,Z) -> T(X,Z).
 		T(X,Y), B(X), B(Y) -> Linked(X,Y).
 	`)
-	dat, stats, err := saturate.NearlyGuardedToDatalog(th, saturate.Options{})
+	dat, stats, err := saturate.NearlyGuardedToDatalog(th, saturate.Options{Budget: benchBudget})
 	if err != nil {
 		return err
 	}
@@ -307,7 +307,7 @@ func runE5(quick bool) error {
 		if err != nil {
 			return err
 		}
-		r, err := chase.Run(th, d, chase.Options{Variant: chase.Restricted, MaxFacts: 2_000_000})
+		r, err := chase.Run(th, d, govern(chase.Options{Variant: chase.Restricted, MaxFacts: 2_000_000}))
 		if err != nil {
 			return err
 		}
@@ -336,7 +336,7 @@ func runE6(quick bool) error {
 			return fmt.Errorf("seed %d: normalization failed", seed)
 		}
 		d := gen.ABDatabase(6, seed)
-		tree, res, err := chase.RunTree(norm, d, chase.Options{Variant: chase.Oblivious, MaxDepth: 4, MaxFacts: 100_000})
+		tree, res, err := chase.RunTree(norm, d, govern(chase.Options{Variant: chase.Oblivious, MaxDepth: 4, MaxFacts: 100_000}))
 		if err != nil {
 			return err
 		}
@@ -399,7 +399,7 @@ func runE7(quick bool) error {
 				if err != nil {
 					return err
 				}
-				r, err := chase.Run(th, db, chase.Options{Variant: chase.Restricted, MaxDepth: 3*n + 6, MaxFacts: 500_000})
+				r, err := chase.Run(th, db, govern(chase.Options{Variant: chase.Restricted, MaxDepth: 3*n + 6, MaxFacts: 500_000}))
 				if err != nil {
 					return err
 				}
@@ -431,7 +431,7 @@ func runE8(quick bool) error {
 			db.Add(core.NewAtom("Obj", core.Const(fmt.Sprintf("c%d", i))))
 		}
 		res, err := stratified.Eval(capture.SuccProgram(), db, stratified.Options{
-			Chase: chase.Options{Variant: chase.Restricted, MaxDepth: d + 1, MaxFacts: 2_000_000},
+			Chase: govern(chase.Options{Variant: chase.Restricted, MaxDepth: d + 1, MaxFacts: 2_000_000}),
 		})
 		if err != nil {
 			return err
@@ -515,7 +515,7 @@ func runE9(bool) error {
 		W(X,Y,Z) -> Pair(X,Y).
 	`)
 	d := gen.Path(4)
-	r, err := chase.Run(sep, d, chase.Options{Variant: chase.Restricted, MaxDepth: 3})
+	r, err := chase.Run(sep, d, govern(chase.Options{Variant: chase.Restricted, MaxDepth: 3}))
 	if err != nil {
 		return err
 	}
@@ -546,11 +546,11 @@ func runE10(bool) error {
 		},
 	}
 	d := database.FromAtoms(parser.MustParseFacts(`A(a). A(b). A(c). B(a). B(c).`))
-	chaseAns, _, err := kb.AnswerByChase(th, q, d, chase.Options{Variant: chase.Restricted, MaxDepth: 5})
+	chaseAns, _, err := kb.AnswerByChase(th, q, d, govern(chase.Options{Variant: chase.Restricted, MaxDepth: 5}))
 	if err != nil {
 		return err
 	}
-	pipeAns, stats, err := kb.AnswerByPipeline(th, q, d, rewrite.Options{}, saturate.Options{})
+	pipeAns, stats, err := kb.AnswerByPipeline(th, q, d, rewrite.Options{Budget: benchBudget}, saturate.Options{Budget: benchBudget})
 	if err != nil {
 		return err
 	}
@@ -574,11 +574,11 @@ func runE11(quick bool) error {
 		R(X,Y), B(X) -> S(Y).
 		R(X,Y), S(Y) -> Hit(X).
 	`)
-	ng, _, err := rewrite.Rewrite(normalize.Normalize(th), rewrite.Options{})
+	ng, _, err := rewrite.Rewrite(normalize.Normalize(th), rewrite.Options{Budget: benchBudget})
 	if err != nil {
 		return err
 	}
-	dat, _, err := saturate.NearlyGuardedToDatalog(ng, saturate.Options{})
+	dat, _, err := saturate.NearlyGuardedToDatalog(ng, saturate.Options{Budget: benchBudget})
 	if err != nil {
 		return err
 	}
@@ -619,7 +619,7 @@ func runE11(quick bool) error {
 		}
 		t0 := time.Now()
 		res, err := stratified.Eval(capture.SuccProgram(), db, stratified.Options{
-			Chase: chase.Options{Variant: chase.Restricted, MaxDepth: d + 1, MaxFacts: 5_000_000},
+			Chase: govern(chase.Options{Variant: chase.Restricted, MaxDepth: d + 1, MaxFacts: 5_000_000}),
 		})
 		if err != nil {
 			return err
@@ -633,7 +633,7 @@ func runE11(quick bool) error {
 // runE12: Proposition 5 — the ACDom axiomatization preserves answers.
 func runE12(bool) error {
 	th := normalize.Normalize(parser.MustParseTheory(sigmaP))
-	rew, _, err := rewrite.Rewrite(th, rewrite.Options{})
+	rew, _, err := rewrite.Rewrite(th, rewrite.Options{Budget: benchBudget})
 	if err != nil {
 		return err
 	}
@@ -646,11 +646,11 @@ func runE12(bool) error {
 		}
 	}
 	d := gen.CitationGraph(4)
-	r1, err := chase.Run(rew, d, chase.Options{Variant: chase.Restricted, MaxDepth: 6, MaxFacts: 2_000_000})
+	r1, err := chase.Run(rew, d, govern(chase.Options{Variant: chase.Restricted, MaxDepth: 6, MaxFacts: 2_000_000}))
 	if err != nil {
 		return err
 	}
-	r2, err := chase.Run(star, d, chase.Options{Variant: chase.Restricted, MaxDepth: 6, MaxFacts: 2_000_000})
+	r2, err := chase.Run(star, d, govern(chase.Options{Variant: chase.Restricted, MaxDepth: 6, MaxFacts: 2_000_000}))
 	if err != nil {
 		return err
 	}

@@ -14,7 +14,21 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"guardedrules/internal/budget"
+	"guardedrules/internal/chase"
 )
+
+// benchBudget, when non-nil, governs every engine run of every
+// experiment: exceeding it fails the experiment with a typed budget
+// error instead of letting a blown-up workload run away.
+var benchBudget *budget.T
+
+// govern attaches the global bench budget to a chase option literal.
+func govern(o chase.Options) chase.Options {
+	o.Budget = benchBudget
+	return o
+}
 
 type experiment struct {
 	id    string
@@ -25,7 +39,12 @@ type experiment struct {
 func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	quick := flag.Bool("quick", false, "smaller workloads")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per engine run, e.g. 30s (0 = none)")
+	maxFacts := flag.Int("max-facts", 0, "fact ceiling per engine run (0 = none)")
 	flag.Parse()
+	if *timeout != 0 || *maxFacts != 0 {
+		benchBudget = &budget.T{Timeout: *timeout, MaxFacts: *maxFacts}
+	}
 
 	all := []experiment{
 		{"E1", "Theorem 1: frontier-guarded -> nearly guarded", runE1},

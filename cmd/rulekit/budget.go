@@ -1,0 +1,33 @@
+package main
+
+import (
+	"flag"
+	"time"
+
+	"guardedrules"
+)
+
+// budgetFlags holds the shared resource-governance flags every
+// engine-running subcommand accepts. A zero value of both flags means
+// ungoverned (nil budget), preserving the legacy behavior.
+type budgetFlags struct {
+	timeout  time.Duration
+	maxFacts int
+}
+
+// addBudgetFlags registers -timeout and -max-facts on the subcommand's
+// flag set.
+func addBudgetFlags(fs *flag.FlagSet) *budgetFlags {
+	bf := &budgetFlags{}
+	fs.DurationVar(&bf.timeout, "timeout", 0, "wall-clock budget for engine runs, e.g. 30s (0 = none)")
+	fs.IntVar(&bf.maxFacts, "max-facts", 0, "fact ceiling for engine runs (0 = none)")
+	return bf
+}
+
+// budget builds the *Budget the flags describe, or nil when ungoverned.
+func (bf *budgetFlags) budget() *guardedrules.Budget {
+	if bf.timeout == 0 && bf.maxFacts == 0 {
+		return nil
+	}
+	return &guardedrules.Budget{Timeout: bf.timeout, MaxFacts: bf.maxFacts}
+}

@@ -105,6 +105,7 @@ func cmdTree(args []string) error {
 	fs := flag.NewFlagSet("tree", flag.ExitOnError)
 	data := fs.String("data", "", "facts file")
 	depth := fs.Int("depth", 6, "null-depth bound")
+	bf := addBudgetFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 || *data == "" {
 		return fmt.Errorf("tree: expected -data and one theory file")
@@ -120,9 +121,13 @@ func cmdTree(args []string) error {
 	norm := normalize.Normalize(th)
 	tree, res, err := chase.RunTree(norm, toInternal(d), chase.Options{
 		Variant: chase.Oblivious, MaxDepth: *depth, MaxFacts: 500_000,
+		Budget: bf.budget(),
 	})
 	if err != nil {
-		return err
+		if !guardedrules.IsBudgetError(err) || tree == nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tree: warning: chase truncated (%v); printing the partial tree\n", err)
 	}
 	var print func(n *chase.Node, indent string)
 	print = func(n *chase.Node, indent string) {
@@ -161,6 +166,7 @@ func cmdExplain(args []string) error {
 	data := fs.String("data", "", "facts file")
 	atomSrc := fs.String("atom", "", "ground atom to explain, e.g. 'Q(a1)'")
 	depth := fs.Int("depth", 8, "null-depth bound")
+	bf := addBudgetFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 || *data == "" || *atomSrc == "" {
 		return fmt.Errorf("explain: expected -data, -atom and one theory file")
@@ -179,9 +185,13 @@ func cmdExplain(args []string) error {
 	}
 	res, prov, err := chase.RunWithProvenance(th, toInternal(d), chase.Options{
 		Variant: chase.Restricted, MaxDepth: *depth, MaxFacts: 2_000_000,
+		Budget: bf.budget(),
 	})
 	if err != nil {
-		return err
+		if !guardedrules.IsBudgetError(err) || res == nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "explain: warning: chase truncated (%v); proofs reflect the partial run\n", err)
 	}
 	if !res.Entails(atoms[0]) {
 		fmt.Printf("%v is NOT entailed", atoms[0])
@@ -206,6 +216,7 @@ func cmdMagic(args []string) error {
 	fs := flag.NewFlagSet("magic", flag.ExitOnError)
 	data := fs.String("data", "", "facts file")
 	goal := fs.String("goal", "", "goal atom with constants bound, e.g. 'Anc(a0,Y)'")
+	bf := addBudgetFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 || *data == "" || *goal == "" {
 		return fmt.Errorf("magic: expected -data, -goal and one theory file")
@@ -227,9 +238,12 @@ func cmdMagic(args []string) error {
 	if len(body) != 1 {
 		return fmt.Errorf("magic: goal must be a single atom")
 	}
-	ans, _, err := datalog.AnswerWithMagic(th, body[0], toInternal(d))
+	ans, _, err := datalog.AnswerWithMagicOpts(th, body[0], toInternal(d), datalog.Options{Budget: bf.budget()})
 	if err != nil {
-		return err
+		if !guardedrules.IsBudgetError(err) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "magic: warning: evaluation truncated (%v); answers are a sound under-approximation\n", err)
 	}
 	for _, tuple := range ans {
 		parts := make([]string, len(tuple))

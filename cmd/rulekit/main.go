@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -82,7 +83,7 @@ commands:
                                          (exit 2 on errors, 1 on warnings)
   normalize <theory>                     print the Proposition 1 normal form
   translate -to ng|wg|datalog <theory>   run the paper's translations
-  chase     -data <facts> [-depth N] [-variant oblivious|restricted] <theory>
+  chase     -data <facts> [-depth N] [-variant oblivious|restricted] [-format text|json] <theory>
   query     -data <facts> -rel Q [-depth N] <theory>
   capture   -machine even-length|even-count|some|all -word s1,s2,...
   termination [-v] <theory>              weak-acyclicity chase-termination check
@@ -91,6 +92,11 @@ commands:
   tree      -data <facts> [-depth N] <theory>   print the Section 4 chase tree
   explain   -data <facts> -atom 'Q(a)' <theory> print a derivation proof tree
   magic     -data <facts> -goal 'Anc(a,Y)' <theory>  goal-directed Datalog answers
+
+engine-running subcommands (translate, chase, query, capture, tree,
+explain, magic) also accept -timeout <dur> and -max-facts <n>: the run is
+governed by a resource budget, and on exhaustion the partial result is
+reported with a typed truncation reason instead of running away.
 `)
 }
 
@@ -177,6 +183,7 @@ func cmdTranslate(args []string) error {
 	fs := flag.NewFlagSet("translate", flag.ExitOnError)
 	to := fs.String("to", "", "target language: ng (Theorem 1), wg (Theorem 2), datalog (Theorem 3 / Proposition 6)")
 	maxRules := fs.Int("max-rules", 0, "cap on intermediate rule counts")
+	bf := addBudgetFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 || *to == "" {
 		return fmt.Errorf("translate: expected -to and one theory file")
@@ -185,7 +192,7 @@ func cmdTranslate(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := guardedrules.TranslateOptions{MaxRules: *maxRules}
+	opts := guardedrules.TranslateOptions{MaxRules: *maxRules, Budget: bf.budget()}
 	switch *to {
 	case "ng":
 		out, err := guardedrules.FrontierGuardedToNearlyGuarded(th, opts)
@@ -221,12 +228,31 @@ func cmdTranslate(args []string) error {
 	return nil
 }
 
+// chaseReport is the -format json serialization of a chase run,
+// including the truncation reason and resource usage of governed runs.
+type chaseReport struct {
+	Facts     []string `json:"facts"`
+	Count     int      `json:"count"`
+	Steps     int      `json:"steps"`
+	Saturated bool     `json:"saturated"`
+	Truncated bool     `json:"truncated"`
+	Reason    string   `json:"reason,omitempty"`
+	Usage     struct {
+		Facts     int   `json:"facts"`
+		Rules     int   `json:"rules"`
+		Rounds    int   `json:"rounds"`
+		Steps     int   `json:"steps"`
+		ElapsedMS int64 `json:"elapsed_ms"`
+	} `json:"usage"`
+}
+
 func cmdChase(args []string) error {
 	fs := flag.NewFlagSet("chase", flag.ExitOnError)
 	data := fs.String("data", "", "facts file")
 	depth := fs.Int("depth", 0, "null-depth bound (0 = unbounded)")
 	variant := fs.String("variant", "restricted", "oblivious or restricted")
-	maxFacts := fs.Int("max-facts", 0, "fact budget")
+	format := fs.String("format", "text", "output format: text or json")
+	bf := addBudgetFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 || *data == "" {
 		return fmt.Errorf("chase: expected -data and one theory file")
@@ -239,21 +265,54 @@ func cmdChase(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := guardedrules.ChaseOptions{MaxDepth: *depth, MaxFacts: *maxFacts}
+	opts := guardedrules.ChaseOptions{MaxDepth: *depth, Budget: bf.budget()}
 	if *variant == "oblivious" {
 		opts.Variant = guardedrules.Oblivious
 	} else {
 		opts.Variant = guardedrules.Restricted
 	}
 	res, err := guardedrules.Chase(th, d, opts)
-	if err != nil {
+	if err != nil && !guardedrules.IsBudgetError(err) {
 		return err
 	}
-	for _, a := range res.DB.UserFacts() {
-		fmt.Println(parser.PrintAtom(a) + ".")
+	// A budget-exhausted run still carries the partial database; report
+	// it with its truncation reason instead of failing.
+	switch *format {
+	case "json":
+		rep := chaseReport{
+			Steps:     res.Steps,
+			Saturated: res.Saturated,
+			Truncated: res.Truncated,
+		}
+		for _, a := range res.DB.UserFacts() {
+			rep.Facts = append(rep.Facts, parser.PrintAtom(a))
+		}
+		rep.Count = len(rep.Facts)
+		if res.Reason != nil {
+			rep.Reason = res.Reason.Error()
+		}
+		rep.Usage.Facts = res.Usage.Facts
+		rep.Usage.Rules = res.Usage.Rules
+		rep.Usage.Rounds = res.Usage.Rounds
+		rep.Usage.Steps = res.Usage.Steps
+		rep.Usage.ElapsedMS = res.Usage.Elapsed.Milliseconds()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	case "text":
+		for _, a := range res.DB.UserFacts() {
+			fmt.Println(parser.PrintAtom(a) + ".")
+		}
+		fmt.Fprintf(os.Stderr, "chase: %d facts, %d steps, saturated=%v\n",
+			res.DB.Len(), res.Steps, res.Saturated)
+		if res.Truncated && res.Reason != nil {
+			fmt.Fprintf(os.Stderr, "chase: truncated: %v\n", res.Reason)
+		}
+	default:
+		return fmt.Errorf("chase: unknown format %q", *format)
 	}
-	fmt.Fprintf(os.Stderr, "chase: %d facts, %d steps, saturated=%v\n",
-		res.DB.Len(), res.Steps, res.Saturated)
 	return nil
 }
 
@@ -262,6 +321,7 @@ func cmdQuery(args []string) error {
 	data := fs.String("data", "", "facts file")
 	rel := fs.String("rel", "", "output relation")
 	depth := fs.Int("depth", 8, "null-depth bound for existential theories")
+	bf := addBudgetFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 || *data == "" || *rel == "" {
 		return fmt.Errorf("query: expected -data, -rel and one theory file")
@@ -276,21 +336,25 @@ func cmdQuery(args []string) error {
 	}
 	var ans [][]guardedrules.Term
 	if guardedrules.Classify(th).Member[classify.Datalog] && !th.HasNegation() {
-		ans, err = guardedrules.Answers(th, *rel, d)
+		fix, qerr := guardedrules.EvalDatalogOpts(th, d, guardedrules.DatalogOptions{Budget: bf.budget()})
+		if qerr != nil {
+			if fix == nil || !guardedrules.IsBudgetError(qerr) {
+				return qerr
+			}
+			fmt.Fprintf(os.Stderr, "query: warning: evaluation truncated (%v); answers are a sound under-approximation\n", qerr)
+		}
+		ans = datalog.CollectAnswers(fix, *rel)
 	} else {
 		res, cerr := guardedrules.Chase(th, d, guardedrules.ChaseOptions{
-			Variant: guardedrules.Restricted, MaxDepth: *depth,
+			Variant: guardedrules.Restricted, MaxDepth: *depth, Budget: bf.budget(),
 		})
-		if cerr != nil {
+		if cerr != nil && !guardedrules.IsBudgetError(cerr) {
 			return cerr
 		}
 		if !res.Saturated {
 			fmt.Fprintln(os.Stderr, "query: warning: chase truncated; answers are a sound under-approximation")
 		}
 		ans = datalog.CollectAnswers(res.DB, *rel)
-	}
-	if err != nil {
-		return err
 	}
 	for _, tuple := range ans {
 		parts := make([]string, len(tuple))
@@ -306,6 +370,7 @@ func cmdCapture(args []string) error {
 	fs := flag.NewFlagSet("capture", flag.ExitOnError)
 	machine := fs.String("machine", "even-length", "even-length, even-count, some or all")
 	word := fs.String("word", "", "comma-separated word over {zero,one}")
+	bf := addBudgetFlags(fs)
 	fs.Parse(args)
 	if *word == "" {
 		return fmt.Errorf("capture: expected -word")
@@ -335,6 +400,7 @@ func cmdCapture(args []string) error {
 	}
 	res, err := guardedrules.Chase(th, d, guardedrules.ChaseOptions{
 		Variant: guardedrules.Restricted, MaxDepth: 3*len(w) + 6, MaxFacts: 2_000_000,
+		Budget: bf.budget(),
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"guardedrules"
+)
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := f()
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput: %s", ferr, out)
+	}
+	return out
+}
+
+func infiniteFixtures(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	rules := write(t, dir, "inf.rules", `
+		N(X) -> exists Y. E(X,Y).
+		E(X,Y) -> N(Y).
+	`)
+	facts := write(t, dir, "inf.facts", `N(a).`)
+	return rules, facts
+}
+
+// A MaxFacts-truncated chase must serialize a well-formed partial result:
+// the truncation reason appears in the JSON output, every fact round-trips
+// through the parser, and the run is deterministic byte for byte.
+func TestChaseTruncationGoldenJSON(t *testing.T) {
+	rules, facts := infiniteFixtures(t)
+	args := []string{"-data", facts, "-max-facts", "10", "-format", "json", rules}
+	out := captureStdout(t, func() error { return cmdChase(args) })
+
+	var rep chaseReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if !rep.Truncated {
+		t.Fatal("truncated run must serialize truncated=true")
+	}
+	if !strings.Contains(rep.Reason, "fact limit") {
+		t.Fatalf("reason %q must name the fact limit", rep.Reason)
+	}
+	if rep.Saturated {
+		t.Fatal("a truncated run is not saturated")
+	}
+	if len(rep.Facts) == 0 || rep.Count != len(rep.Facts) {
+		t.Fatalf("count %d must match the %d serialized facts", rep.Count, len(rep.Facts))
+	}
+	if rep.Usage.Facts == 0 {
+		t.Fatal("usage snapshot must record the derived facts")
+	}
+	// Round-trip: every serialized fact must parse back.
+	if _, err := guardedrules.ParseFacts(strings.Join(rep.Facts, ". ") + "."); err != nil {
+		t.Fatalf("serialized facts do not round-trip: %v", err)
+	}
+	// Determinism: a second truncated run is byte-identical.
+	if again := captureStdout(t, func() error { return cmdChase(args) }); again != out {
+		t.Fatal("truncated chase output is not deterministic")
+	}
+}
+
+// The facts a truncated chase reports are a subset of the saturated run's.
+func TestChaseTruncatedOutputIsSubset(t *testing.T) {
+	rules, facts := fixtures(t)
+	full := captureStdout(t, func() error {
+		return cmdChase([]string{"-data", facts, "-depth", "4", rules})
+	})
+	fullSet := map[string]bool{}
+	for _, line := range strings.Split(full, "\n") {
+		if line != "" {
+			fullSet[line] = true
+		}
+	}
+	part := captureStdout(t, func() error {
+		return cmdChase([]string{"-data", facts, "-depth", "4", "-max-facts", "5", rules})
+	})
+	for _, line := range strings.Split(part, "\n") {
+		if line != "" && !fullSet[line] {
+			t.Fatalf("truncated run printed %q, absent from the full run", line)
+		}
+	}
+}

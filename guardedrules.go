@@ -29,7 +29,10 @@
 package guardedrules
 
 import (
+	"fmt"
+
 	"guardedrules/internal/annotate"
+	"guardedrules/internal/budget"
 	"guardedrules/internal/capture"
 	"guardedrules/internal/chase"
 	"guardedrules/internal/classify"
@@ -74,7 +77,45 @@ type (
 	ATM = tm.ATM
 	// Diagnostic is a positioned static-analysis finding.
 	Diagnostic = lint.Diagnostic
+	// Budget bounds a governed engine run: an optional context and
+	// wall-clock timeout plus resource ceilings (facts, rules, rounds,
+	// steps). A nil *Budget means ungoverned. On exhaustion engines return
+	// their partial result together with a typed *BudgetError.
+	Budget = budget.T
+	// BudgetUsage is a snapshot of the resources a governed run consumed.
+	BudgetUsage = budget.Usage
+	// BudgetError is the error engines return on budget exhaustion; it
+	// wraps one of the Err* sentinels and carries a BudgetUsage snapshot.
+	BudgetError = budget.Error
 )
+
+// Budget exhaustion sentinels; match with errors.Is. ErrCanceled also
+// matches context.Canceled, and ErrDeadline matches
+// context.DeadlineExceeded.
+var (
+	ErrCanceled   = budget.ErrCanceled
+	ErrDeadline   = budget.ErrDeadline
+	ErrFactLimit  = budget.ErrFactLimit
+	ErrRuleLimit  = budget.ErrRuleLimit
+	ErrRoundLimit = budget.ErrRoundLimit
+	ErrStepLimit  = budget.ErrStepLimit
+	ErrDepthLimit = budget.ErrDepthLimit
+)
+
+// IsBudgetError reports whether err (or anything it wraps) is a budget
+// exhaustion or cancellation error. Engines returning such an error still
+// return a well-formed partial result.
+func IsBudgetError(err error) bool { return budget.IsBudget(err) }
+
+// recoverToError converts a panic escaping an engine into a returned
+// error, so library callers never crash on malformed internal state. The
+// parser's MustParse* helpers intentionally panic and are not routed
+// through this boundary.
+func recoverToError(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("guardedrules: internal panic: %v", r)
+	}
+}
 
 // Fragments of Figure 1.
 const (
@@ -131,23 +172,30 @@ func Lint(th *Theory) []Diagnostic { return lint.Run(th) }
 func Normalize(th *Theory) *Theory { return normalize.Normalize(th) }
 
 // Chase runs the chase of D with Σ (Section 2). Existential theories may
-// have infinite chases; use the options' depth and fact budgets.
-func Chase(th *Theory, d *Database, opts ChaseOptions) (*ChaseResult, error) {
+// have infinite chases; use the options' depth and fact budgets, or a
+// Budget for typed exhaustion errors with partial results.
+func Chase(th *Theory, d *Database, opts ChaseOptions) (res *ChaseResult, err error) {
+	defer recoverToError(&err)
 	return chase.Run(th, d, opts)
 }
 
 // TranslateOptions bounds the exponential translations.
 type TranslateOptions struct {
-	// MaxRules caps intermediate rule counts (0 = defaults).
+	// MaxRules caps intermediate rule counts (0 = defaults). Hitting the
+	// cap returns an error wrapping ErrRuleLimit.
 	MaxRules int
+	// Budget, when non-nil, governs the translation; on exhaustion the
+	// partial theory built so far is returned with a typed *BudgetError.
+	Budget *Budget
 }
 
 // FrontierGuardedToNearlyGuarded computes rew(Σ) of Theorem 1 /
 // Proposition 4 for a (nearly) frontier-guarded theory: a nearly guarded
 // theory with the same ground atomic consequences over Σ's signature. The
 // input is normalized automatically.
-func FrontierGuardedToNearlyGuarded(th *Theory, opts TranslateOptions) (*Theory, error) {
-	out, _, err := rewrite.Rewrite(normalize.Normalize(th), rewrite.Options{MaxRules: opts.MaxRules})
+func FrontierGuardedToNearlyGuarded(th *Theory, opts TranslateOptions) (out *Theory, err error) {
+	defer recoverToError(&err)
+	out, _, err = rewrite.Rewrite(normalize.Normalize(th), rewrite.Options{MaxRules: opts.MaxRules, Budget: opts.Budget})
 	return out, err
 }
 
@@ -156,20 +204,23 @@ func FrontierGuardedToNearlyGuarded(th *Theory, opts TranslateOptions) (*Theory,
 type WFGResult = annotate.Result
 
 // WeaklyFrontierGuardedToWeaklyGuarded computes rew(Σ) of Theorem 2.
-func WeaklyFrontierGuardedToWeaklyGuarded(th *Theory, opts TranslateOptions) (*WFGResult, error) {
-	return annotate.RewriteWFG(th, rewrite.Options{MaxRules: opts.MaxRules})
+func WeaklyFrontierGuardedToWeaklyGuarded(th *Theory, opts TranslateOptions) (res *WFGResult, err error) {
+	defer recoverToError(&err)
+	return annotate.RewriteWFG(th, rewrite.Options{MaxRules: opts.MaxRules, Budget: opts.Budget})
 }
 
 // GuardedToDatalog computes dat(Σ) of Theorem 3 for a guarded theory.
-func GuardedToDatalog(th *Theory, opts TranslateOptions) (*Theory, error) {
-	out, _, err := saturate.Datalog(th, saturate.Options{MaxRules: opts.MaxRules})
+func GuardedToDatalog(th *Theory, opts TranslateOptions) (out *Theory, err error) {
+	defer recoverToError(&err)
+	out, _, err = saturate.Datalog(th, saturate.Options{MaxRules: opts.MaxRules, Budget: opts.Budget})
 	return out, err
 }
 
 // NearlyGuardedToDatalog translates a nearly guarded theory into Datalog
 // (Proposition 6).
-func NearlyGuardedToDatalog(th *Theory, opts TranslateOptions) (*Theory, error) {
-	out, _, err := saturate.NearlyGuardedToDatalog(th, saturate.Options{MaxRules: opts.MaxRules})
+func NearlyGuardedToDatalog(th *Theory, opts TranslateOptions) (out *Theory, err error) {
+	defer recoverToError(&err)
+	out, _, err = saturate.NearlyGuardedToDatalog(th, saturate.Options{MaxRules: opts.MaxRules, Budget: opts.Budget})
 	return out, err
 }
 
@@ -179,7 +230,10 @@ func AxiomatizeACDom(th *Theory) *Theory { return rewrite.Axiomatize(th) }
 
 // EvalDatalog computes the stratified fixpoint of a Datalog program with
 // the parallel semi-naive engine at its default worker count (all CPUs).
-func EvalDatalog(th *Theory, d *Database) (*Database, error) { return datalog.Eval(th, d) }
+func EvalDatalog(th *Theory, d *Database) (out *Database, err error) {
+	defer recoverToError(&err)
+	return datalog.Eval(th, d)
+}
 
 // DatalogOptions configures the semi-naive Datalog engine: the per-round
 // worker count (0 = all CPUs, 1 = sequential) and the round budget. The
@@ -187,13 +241,16 @@ func EvalDatalog(th *Theory, d *Database) (*Database, error) { return datalog.Ev
 type DatalogOptions = datalog.Options
 
 // EvalDatalogOpts computes the stratified fixpoint with explicit engine
-// options.
-func EvalDatalogOpts(th *Theory, d *Database, opts DatalogOptions) (*Database, error) {
+// options; a Budget in opts makes the run cancellable, returning the
+// facts of completed rounds alongside a typed *BudgetError.
+func EvalDatalogOpts(th *Theory, d *Database, opts DatalogOptions) (out *Database, err error) {
+	defer recoverToError(&err)
 	return datalog.EvalSemiNaiveOpts(th, d, opts)
 }
 
 // Answers evaluates the query (Σ, Q) for a Datalog Σ over D.
-func Answers(th *Theory, q string, d *Database) ([][]Term, error) {
+func Answers(th *Theory, q string, d *Database) (ans [][]Term, err error) {
+	defer recoverToError(&err)
 	return datalog.Answers(th, q, d)
 }
 
@@ -201,15 +258,21 @@ func Answers(th *Theory, q string, d *Database) ([][]Term, error) {
 // weakly frontier-guarded theory, by bounded chase (Section 7). The
 // boolean result reports whether the chase saturated (answers are then
 // exact; otherwise they are a sound under-approximation).
-func AnswerCQ(th *Theory, q CQ, d *Database, opts ChaseOptions) ([][]Term, bool, error) {
+func AnswerCQ(th *Theory, q CQ, d *Database, opts ChaseOptions) (ans [][]Term, exact bool, err error) {
+	defer recoverToError(&err)
 	return kb.AnswerByChase(th, q, d, opts)
 }
 
 // EvalStratified evaluates a stratified existential theory (Definition 23)
-// with the given per-stratum chase bounds.
-func EvalStratified(th *Theory, d *Database, opts ChaseOptions) (*Database, bool, error) {
+// with the given per-stratum chase bounds. On budget exhaustion the
+// partially chased database is returned (exact = false) with the error.
+func EvalStratified(th *Theory, d *Database, opts ChaseOptions) (out *Database, exact bool, err error) {
+	defer recoverToError(&err)
 	res, err := stratified.Eval(th, d, stratified.Options{Chase: opts})
 	if err != nil {
+		if IsBudgetError(err) && res != nil {
+			return res.DB, false, err
+		}
 		return nil, false, err
 	}
 	return res.DB, !res.Truncated, nil
@@ -218,7 +281,8 @@ func EvalStratified(th *Theory, d *Database, opts ChaseOptions) (*Database, bool
 // CompileATM compiles an alternating Turing machine into the weakly
 // guarded theory Σ_M of Theorem 4 over string databases of degree k; the
 // 0-ary relation AcceptRel answers acceptance of w(D).
-func CompileATM(m *ATM, k int, alphabet []string) (*Theory, error) {
+func CompileATM(m *ATM, k int, alphabet []string) (th *Theory, err error) {
+	defer recoverToError(&err)
 	return capture.Compile(m, k, alphabet)
 }
 
@@ -233,7 +297,8 @@ func EncodeWord(word []string, k int, alphabet []string) (*Database, error) {
 
 // BooleanQuery builds the Theorem 5 stratified weakly guarded theory for a
 // Boolean query over a unary signature; BoolRel answers it.
-func BooleanQuery(m *ATM, rels []string) (*Theory, error) {
+func BooleanQuery(m *ATM, rels []string) (th *Theory, err error) {
+	defer recoverToError(&err)
 	return capture.BooleanQuery(m, rels)
 }
 
@@ -242,8 +307,9 @@ const BoolRel = capture.BoolRel
 
 // EvalBoolean evaluates a Theorem 5 theory; steps bounds the machine run
 // length on the given database.
-func EvalBoolean(th *Theory, d *Database, steps int) (bool, error) {
-	ok, _, err := capture.EvalBoolean(th, d, steps)
+func EvalBoolean(th *Theory, d *Database, steps int) (ok bool, err error) {
+	defer recoverToError(&err)
+	ok, _, err = capture.EvalBoolean(th, d, steps)
 	return ok, err
 }
 
@@ -269,7 +335,8 @@ func CQContained(q1, q2 CQ) (bool, error) { return q1.ContainedIn(q2) }
 // rewriting: bottom-up evaluation restricted to the facts relevant to the
 // query's bound constants. The query atom mixes constants (bound) and
 // variables (free); answers are full tuples of the query relation.
-func AnswersGoalDirected(th *Theory, query Atom, d *Database) ([][]Term, error) {
-	ans, _, err := datalog.AnswerWithMagic(th, query, d)
+func AnswersGoalDirected(th *Theory, query Atom, d *Database) (ans [][]Term, err error) {
+	defer recoverToError(&err)
+	ans, _, err = datalog.AnswerWithMagic(th, query, d)
 	return ans, err
 }

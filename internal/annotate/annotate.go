@@ -8,6 +8,7 @@ package annotate
 import (
 	"fmt"
 
+	"guardedrules/internal/budget"
 	"guardedrules/internal/classify"
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
@@ -137,7 +138,10 @@ type Result struct {
 // RewriteWFG computes the Theorem 2 translation for a weakly
 // frontier-guarded theory: normalize, make proper, annotate, rewrite the
 // resulting (nearly) frontier-guarded annotated theory, and fold
-// annotations back. The result is weakly guarded.
+// annotations back. The result is weakly guarded. On budget exhaustion
+// inside the inner expansion (opts.Budget) the partial rewriting is
+// returned — annotations folded back the same way — alongside the typed
+// *budget.Error.
 func RewriteWFG(th *core.Theory, opts rewrite.Options) (*Result, error) {
 	rep := classify.Classify(th)
 	if !rep.Member[classify.WeaklyFrontierGuarded] {
@@ -161,12 +165,12 @@ func RewriteWFG(th *core.Theory, opts rewrite.Options) (*Result, error) {
 		return nil, err
 	}
 	rew, stats, err := rewrite.Rewrite(annotated, opts)
-	if err != nil {
+	if err != nil && !budget.IsBudget(err) {
 		return nil, err
 	}
 	return &Result{
 		Rewritten: UndoTheory(rew),
 		Reorder:   ro,
 		Stats:     stats,
-	}, nil
+	}, err
 }

@@ -3,6 +3,7 @@ package capture
 import (
 	"fmt"
 
+	"guardedrules/internal/budget"
 	"guardedrules/internal/core"
 	"guardedrules/internal/tm"
 )
@@ -10,6 +11,19 @@ import (
 // AcceptRel is the 0-ary output relation of compiled machines: the query
 // (Σ_M, AcceptRel) answers "does M accept w(D)?".
 const AcceptRel = "Accepts"
+
+// Options governs an ATM compilation run.
+type Options struct {
+	// MaxRules caps the number of compiled rules (0 = unlimited). The
+	// compiled theory is polynomial in |δ| and the tape alphabet, but large
+	// machines with many frame rules can still explode.
+	MaxRules int
+	// Budget, when non-nil, governs the run: its context/deadline cancels
+	// the compilation between rules, its MaxRules overrides the cap above,
+	// and exhaustion returns the rules compiled so far alongside a typed
+	// *budget.Error.
+	Budget *budget.T
+}
 
 // Compile translates an alternating Turing machine into a weakly guarded
 // theory Σ_M over string databases of degree k (Theorem 4): for every
@@ -22,14 +36,31 @@ const AcceptRel = "Accepts"
 // guarded: the configuration nulls are the only unsafe variables and each
 // rule guards them with a single atom.
 func Compile(m *tm.ATM, k int, alphabet []string) (*core.Theory, error) {
+	return CompileOpts(m, k, alphabet, Options{})
+}
+
+// CompileOpts is Compile with an explicit resource budget. On budget
+// exhaustion the returned theory holds the rules compiled so far (an
+// incomplete machine encoding, returned for inspection only) together
+// with a typed error satisfying errors.Is against the budget sentinels.
+func CompileOpts(m *tm.ATM, k int, alphabet []string, opts Options) (*core.Theory, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	c := &compiler{m: m, k: k, alphabet: alphabet, th: core.NewTheory()}
+	tk := budget.Start(opts.Budget)
+	defer tk.Stop()
+	c := &compiler{
+		m: m, k: k, alphabet: alphabet, th: core.NewTheory(),
+		tk:       tk,
+		maxRules: budget.Cap(opts.Budget, func(b *budget.T) int { return b.MaxRules }, opts.MaxRules),
+	}
 	c.orderDatalog()
 	c.initRules()
 	c.transitionRules()
 	c.acceptanceRules()
+	if c.err != nil {
+		return core.StampGenerated(c.th, "atm-compilation"), c.err
+	}
 	if err := c.th.CheckSafe(); err != nil {
 		return nil, fmt.Errorf("capture: compiled theory unsafe: %w", err)
 	}
@@ -42,6 +73,9 @@ type compiler struct {
 	alphabet []string
 	th       *core.Theory
 	nTrans   int
+	maxRules int
+	tk       *budget.Tracker
+	err      error // first budget error; later adds become no-ops
 }
 
 // Relation names of the compiled theory.
@@ -361,8 +395,22 @@ func posLits(atoms []core.Atom) []core.Literal {
 }
 
 func (c *compiler) add(r *core.Rule) {
+	if c.err != nil {
+		return // sticky: keep the partial theory at the point of exhaustion
+	}
+	// Per-rule checkpoint: cancellation, deadline and FailAt injection.
+	if err := c.tk.Check(); err != nil {
+		c.err = fmt.Errorf("capture: %w", err)
+		return
+	}
+	if c.maxRules > 0 && len(c.th.Rules) >= c.maxRules {
+		c.err = fmt.Errorf("capture: compilation exceeded %d rules: %w",
+			c.maxRules, c.tk.Exhausted(budget.ErrRuleLimit))
+		return
+	}
 	if r.Label == "" {
 		r.Label = fmt.Sprintf("cmp_%d", len(c.th.Rules))
 	}
 	c.th.Add(r)
+	c.tk.AddRules(1)
 }

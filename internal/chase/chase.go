@@ -10,10 +10,12 @@
 package chase
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 
+	"guardedrules/internal/budget"
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
 	"guardedrules/internal/hom"
@@ -50,6 +52,13 @@ type Options struct {
 	// parallelizes). 0 or 1 means sequential. The result is identical to
 	// the sequential one: triggers are merged in rule order.
 	Workers int
+	// Budget, when non-nil, governs the run: its context/deadline cancels
+	// the chase between trigger applications, and its ceilings override
+	// the legacy Max* fields above. A budget-governed run that exhausts a
+	// ceiling returns the partial Result together with a typed
+	// *budget.Error (errors.Is-matchable), whereas the legacy ints above
+	// truncate softly: Truncated=true, Reason set, nil error.
+	Budget *budget.T
 }
 
 func (o Options) workers() int {
@@ -80,8 +89,15 @@ type Result struct {
 	// Saturated is true when a fixpoint was reached: no applicable trigger
 	// remains, so DB is exactly chase(Σ, D) (up to the variant).
 	Saturated bool
-	// Truncated is true when a depth, fact or round budget was hit.
+	// Truncated is true when a depth, fact or round budget was hit, or the
+	// run was canceled.
 	Truncated bool
+	// Reason is the budget sentinel explaining a truncation
+	// (budget.ErrDepthLimit, budget.ErrFactLimit, budget.ErrRoundLimit,
+	// budget.ErrCanceled, ...). Nil when the run saturated.
+	Reason error
+	// Usage is the resource-usage snapshot of the run.
+	Usage budget.Usage
 	// Steps is the number of trigger applications.
 	Steps int
 	// Rounds is the number of breadth-first rounds executed.
@@ -110,6 +126,7 @@ type engine struct {
 	nulls   int
 	steps   int
 	trunc   bool
+	reason  error // budget sentinel recorded at the first truncation
 	// Precomputed per rule: a numeric id and the sorted universal
 	// variables, so trigger keys are built without sorting or fmt.
 	ruleID   map[*core.Rule]int
@@ -148,14 +165,51 @@ func run(th *core.Theory, d0 *database.Database, opts Options, hook func(tr trig
 		}
 		e.ruleVars[r] = keep.Sorted()
 	}
+	bud := opts.Budget
+	tk := budget.Start(bud)
+	defer tk.Stop()
+	// Effective ceilings: the budget overrides the legacy Options ints.
+	// Legacy truncation stays soft (Truncated + Reason, nil error); hitting
+	// a ceiling the budget itself declares is a typed error with a partial
+	// result attached.
+	maxFacts := budget.Cap(bud, func(b *budget.T) int { return b.MaxFacts }, opts.maxFacts())
+	maxRounds := budget.Cap(bud, func(b *budget.T) int { return b.MaxRounds }, opts.maxRounds())
+	maxSteps := 0
+	budFacts, budRounds := false, false
+	if bud != nil {
+		maxSteps = bud.MaxSteps
+		budFacts = bud.MaxFacts > 0
+		budRounds = bud.MaxRounds > 0
+	}
+
 	res := &Result{Depth: e.depth}
+	finish := func(err error) (*Result, error) {
+		res.DB = e.db
+		res.Steps = e.steps
+		res.Truncated = e.trunc
+		res.Saturated = !e.trunc
+		res.Reason = e.reason
+		res.Usage = tk.Usage()
+		return res, err
+	}
 	// Delta-driven rounds: round 0 considers all facts; later rounds only
 	// triggers whose body uses at least one fact derived in the previous
 	// round.
 	delta := e.db.UserFacts()
 	for rounds := 0; ; rounds++ {
-		if rounds >= e.opts.maxRounds() {
-			e.trunc = true
+		tk.SetRounds(rounds)
+		// Round checkpoint: cancellation and deadline are observed here and
+		// between trigger applications below; the partial database (all
+		// completed applications) stays attached to the result.
+		if err := tk.Check(); err != nil {
+			e.truncate(reasonOf(err))
+			return finish(err)
+		}
+		if rounds >= maxRounds {
+			e.truncate(budget.ErrRoundLimit)
+			if budRounds {
+				return finish(tk.Exhausted(budget.ErrRoundLimit))
+			}
 			break
 		}
 		res.Rounds = rounds
@@ -166,12 +220,29 @@ func run(th *core.Theory, d0 *database.Database, opts Options, hook func(tr trig
 		var newFacts []core.Atom
 		overBudget := false
 		for _, tr := range trs {
-			if e.db.Len() >= e.opts.maxFacts() {
-				e.trunc = true
+			if err := tk.Check(); err != nil {
+				e.truncate(reasonOf(err))
+				return finish(err)
+			}
+			if e.db.Len() >= maxFacts {
+				e.truncate(budget.ErrFactLimit)
+				if budFacts {
+					return finish(tk.Exhausted(budget.ErrFactLimit))
+				}
 				overBudget = true
 				break
 			}
-			newFacts = append(newFacts, e.apply(tr)...)
+			if maxSteps > 0 && e.steps >= maxSteps {
+				e.truncate(budget.ErrStepLimit)
+				return finish(tk.Exhausted(budget.ErrStepLimit))
+			}
+			added, err := e.apply(tr)
+			if err != nil {
+				return finish(fmt.Errorf("chase: %w", err))
+			}
+			tk.AddFacts(len(added))
+			tk.AddSteps(1)
+			newFacts = append(newFacts, added...)
 		}
 		if overBudget {
 			break
@@ -181,11 +252,25 @@ func run(th *core.Theory, d0 *database.Database, opts Options, hook func(tr trig
 		}
 		delta = newFacts
 	}
-	res.DB = e.db
-	res.Steps = e.steps
-	res.Truncated = e.trunc
-	res.Saturated = !e.trunc
-	return res, nil
+	return finish(nil)
+}
+
+// truncate marks the run truncated, recording the first reason.
+func (e *engine) truncate(reason error) {
+	e.trunc = true
+	if e.reason == nil {
+		e.reason = reason
+	}
+}
+
+// reasonOf extracts the sentinel reason of a budget error, for recording
+// in Result.Reason.
+func reasonOf(err error) error {
+	var be *budget.Error
+	if errors.As(err, &be) {
+		return be.Reason
+	}
+	return err
 }
 
 // collect gathers the applicable triggers for this round: candidates are
@@ -288,7 +373,9 @@ func (e *engine) admissible(tr trigger, key string) bool {
 			}
 		}
 		if d+1 > e.opts.MaxDepth {
-			e.trunc = true
+			// Depth is a semantic under-approximation bound, never an error:
+			// record the truncation and skip the trigger.
+			e.truncate(budget.ErrDepthLimit)
 			return false
 		}
 	}
@@ -312,16 +399,16 @@ func (e *engine) headSatisfied(tr trigger) bool {
 // apply fires the trigger: existential variables become fresh nulls and
 // the instantiated head atoms are added. It returns the atoms that were
 // actually new.
-func (e *engine) apply(tr trigger) []core.Atom {
+func (e *engine) apply(tr trigger) ([]core.Atom, error) {
 	key := e.triggerKey(tr)
 	if e.applied[key] {
-		return nil
+		return nil, nil
 	}
 	// Re-check satisfaction for the restricted variant: an earlier trigger
 	// in this round may have satisfied the head meanwhile.
 	if e.opts.Variant == Restricted && e.headSatisfied(tr) {
 		e.applied[key] = true
-		return nil
+		return nil, nil
 	}
 	e.applied[key] = true
 	s := tr.sub.Clone()
@@ -344,13 +431,15 @@ func (e *engine) apply(tr trigger) []core.Atom {
 	note := func(f core.Atom) { added = append(added, f) }
 	for _, h := range tr.rule.Head {
 		a := s.ApplyAtom(h)
-		if e.db.AddNotify(a, note) {
-			if e.hook != nil {
-				e.hook(tr, a)
-			}
+		isNew, err := e.db.AddNotify(a, note)
+		if err != nil {
+			return added, fmt.Errorf("rule %s: %w", tr.rule.Label, err)
+		}
+		if isNew && e.hook != nil {
+			e.hook(tr, a)
 		}
 	}
-	return added
+	return added, nil
 }
 
 // restrictToRule keeps only the bindings of the rule's own variables

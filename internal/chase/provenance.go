@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"guardedrules/internal/budget"
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
 )
@@ -37,6 +38,11 @@ func RunWithProvenance(th *core.Theory, d0 *database.Database, opts Options) (*R
 		prov[key] = Derivation{RuleLabel: tr.rule.Label, Premises: premises}
 	})
 	if err != nil {
+		if budget.IsBudget(err) && res != nil {
+			// Provenance of the partial run is complete for every atom it
+			// derived; return it alongside the typed error.
+			return res, prov, err
+		}
 		return nil, nil, err
 	}
 	return res, prov, nil

@@ -3,6 +3,7 @@ package chase
 import (
 	"fmt"
 
+	"guardedrules/internal/budget"
 	"guardedrules/internal/classify"
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
@@ -80,6 +81,11 @@ func RunTree(th *core.Theory, d0 *database.Database, opts Options) (*Tree, *Resu
 	}
 	res, err := run(th, d0, opts, hook)
 	if err != nil {
+		if budget.IsBudget(err) && res != nil && hookErr == nil {
+			// The partial run still induces a well-formed prefix of the
+			// chase tree; surface it alongside the typed error.
+			return tree, res, err
+		}
 		return nil, nil, err
 	}
 	if hookErr != nil {

@@ -32,11 +32,18 @@
 package database
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"strings"
 
 	"guardedrules/internal/core"
 )
+
+// ErrNotGround is returned (wrapped with the offending atom) when a
+// non-ground atom is inserted: databases are sets of ground atoms by
+// definition (Section 2 of the paper). Match with errors.Is.
+var ErrNotGround = errors.New("database: atom is not ground")
 
 // posID indexes facts by (flat position, interned term id): argument
 // positions first, then annotation positions.
@@ -78,21 +85,32 @@ func FromAtoms(atoms []core.Atom) *Database {
 	return d
 }
 
-// Add inserts a ground atom and reports whether it was new. Inserting an
-// atom with variables panics: databases are ground by definition. ACDom
-// facts for the constants of the atom are added automatically.
-func (d *Database) Add(a core.Atom) bool { return d.AddNotify(a, nil) }
+// Add inserts a ground atom and reports whether it was new. A non-ground
+// atom is rejected (never inserted) and reports false; use AddErr to
+// observe the typed ErrNotGround instead. ACDom facts for the constants
+// of the atom are added automatically.
+func (d *Database) Add(a core.Atom) bool {
+	added, _ := d.AddNotify(a, nil)
+	return added
+}
 
-// AddNotify inserts a ground atom like Add and additionally calls notify
-// for every fact actually inserted: the atom itself and any ACDom facts
-// derived from its constants. Fixpoint engines use it to keep derived
-// ACDom facts in their semi-naive deltas (see the package comment).
-func (d *Database) AddNotify(a core.Atom, notify func(core.Atom)) bool {
+// AddErr inserts a ground atom and reports whether it was new; a
+// non-ground atom returns an error wrapping ErrNotGround instead of the
+// pre-governance panic, so fixpoint engines degrade to a typed failure.
+func (d *Database) AddErr(a core.Atom) (bool, error) { return d.AddNotify(a, nil) }
+
+// AddNotify inserts a ground atom like AddErr and additionally calls
+// notify for every fact actually inserted: the atom itself and any ACDom
+// facts derived from its constants. Fixpoint engines use it to keep
+// derived ACDom facts in their semi-naive deltas (see the package
+// comment). Non-ground atoms are rejected with an error wrapping
+// ErrNotGround.
+func (d *Database) AddNotify(a core.Atom, notify func(core.Atom)) (bool, error) {
 	if !a.IsGround() {
-		panic("database: atom " + a.String() + " is not ground")
+		return false, fmt.Errorf("%w: %s", ErrNotGround, a.String())
 	}
 	if !d.insert(a) {
-		return false
+		return false, nil
 	}
 	if notify != nil {
 		notify(a)
@@ -105,7 +123,7 @@ func (d *Database) AddNotify(a core.Atom, notify func(core.Atom)) bool {
 			d.noteConstant(t, notify)
 		}
 	}
-	return true
+	return true, nil
 }
 
 func (d *Database) noteConstant(t core.Term, notify func(core.Atom)) {

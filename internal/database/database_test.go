@@ -1,6 +1,7 @@
 package database
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -86,13 +87,21 @@ func TestAnnotatedFacts(t *testing.T) {
 	}
 }
 
-func TestNonGroundPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Add of non-ground atom must panic")
-		}
-	}()
-	New().Add(core.NewAtom("R", core.Var("x")))
+func TestNonGroundRejected(t *testing.T) {
+	d := New()
+	if d.Add(core.NewAtom("R", core.Var("x"))) {
+		t.Error("Add of non-ground atom must report false")
+	}
+	added, err := d.AddErr(core.NewAtom("R", core.Var("x")))
+	if added || !errors.Is(err, ErrNotGround) {
+		t.Errorf("AddErr of non-ground atom = (%v, %v), want (false, ErrNotGround)", added, err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("rejected atom must not be inserted, Len=%d", d.Len())
+	}
+	if _, err := d.AddErr(core.NewAtom("R", core.Const("a"))); err != nil {
+		t.Errorf("AddErr of ground atom = %v", err)
+	}
 }
 
 func TestCloneIndependence(t *testing.T) {

@@ -120,8 +120,8 @@ func TestAddNotifyReportsDerivedACDom(t *testing.T) {
 	d := New()
 	var got []string
 	note := func(a core.Atom) { got = append(got, a.String()) }
-	if !d.AddNotify(core.NewAtom("R", core.Const("a"), core.NewNull("n1")), note) {
-		t.Fatal("first insert must be new")
+	if added, err := d.AddNotify(core.NewAtom("R", core.Const("a"), core.NewNull("n1")), note); !added || err != nil {
+		t.Fatalf("first insert = (%v, %v), must be new", added, err)
 	}
 	want := map[string]bool{"R(a,_:n1)": true, "ACDom(a)": true}
 	if len(got) != len(want) {
@@ -133,7 +133,7 @@ func TestAddNotifyReportsDerivedACDom(t *testing.T) {
 		}
 	}
 	got = nil
-	if d.AddNotify(core.NewAtom("R", core.Const("a"), core.NewNull("n1")), note) {
+	if added, _ := d.AddNotify(core.NewAtom("R", core.Const("a"), core.NewNull("n1")), note); added {
 		t.Error("duplicate must not be new")
 	}
 	if len(got) != 0 {
@@ -141,7 +141,7 @@ func TestAddNotifyReportsDerivedACDom(t *testing.T) {
 	}
 	// A second fact over a known constant derives no new ACDom fact.
 	got = nil
-	d.AddNotify(core.NewAtom("S", core.Const("a")), note)
+	d.AddNotify(core.NewAtom("S", core.Const("a")), note) //nolint:errcheck // ground atom
 	if len(got) != 1 || got[0] != "S(a)" {
 		t.Errorf("known constant must notify only the fact: %v", got)
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 
+	"guardedrules/internal/budget"
 	"guardedrules/internal/chase"
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
@@ -215,8 +216,18 @@ func EvalViaChase(th *core.Theory, d *database.Database) (*database.Database, er
 // constant tuples ~c with Q(~c) in the fixpoint. Tuples are returned in
 // sorted textual order.
 func Answers(th *core.Theory, q string, d *database.Database) ([][]core.Term, error) {
-	fix, err := Eval(th, d)
+	return AnswersOpts(th, q, d, Options{})
+}
+
+// AnswersOpts is Answers with explicit engine options. On budget
+// exhaustion the answers of the partial fixpoint are returned (a sound
+// under-approximation) alongside the typed error.
+func AnswersOpts(th *core.Theory, q string, d *database.Database, opts Options) ([][]core.Term, error) {
+	fix, err := EvalSemiNaiveOpts(th, d, opts)
 	if err != nil {
+		if fix != nil && budget.IsBudget(err) {
+			return CollectAnswers(fix, q), err
+		}
 		return nil, err
 	}
 	return CollectAnswers(fix, q), nil

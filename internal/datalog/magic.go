@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"guardedrules/internal/budget"
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
 )
@@ -85,15 +86,22 @@ func MagicRewrite(th *core.Theory, query core.Atom) (*MagicResult, error) {
 // AnswerWithMagic rewrites, seeds, evaluates and extracts the query
 // answers: the tuples of the adorned query relation.
 func AnswerWithMagic(th *core.Theory, query core.Atom, d *database.Database) ([][]core.Term, *database.Database, error) {
+	return AnswerWithMagicOpts(th, query, d, Options{})
+}
+
+// AnswerWithMagicOpts is AnswerWithMagic with explicit engine options. On
+// budget exhaustion the answers extracted from the partial fixpoint are
+// returned (a sound under-approximation) alongside the typed error.
+func AnswerWithMagicOpts(th *core.Theory, query core.Atom, d *database.Database, opts Options) ([][]core.Term, *database.Database, error) {
 	res, err := MagicRewrite(th, query)
 	if err != nil {
 		return nil, nil, err
 	}
 	seeded := d.Clone()
 	seeded.Add(res.Seed)
-	fix, err := Eval(res.Program, seeded)
-	if err != nil {
-		return nil, nil, err
+	fix, evalErr := EvalSemiNaiveOpts(res.Program, seeded, opts)
+	if evalErr != nil && (fix == nil || !budget.IsBudget(evalErr)) {
+		return nil, nil, evalErr
 	}
 	// Filter: answers must match the query's bound constants.
 	var out [][]core.Term
@@ -109,7 +117,7 @@ func AnswerWithMagic(th *core.Theory, query core.Atom, d *database.Database) ([]
 			out = append(out, append([]core.Term(nil), f.Args...))
 		}
 	}
-	return out, fix, nil
+	return out, fix, evalErr
 }
 
 type adornedPred struct {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"guardedrules/internal/budget"
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
 	"guardedrules/internal/hom"
@@ -21,6 +22,13 @@ type Options struct {
 	Workers int
 	// MaxRounds bounds the rounds per stratum (0 = 1,000,000).
 	MaxRounds int
+	// Budget, when non-nil, governs the run: cancellation and deadline are
+	// observed mid-stratum (workers drain between units and every
+	// pollInterval delta facts; a canceled round's buffers are not
+	// merged), and its ceilings override MaxRounds and cap derived facts.
+	// On exhaustion EvalSemiNaiveOpts returns the partial database —
+	// every completed round's facts — with a typed *budget.Error.
+	Budget *budget.T
 }
 
 func (o Options) workers() int {
@@ -371,9 +379,17 @@ func (st *joinState) materialize(ca *catom) core.Atom {
 // runUnits executes run(0..n-1) across the worker pool. Units are claimed
 // from a shared counter; determinism is preserved because each unit writes
 // only its own result slot and the caller merges slots in unit order.
-func runUnits(n, workers int, run func(u int)) {
+// Workers poll canceled between units and drain without claiming more;
+// wg.Wait always runs, so cancellation can never leak a goroutine. Units
+// already started finish their (possibly canceled-short) run; the caller
+// discards all buffers of a canceled round, so partial units never leak
+// into the result.
+func runUnits(n, workers int, canceled func() bool, run func(u int)) {
 	if workers <= 1 || n <= 1 {
 		for u := 0; u < n; u++ {
+			if canceled() {
+				return
+			}
 			run(u)
 		}
 		return
@@ -388,6 +404,9 @@ func runUnits(n, workers int, run func(u int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if canceled() {
+					return
+				}
 				u := int(next.Add(1)) - 1
 				if u >= n {
 					return
@@ -398,6 +417,11 @@ func runUnits(n, workers int, run func(u int)) {
 	}
 	wg.Wait()
 }
+
+// pollInterval is how many join results a worker processes between
+// cancellation polls inside a single unit, bounding the drain latency of
+// a unit with a huge delta shard.
+const pollInterval = 64
 
 // seqThreshold is the round size (delta facts) below which a round runs
 // sequentially: goroutine fan-out costs more than the joins it splits.
@@ -415,9 +439,20 @@ const seqThreshold = 128
 // Negated literals are evaluated against the current database; callers
 // guarantee stratification (the negated relations are fully computed, and
 // Stratify's implicit head→ACDom edges extend the guarantee to ACDom).
-func evalStratum(rules []*core.Rule, db *database.Database, opts Options) error {
+//
+// Cancellation protocol: workers poll the tracker between units and every
+// pollInterval delta facts inside a unit, then drain; runUnits always
+// waits for the pool, so no goroutine outlives the call. The buffers of a
+// canceled round are discarded, never merged — the database then holds
+// exactly the completed rounds, a well-formed partial fixpoint.
+func evalStratum(rules []*core.Rule, db *database.Database, opts Options, tk *budget.Tracker) error {
 	workers := opts.workers()
 	items := compileItems(deltaItemsOf(rules))
+	maxRounds := budget.Cap(opts.Budget, func(b *budget.T) int { return b.MaxRounds }, opts.maxRounds())
+	maxFacts := 0
+	if opts.Budget != nil {
+		maxFacts = opts.Budget.MaxFacts
+	}
 
 	// emitInto returns the callback buffering r's instantiated heads into
 	// *out. db is frozen during a round, so its seen-set is a stable
@@ -434,7 +469,11 @@ func evalStratum(rules []*core.Rule, db *database.Database, opts Options) error 
 			local[i] = make(map[string]bool)
 		}
 		var scratch [64]byte
+		polls := 0
 		return func(s core.Subst) bool {
+			if polls++; polls%pollInterval == 0 && tk.Canceled() {
+				return false // abort enumeration; the round's buffers are dropped
+			}
 			for _, l := range r.Body {
 				if l.Negated && db.HasApplied(l.Atom, s) {
 					return true
@@ -460,7 +499,8 @@ func evalStratum(rules []*core.Rule, db *database.Database, opts Options) error 
 
 	// Round 0: full evaluation, one work unit per rule.
 	bufs := make([][]core.Atom, len(rules))
-	runUnits(len(rules), workers, func(u int) {
+	runUnits(len(rules), workers, tk.Canceled, func(u int) {
+		_ = tk.Check() // checkpoint: counts toward FailAt injection
 		r := rules[u]
 		body := r.PositiveBody()
 		emit := emitInto(r, &bufs[u])
@@ -472,8 +512,16 @@ func evalStratum(rules []*core.Rule, db *database.Database, opts Options) error 
 	})
 
 	for round := 0; ; round++ {
-		if round > opts.maxRounds() {
-			return fmt.Errorf("datalog: stratum exceeded %d rounds", opts.maxRounds())
+		tk.SetRounds(round)
+		// Merge-point checkpoint: a canceled or expired run returns here
+		// with the previous rounds' facts intact and this round's buffers
+		// discarded.
+		if err := tk.Check(); err != nil {
+			return err
+		}
+		if round > maxRounds {
+			return fmt.Errorf("datalog: stratum exceeded %d rounds: %w",
+				maxRounds, tk.Exhausted(budget.ErrRoundLimit))
 		}
 		// Single-writer merge; newly inserted facts — including derived
 		// ACDom facts — form the next delta.
@@ -482,11 +530,17 @@ func evalStratum(rules []*core.Rule, db *database.Database, opts Options) error 
 		note := func(a core.Atom) { deltaCount[a.Key()]++; ndelta++ }
 		for _, buf := range bufs {
 			for _, a := range buf {
-				db.AddNotify(a, note)
+				if _, err := db.AddNotify(a, note); err != nil {
+					return fmt.Errorf("datalog: merge: %w", err)
+				}
 			}
 		}
+		tk.AddFacts(ndelta)
 		if ndelta == 0 {
 			return nil
+		}
+		if maxFacts > 0 && tk.Usage().Facts >= maxFacts {
+			return tk.Exhausted(budget.ErrFactLimit)
 		}
 		// Freeze the round: re-resolve compiled constants, then slice each
 		// relation's delta — the newly merged tail of its id-tuple array.
@@ -529,7 +583,8 @@ func evalStratum(rules []*core.Rule, db *database.Database, opts Options) error 
 			}
 		}
 		bufs = make([][]core.Atom, len(units))
-		runUnits(len(units), workers, func(u int) {
+		runUnits(len(units), workers, tk.Canceled, func(u int) {
+			_ = tk.Check() // checkpoint: counts toward FailAt injection
 			c := units[u].c
 			g := groups[c.pattern.rk]
 			n := shards
@@ -567,7 +622,11 @@ func evalStratum(rules []*core.Rule, db *database.Database, opts Options) error 
 					*out = append(*out, st.materialize(h))
 				}
 			}
+			polls := 0
 			for j := units[u].shard; j < g.n; j += n {
+				if polls++; polls%pollInterval == 0 && tk.Canceled() {
+					return // drain: this unit's buffer will be discarded
+				}
 				mark := len(st.trail)
 				if st.match(&c.pattern, g.ids[j*g.w:(j+1)*g.w]) {
 					st.searchRest(c.rest, 0, leaf)
@@ -586,7 +645,10 @@ func EvalSemiNaive(th *core.Theory, d *database.Database) (*database.Database, e
 	return EvalSemiNaiveOpts(th, d, Options{})
 }
 
-// EvalSemiNaiveOpts is EvalSemiNaive with explicit options.
+// EvalSemiNaiveOpts is EvalSemiNaive with explicit options. On budget
+// exhaustion (cancellation, deadline, or a ceiling of opts.Budget) it
+// returns the partial database — all fully merged rounds — together with
+// a typed error satisfying errors.Is against the budget sentinels.
 func EvalSemiNaiveOpts(th *core.Theory, d *database.Database, opts Options) (*database.Database, error) {
 	for _, r := range th.Rules {
 		if !r.IsDatalog() {
@@ -597,9 +659,14 @@ func EvalSemiNaiveOpts(th *core.Theory, d *database.Database, opts Options) (*da
 	if err != nil {
 		return nil, err
 	}
+	tk := budget.Start(opts.Budget)
+	defer tk.Stop()
 	out := d.Clone()
 	for i, rules := range strata {
-		if err := evalStratum(rules, out, opts); err != nil {
+		if err := evalStratum(rules, out, opts, tk); err != nil {
+			if budget.IsBudget(err) {
+				return out, fmt.Errorf("datalog: stratum %d: %w", i, err)
+			}
 			return nil, fmt.Errorf("datalog: stratum %d: %w", i, err)
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"guardedrules/internal/annotate"
+	"guardedrules/internal/budget"
 	"guardedrules/internal/chase"
 	"guardedrules/internal/classify"
 	"guardedrules/internal/core"
@@ -77,6 +78,11 @@ func AnswerByChase(th *core.Theory, q CQ, d *database.Database, opts chase.Optio
 	}
 	res, err := chase.Run(kbth, d, opts)
 	if err != nil {
+		if budget.IsBudget(err) && res != nil {
+			// A budget-truncated chase still yields sound answers; return
+			// the under-approximation alongside the typed error.
+			return datalog.CollectAnswers(res.DB, QueryRel), false, err
+		}
 		return nil, false, err
 	}
 	return datalog.CollectAnswers(res.DB, QueryRel), res.Saturated, nil

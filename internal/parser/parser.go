@@ -99,7 +99,10 @@ func ParseFacts(src string) ([]core.Atom, error) {
 }
 
 // MustParseTheory parses rules and panics on error. For tests and
-// package-level fixtures.
+// package-level fixtures only: this is the one deliberate panic surface
+// of the library — engines convert invalid input into returned errors,
+// and the guardedrules facade recovers internal panics — so production
+// callers should use ParseTheory instead.
 func MustParseTheory(src string) *core.Theory {
 	t, err := ParseTheory(src)
 	if err != nil {
@@ -108,7 +111,9 @@ func MustParseTheory(src string) *core.Theory {
 	return t
 }
 
-// MustParseFacts parses ground facts and panics on error.
+// MustParseFacts parses ground facts and panics on error. Like
+// MustParseTheory, it is a deliberate fixture-only panic surface;
+// production callers should use ParseFacts.
 func MustParseFacts(src string) []core.Atom {
 	f, err := ParseFacts(src)
 	if err != nil {

@@ -1,0 +1,86 @@
+package rewrite
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"guardedrules/internal/budget"
+	"guardedrules/internal/normalize"
+	"guardedrules/internal/parser"
+)
+
+func TestBudgetRuleLimitReturnsPartialExpansion(t *testing.T) {
+	th := normalize.Normalize(parser.MustParseTheory(sigmaP))
+	ex, stats, err := Expand(th, Options{Budget: &budget.T{MaxRules: 10}})
+	if !errors.Is(err, budget.ErrRuleLimit) {
+		t.Fatalf("err = %v, want ErrRuleLimit", err)
+	}
+	if ex == nil || len(ex.Rules) == 0 || len(ex.Rules) > 10 {
+		t.Fatalf("partial expansion must hold the rules emitted so far, got %v", ex)
+	}
+	if stats == nil || stats.ExpansionRules != len(ex.Rules) {
+		t.Fatalf("stats must describe the partial expansion, got %+v", stats)
+	}
+}
+
+func TestLegacyMaxRulesWrapsSentinel(t *testing.T) {
+	th := normalize.Normalize(parser.MustParseTheory(sigmaP))
+	_, _, err := Expand(th, Options{MaxRules: 5})
+	if !errors.Is(err, budget.ErrRuleLimit) {
+		t.Fatalf("legacy cap err = %v, want ErrRuleLimit wrap", err)
+	}
+}
+
+// Rewrite post-processes the partial expansion on budget exhaustion: the
+// returned theory is still nearly guarded over the partial rule set.
+func TestRewritePropagatesPartial(t *testing.T) {
+	th := normalize.Normalize(parser.MustParseTheory(sigmaP))
+	rew, _, err := Rewrite(th, Options{Budget: &budget.T{MaxRules: 10}})
+	if !errors.Is(err, budget.ErrRuleLimit) {
+		t.Fatalf("err = %v, want ErrRuleLimit", err)
+	}
+	if rew == nil || len(rew.Rules) == 0 {
+		t.Fatal("Rewrite must return the post-processed partial expansion")
+	}
+}
+
+// Fault injection: cancel the expansion at every worklist checkpoint.
+func TestFailAtEveryCheckpoint(t *testing.T) {
+	th := normalize.Normalize(parser.MustParseTheory(sigmaP))
+	ref, _, err := Expand(th, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; ; n++ {
+		if n > 100_000 {
+			t.Fatal("fault injection never ran to completion")
+		}
+		ex, _, err := Expand(th, Options{Budget: budget.FailAt(n)})
+		if err == nil {
+			if len(ex.Rules) != len(ref.Rules) {
+				t.Fatalf("n=%d: governed run has %d rules, want %d", n, len(ex.Rules), len(ref.Rules))
+			}
+			break
+		}
+		if !errors.Is(err, budget.ErrCanceled) {
+			t.Fatalf("n=%d: err = %v, want ErrCanceled", n, err)
+		}
+		if ex == nil {
+			t.Fatalf("n=%d: canceled expansion must return partial theory", n)
+		}
+	}
+}
+
+func TestContextCancelStopsExpansion(t *testing.T) {
+	th := normalize.Normalize(parser.MustParseTheory(sigmaP))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex, _, err := Expand(th, Options{Budget: &budget.T{Ctx: ctx}})
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ex == nil {
+		t.Fatal("canceled expansion must return the partial theory")
+	}
+}

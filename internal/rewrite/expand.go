@@ -3,6 +3,7 @@ package rewrite
 import (
 	"fmt"
 
+	"guardedrules/internal/budget"
 	"guardedrules/internal/classify"
 	"guardedrules/internal/core"
 	"guardedrules/internal/normalize"
@@ -16,6 +17,12 @@ type Options struct {
 	// MaxRuleVars rejects input rules with more universal variables than
 	// this (the selection space is exponential in it). 0 means 9.
 	MaxRuleVars int
+	// Budget, when non-nil, governs the run: its context/deadline cancels
+	// the expansion between worklist items, its MaxRules overrides the cap
+	// above (the single-exponential bound of Theorem 1), and exhaustion
+	// returns the rules emitted so far alongside a typed *budget.Error
+	// wrapping ErrRuleLimit, ErrCanceled or ErrDeadline.
+	Budget *budget.T
 }
 
 func (o Options) maxRules() int {
@@ -52,6 +59,8 @@ type expander struct {
 	work     []*core.Rule
 	splitH   map[string]string // canonical split key → H relation name
 	freshN   int
+	maxRules int
+	tk       *budget.Tracker
 	stats    Stats
 }
 
@@ -59,10 +68,15 @@ type expander struct {
 // frontier-guarded part drives the rewriting; rules that are neither
 // frontier-guarded nor guarded must be safe Datalog rules
 // (nearly frontier-guarded input, Definition 14) and pass through.
+// On budget exhaustion (errors.Is against the budget sentinels) the
+// returned theory holds the rules emitted so far; input-validation errors
+// return a nil theory as before.
 func Expand(th *core.Theory, opts Options) (*core.Theory, *Stats, error) {
 	if !normalize.IsNormal(th) {
 		return nil, nil, fmt.Errorf("rewrite: theory is not normal; call normalize.Normalize first")
 	}
+	tk := budget.Start(opts.Budget)
+	defer tk.Stop()
 	ap := classify.AffectedPositions(th)
 	e := &expander{
 		opts:     opts,
@@ -70,6 +84,15 @@ func Expand(th *core.Theory, opts Options) (*core.Theory, *Stats, error) {
 		k:        th.MaxArity(),
 		byKey:    make(map[string]*core.Rule),
 		splitH:   make(map[string]string),
+		maxRules: budget.Cap(opts.Budget, func(b *budget.T) int { return b.MaxRules }, opts.maxRules()),
+		tk:       tk,
+	}
+	// finish attaches the rules emitted so far — the partial ex(Σ) on a
+	// budget error, the complete expansion on nil.
+	finish := func(err error) (*core.Theory, *Stats, error) {
+		e.stats.ExpansionRules = len(e.rules)
+		out := core.NewTheory(e.rules...)
+		return core.StampGenerated(out, "fg-expansion"), &e.stats, err
 	}
 	e.stats.InputRules = len(th.Rules)
 	for _, r := range th.Rules {
@@ -85,24 +108,36 @@ func Expand(th *core.Theory, opts Options) (*core.Theory, *Stats, error) {
 			e.stats.Passthrough++
 		}
 		if _, err := e.add(r, fg); err != nil {
-			return nil, nil, err
+			return finishOrNil(finish, err)
 		}
 	}
 	for _, br := range bagRules(e.origRels, e.k) {
 		if _, err := e.add(br, false); err != nil {
-			return nil, nil, err
+			return finishOrNil(finish, err)
 		}
 	}
 	for len(e.work) > 0 {
+		// Worklist checkpoint: cancellation and deadline are observed
+		// between rules; the expansion so far stays attached.
+		if err := tk.Check(); err != nil {
+			return finish(fmt.Errorf("rewrite: %w", err))
+		}
 		r := e.work[len(e.work)-1]
 		e.work = e.work[:len(e.work)-1]
 		if err := e.expandRule(r); err != nil {
-			return nil, nil, err
+			return finishOrNil(finish, err)
 		}
 	}
-	e.stats.ExpansionRules = len(e.rules)
-	out := core.NewTheory(e.rules...)
-	return core.StampGenerated(out, "fg-expansion"), &e.stats, nil
+	return finish(nil)
+}
+
+// finishOrNil returns the partial expansion for governed exhaustion and a
+// bare error otherwise (input-validation failures have no useful partial).
+func finishOrNil(finish func(error) (*core.Theory, *Stats, error), err error) (*core.Theory, *Stats, error) {
+	if budget.IsBudget(err) {
+		return finish(err)
+	}
+	return nil, nil, err
 }
 
 // add inserts a rule into the expansion (deduplicated up to renaming);
@@ -113,11 +148,13 @@ func (e *expander) add(r *core.Rule, enqueue bool) (bool, error) {
 	if _, ok := e.byKey[k]; ok {
 		return false, nil
 	}
-	if len(e.rules) >= e.opts.maxRules() {
-		return false, fmt.Errorf("rewrite: expansion exceeded %d rules", e.opts.maxRules())
+	if len(e.rules) >= e.maxRules {
+		return false, fmt.Errorf("rewrite: expansion exceeded %d rules: %w",
+			e.maxRules, e.tk.Exhausted(budget.ErrRuleLimit))
 	}
 	e.byKey[k] = r
 	e.rules = append(e.rules, r)
+	e.tk.AddRules(1)
 	if enqueue && r.IsDatalog() && !classify.IsGuarded(r) && classify.IsFrontierGuarded(r) {
 		e.work = append(e.work, r)
 	}
@@ -159,7 +196,10 @@ func (e *expander) expandRule(r *core.Rule) error {
 	e.stats.Selections += len(sels)
 	for _, sel := range sels {
 		for _, kind := range []string{"rc", "rnc"} {
-			sp, ok := buildSplit(r, sel, kind)
+			sp, ok, err := buildSplit(r, sel, kind)
+			if err != nil {
+				return err
+			}
 			if !ok {
 				continue
 			}
@@ -174,7 +214,6 @@ func (e *expander) expandRule(r *core.Rule) error {
 			e.splitH[key] = name
 			csp.hAtom.Relation = name
 			e.stats.Splits++
-			var err error
 			if kind == "rc" {
 				err = e.emitRC(r, csp, parentMeasure)
 			} else {
@@ -348,7 +387,9 @@ func bagRules(rels []core.RelKey, k int) []*core.Rule {
 // Rewrite computes rew(Σ) (Definition 13 / Theorem 1 / Proposition 4):
 // the expansion ex(Σ) with ACDom guards added to every non-guarded rule of
 // the frontier-guarded part. The result is nearly guarded and preserves
-// the answers of every query (Σ, Q).
+// the answers of every query (Σ, Q). On budget exhaustion the partial
+// expansion is post-processed the same way and returned alongside the
+// typed error.
 func Rewrite(th *core.Theory, opts Options) (*core.Theory, *Stats, error) {
 	ap := classify.AffectedPositions(th)
 	passthrough := make(map[*core.Rule]bool)
@@ -358,7 +399,7 @@ func Rewrite(th *core.Theory, opts Options) (*core.Theory, *Stats, error) {
 		}
 	}
 	ex, stats, err := Expand(th, opts)
-	if err != nil {
+	if err != nil && !budget.IsBudget(err) {
 		return nil, nil, err
 	}
 	ptKeys := make(map[string]bool)
@@ -377,5 +418,5 @@ func Rewrite(th *core.Theory, opts Options) (*core.Theory, *Stats, error) {
 		}
 		out.Add(r2)
 	}
-	return core.StampGenerated(out, "nearly-guarded-rewrite"), stats, nil
+	return core.StampGenerated(out, "nearly-guarded-rewrite"), stats, err
 }

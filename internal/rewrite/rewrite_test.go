@@ -330,7 +330,10 @@ func TestExampleThreeSplitShapes(t *testing.T) {
 		core.Var("X2"): core.Var("X2"),
 		core.Var("X3"): core.Var("X3"),
 	}}
-	sp, ok := buildSplit(r, sel, "rc")
+	sp, ok, err := buildSplit(r, sel, "rc")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("Example 3's rc split must be admissible")
 	}
@@ -371,7 +374,10 @@ func TestExampleFiveSplitShapes(t *testing.T) {
 	if len(keep) != 2 || !keep.Has(core.Var("X1")) || !keep.Has(core.Var("X3")) {
 		t.Errorf("keep: %v (want {X1,X3})", keep)
 	}
-	sp, ok := buildSplit(r, sel, "rnc")
+	sp, ok, err := buildSplit(r, sel, "rnc")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("Example 5's rnc split must be admissible")
 	}
@@ -415,7 +421,10 @@ func TestMeasureDecreasesOnEnqueuedRules(t *testing.T) {
 func TestCanonSplitIsomorphismInvariance(t *testing.T) {
 	build := func(src string, m core.Subst, kind string) (string, split) {
 		r := parser.MustParseTheory(src).Rules[0]
-		sp, ok := buildSplit(r, selection{m: m}, kind)
+		sp, ok, err := buildSplit(r, selection{m: m}, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !ok {
 			t.Fatalf("split not admissible for %q (%s)", src, kind)
 		}

@@ -20,19 +20,21 @@ type split struct {
 }
 
 // buildSplit assembles the split for a rule, selection and kind; it
-// returns ok=false when the definitions' side conditions fail. Following
+// returns ok=false when the definitions' side conditions fail, and an
+// error for a kind other than "rc"/"rnc" (an internal invariant violation,
+// reported instead of panicking so engines stay recoverable). Following
 // the proof of Theorem 1, an rc-rewriting is generated when the fixed
 // frontier guard fg(σ) is outside the covered part (its image lies outside
 // the tree node) and an rnc-rewriting when it is covered.
-func buildSplit(r *core.Rule, sel selection, kind string) (split, bool) {
+func buildSplit(r *core.Rule, sel selection, kind string) (split, bool, error) {
 	cov := covered(r, sel)
 	// Conditions (b) of Definitions 10 and 11 need a projectable variable
 	// on the removed side, so that side must be non-empty.
 	if kind == "rc" && len(cov) == 0 {
-		return split{}, false
+		return split{}, false, nil
 	}
 	if kind == "rnc" && len(cov) == len(r.Body) {
-		return split{}, false
+		return split{}, false, nil
 	}
 	if fg, ok := classify.FrontierGuard(r); ok && len(fg.Args) > 0 {
 		fgCovered := false
@@ -43,10 +45,10 @@ func buildSplit(r *core.Rule, sel selection, kind string) (split, bool) {
 			}
 		}
 		if kind == "rc" && fgCovered {
-			return split{}, false
+			return split{}, false, nil
 		}
 		if kind == "rnc" && !fgCovered {
-			return split{}, false
+			return split{}, false, nil
 		}
 	}
 	covSet := make(map[string]bool, len(cov))
@@ -71,7 +73,7 @@ func buildSplit(r *core.Rule, sel selection, kind string) (split, bool) {
 		// Condition (b) of Definition 10: µ(cov) must have a variable not
 		// kept (a projected variable).
 		if !hasProjectedVar(mCov, keep) {
-			return split{}, false
+			return split{}, false, nil
 		}
 	case "rnc":
 		removed, kept = mRest, mCov
@@ -79,10 +81,10 @@ func buildSplit(r *core.Rule, sel selection, kind string) (split, bool) {
 		// enumeration (the guard must expose a projected variable of
 		// µ(body\cov)); here we only require such a variable to exist.
 		if !hasProjectedVar(mRest, keep) {
-			return split{}, false
+			return split{}, false, nil
 		}
 	default:
-		panic("rewrite: unknown split kind " + kind)
+		return split{}, false, fmt.Errorf("rewrite: unknown split kind %q", kind)
 	}
 
 	h := core.Atom{
@@ -118,7 +120,7 @@ func buildSplit(r *core.Rule, sel selection, kind string) (split, bool) {
 	if len(hAnn) > 0 {
 		h.Annotation = hAnn.Sorted()
 	}
-	return split{kind: kind, removed: removed, kept: kept, head: head, hAtom: h}, true
+	return split{kind: kind, removed: removed, kept: kept, head: head, hAtom: h}, true, nil
 }
 
 // hasProjectedVar reports whether the atoms contain an argument variable

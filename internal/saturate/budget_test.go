@@ -1,0 +1,89 @@
+package saturate
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"guardedrules/internal/budget"
+	"guardedrules/internal/parser"
+)
+
+func TestBudgetRuleLimitReturnsPartial(t *testing.T) {
+	th := parser.MustParseTheory(exampleSeven)
+	dat, stats, err := Datalog(th, Options{Budget: &budget.T{MaxRules: 4}})
+	if !errors.Is(err, budget.ErrRuleLimit) {
+		t.Fatalf("err = %v, want ErrRuleLimit", err)
+	}
+	if dat == nil || stats == nil {
+		t.Fatal("budget exhaustion must return the partial closure and stats")
+	}
+	if stats.ClosureRules == 0 || stats.ClosureRules > 4 {
+		t.Fatalf("partial closure has %d rules, want 1..4", stats.ClosureRules)
+	}
+	var be *budget.Error
+	if !errors.As(err, &be) || be.Usage.Rules == 0 {
+		t.Fatalf("error must carry a usage snapshot, got %v", err)
+	}
+}
+
+// Legacy MaxRules now wraps the same sentinel, so errors.Is works through
+// the old option too.
+func TestLegacyMaxRulesWrapsSentinel(t *testing.T) {
+	th := parser.MustParseTheory(exampleSeven)
+	_, _, err := Datalog(th, Options{MaxRules: 3})
+	if !errors.Is(err, budget.ErrRuleLimit) {
+		t.Fatalf("legacy cap err = %v, want ErrRuleLimit wrap", err)
+	}
+}
+
+func TestStepLimitTyped(t *testing.T) {
+	th := parser.MustParseTheory(exampleSeven)
+	_, _, err := Datalog(th, Options{Budget: &budget.T{MaxSteps: 2}})
+	if !errors.Is(err, budget.ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+// Fault injection: cancel the saturation at every worklist checkpoint in
+// turn; each canceled run must return a partial closure and a typed
+// cancellation error, and the first uncanceled run must match an
+// ungoverned reference run.
+func TestFailAtEveryCheckpoint(t *testing.T) {
+	th := parser.MustParseTheory(exampleSeven)
+	ref, _, err := Datalog(th, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; ; n++ {
+		if n > 100_000 {
+			t.Fatal("fault injection never ran to completion")
+		}
+		dat, stats, err := Datalog(th, Options{Budget: budget.FailAt(n)})
+		if err == nil {
+			if len(dat.Rules) != len(ref.Rules) {
+				t.Fatalf("n=%d: governed run has %d rules, want %d", n, len(dat.Rules), len(ref.Rules))
+			}
+			break
+		}
+		if !errors.Is(err, budget.ErrCanceled) {
+			t.Fatalf("n=%d: err = %v, want ErrCanceled", n, err)
+		}
+		if dat == nil || stats == nil {
+			t.Fatalf("n=%d: canceled saturation must return partials", n)
+		}
+	}
+}
+
+func TestContextCancelStopsSaturation(t *testing.T) {
+	th := parser.MustParseTheory(exampleSeven)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dat, _, err := Datalog(th, Options{Budget: &budget.T{Ctx: ctx}})
+	if !errors.Is(err, budget.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled matching context.Canceled", err)
+	}
+	if dat == nil {
+		t.Fatal("canceled saturation must return the partial theory")
+	}
+}

@@ -8,6 +8,7 @@ package saturate
 import (
 	"fmt"
 
+	"guardedrules/internal/budget"
 	"guardedrules/internal/classify"
 	"guardedrules/internal/core"
 )
@@ -19,6 +20,13 @@ type Options struct {
 	// MaxRules caps the number of distinct rules in the closure.
 	// 0 means 200,000.
 	MaxRules int
+	// Budget, when non-nil, governs the run: its context/deadline cancels
+	// the saturation between worklist items, MaxRules/MaxSteps override
+	// the rule and inference ceilings, and exhaustion returns the partial
+	// closure computed so far alongside a typed *budget.Error
+	// (ErrRuleLimit for the doubly-exponential closure bound of Theorem 3,
+	// ErrStepLimit for the inference budget).
+	Budget *budget.T
 }
 
 func (o Options) maxRules() int {
@@ -27,6 +35,9 @@ func (o Options) maxRules() int {
 	}
 	return o.MaxRules
 }
+
+// maxInferences is the default cap on inference-rule applications.
+const maxInferences = 50_000_000
 
 // Stats reports the work done by a saturation run.
 type Stats struct {
@@ -43,7 +54,10 @@ type Stats struct {
 
 // Datalog computes dat(Σ) for a guarded theory Σ (Definition 19): the
 // closure under the inference rules of Figure 3, restricted to the rules
-// without existential variables in the head.
+// without existential variables in the head. On budget exhaustion
+// (errors.Is against the budget sentinels) the returned theory is the
+// Datalog restriction of the partial closure — sound but possibly
+// incomplete — so callers can degrade gracefully.
 func Datalog(th *core.Theory, opts Options) (*core.Theory, *Stats, error) {
 	for _, r := range th.Rules {
 		if !classify.IsGuarded(r) {
@@ -54,7 +68,7 @@ func Datalog(th *core.Theory, opts Options) (*core.Theory, *Stats, error) {
 		}
 	}
 	closure, stats, err := saturation(th, opts)
-	if err != nil {
+	if err != nil && !budget.IsBudget(err) {
 		return nil, nil, err
 	}
 	out := core.NewTheory()
@@ -64,7 +78,7 @@ func Datalog(th *core.Theory, opts Options) (*core.Theory, *Stats, error) {
 		}
 	}
 	stats.DatalogRules = len(out.Rules)
-	return core.StampGenerated(out, "guarded-saturation"), stats, nil
+	return core.StampGenerated(out, "guarded-saturation"), stats, err
 }
 
 // NearlyGuardedToDatalog translates a nearly guarded theory into Datalog
@@ -85,12 +99,12 @@ func NearlyGuardedToDatalog(th *core.Theory, opts Options) (*core.Theory, *Stats
 		}
 	}
 	dat, stats, err := Datalog(guarded, opts)
-	if err != nil {
+	if err != nil && !budget.IsBudget(err) {
 		return nil, nil, err
 	}
 	dat.Add(safe...)
 	stats.DatalogRules = len(dat.Rules)
-	return dat, stats, nil
+	return dat, stats, err
 }
 
 // pool is the worklist-driven closure state. Datalog rules are
@@ -101,13 +115,15 @@ func NearlyGuardedToDatalog(th *core.Theory, opts Options) (*core.Theory, *Stats
 // This consequence-driven representation keeps the closure polynomial in
 // the number of derivable head atoms per body instead of exponential.
 type pool struct {
-	byKey   map[string]*core.Rule
-	byBody  map[string]*core.Rule // canonical body → merged existential rule
-	rules   []*core.Rule
-	work    []workItem
-	stats   Stats
-	maxSize int
-	freshEV int
+	byKey    map[string]*core.Rule
+	byBody   map[string]*core.Rule // canonical body → merged existential rule
+	rules    []*core.Rule
+	work     []workItem
+	stats    Stats
+	maxSize  int
+	maxInfer int
+	tk       *budget.Tracker
+	freshEV  int
 }
 
 // workItem is a rule to process; for merged existential rules, delta holds
@@ -124,8 +140,10 @@ func (p *pool) add(r *core.Rule) (bool, error) {
 		return false, nil
 	}
 	p.stats.Inferences++
-	if p.stats.Inferences > 50_000_000 {
-		return false, fmt.Errorf("saturate: inference budget exceeded")
+	p.tk.AddSteps(1)
+	if p.maxInfer > 0 && p.stats.Inferences > p.maxInfer {
+		return false, fmt.Errorf("saturate: inference budget exceeded: %w",
+			p.tk.Exhausted(budget.ErrStepLimit))
 	}
 	if len(r.Exist) > 0 {
 		return p.mergeExistential(r)
@@ -135,13 +153,15 @@ func (p *pool) add(r *core.Rule) (bool, error) {
 		return false, nil
 	}
 	if len(p.rules) >= p.maxSize {
-		return false, fmt.Errorf("saturate: closure exceeded %d rules", p.maxSize)
+		return false, fmt.Errorf("saturate: closure exceeded %d rules: %w",
+			p.maxSize, p.tk.Exhausted(budget.ErrRuleLimit))
 	}
 	if r.Label == "" {
 		r.Label = fmt.Sprintf("xi%d", len(p.rules))
 	}
 	p.byKey[k] = r
 	p.rules = append(p.rules, r)
+	p.tk.AddRules(1)
 	p.work = append(p.work, workItem{r: r})
 	return true, nil
 }
@@ -155,10 +175,12 @@ func (p *pool) mergeExistential(r *core.Rule) (bool, error) {
 	pooled, ok := p.byBody[key]
 	if !ok {
 		if len(p.rules) >= p.maxSize {
-			return false, fmt.Errorf("saturate: closure exceeded %d rules", p.maxSize)
+			return false, fmt.Errorf("saturate: closure exceeded %d rules: %w",
+				p.maxSize, p.tk.Exhausted(budget.ErrRuleLimit))
 		}
 		p.byBody[key] = r
 		p.rules = append(p.rules, r)
+		p.tk.AddRules(1)
 		p.work = append(p.work, workItem{r: r})
 		return true, nil
 	}
@@ -173,6 +195,7 @@ func (p *pool) mergeExistential(r *core.Rule) (bool, error) {
 		}
 		p.byKey[k] = r
 		p.rules = append(p.rules, r)
+		p.tk.AddRules(1)
 		p.work = append(p.work, workItem{r: r})
 		return true, nil
 	}
@@ -342,27 +365,41 @@ func atomsOf(lits []core.Literal) []core.Atom {
 }
 
 // saturation computes Ξ(Σ), the closure of Σ under the rules of Figure 3.
+// On budget exhaustion it returns the partial closure computed so far
+// alongside the typed error; the stats are always valid.
 func saturation(th *core.Theory, opts Options) ([]*core.Rule, *Stats, error) {
+	tk := budget.Start(opts.Budget)
+	defer tk.Stop()
 	p := &pool{
-		byKey:   make(map[string]*core.Rule),
-		byBody:  make(map[string]*core.Rule),
-		maxSize: opts.maxRules(),
+		byKey:    make(map[string]*core.Rule),
+		byBody:   make(map[string]*core.Rule),
+		maxSize:  budget.Cap(opts.Budget, func(b *budget.T) int { return b.MaxRules }, opts.maxRules()),
+		maxInfer: budget.Cap(opts.Budget, func(b *budget.T) int { return b.MaxSteps }, maxInferences),
+		tk:       tk,
+	}
+	finish := func(err error) ([]*core.Rule, *Stats, error) {
+		p.stats.ClosureRules = len(p.rules)
+		return p.rules, &p.stats, err
 	}
 	p.stats.InputRules = len(th.Rules)
 	for _, r := range th.Rules {
 		if _, err := p.add(r); err != nil {
-			return nil, nil, err
+			return finish(err)
 		}
 	}
 	for len(p.work) > 0 {
+		// Worklist checkpoint: cancellation and deadline are observed
+		// between items; the closure so far stays attached to the result.
+		if err := tk.Check(); err != nil {
+			return finish(fmt.Errorf("saturate: %w", err))
+		}
 		item := p.work[len(p.work)-1]
 		p.work = p.work[:len(p.work)-1]
 		if err := p.inferFrom(item); err != nil {
-			return nil, nil, err
+			return finish(err)
 		}
 	}
-	p.stats.ClosureRules = len(p.rules)
-	return p.rules, &p.stats, nil
+	return finish(nil)
 }
 
 // inferFrom applies every inference rule with the item's rule as one

@@ -11,6 +11,7 @@ package stratified
 import (
 	"fmt"
 
+	"guardedrules/internal/budget"
 	"guardedrules/internal/chase"
 	"guardedrules/internal/classify"
 	"guardedrules/internal/core"
@@ -85,7 +86,16 @@ func Eval(th *core.Theory, d *database.Database, opts Options) (*Result, error) 
 		// reported.
 		cres, err := chase.Run(st, cur, opts.chaseFor(i, rules))
 		if err != nil {
-			return nil, fmt.Errorf("stratified: stratum %d: %w", i, err)
+			err = fmt.Errorf("stratified: stratum %d: %w", i, err)
+			if budget.IsBudget(err) && cres != nil {
+				// The stratum's partial chase is still a sound
+				// under-approximation; surface it alongside the error.
+				res.Steps += cres.Steps
+				res.Truncated = true
+				res.DB = cres.DB
+				return res, err
+			}
+			return nil, err
 		}
 		res.Steps += cres.Steps
 		if cres.Truncated {
