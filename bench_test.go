@@ -508,6 +508,90 @@ func TestEmitDatalogBenchJSON(t *testing.T) {
 	t.Logf("wrote BENCH_datalog.json (%d entries)", len(report.Benchmarks))
 }
 
+// BenchmarkChaseParallel measures the id-space chase's re-sharded trigger
+// collection on the running example over growing citation graphs, at 1
+// worker and at all available CPUs. Results are byte-identical across
+// worker counts by construction; on single-core machines both
+// configurations degenerate to the sequential path. The per-size ns/op
+// trajectory is recorded in BENCH_chase.json (see TestEmitChaseBenchJSON).
+func BenchmarkChaseParallel(b *testing.B) {
+	th := parser.MustParseTheory(sigmaPBench)
+	nWorkers := runtime.GOMAXPROCS(0)
+	for _, n := range []int{8, 24, 48} {
+		d := gen.CitationGraph(n)
+		for _, workers := range []int{1, nWorkers} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					opts := chase.Options{Variant: chase.Restricted, MaxDepth: 4, MaxFacts: 2_000_000, Workers: workers}
+					if _, err := chase.Run(th, d, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEmitChaseBenchJSON times the chase configurations of
+// BenchmarkChaseParallel once per configuration and writes
+// BENCH_chase.json (same schema as BENCH_datalog.json), giving future
+// PRs a perf trajectory. It only runs when EMIT_BENCH=1 is set:
+//
+//	EMIT_BENCH=1 go test -run TestEmitChaseBenchJSON .
+func TestEmitChaseBenchJSON(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") != "1" {
+		t.Skip("set EMIT_BENCH=1 to refresh BENCH_chase.json")
+	}
+	th := parser.MustParseTheory(sigmaPBench)
+	type entry struct {
+		Name    string `json:"name"`
+		N       int    `json:"n"`
+		Workers int    `json:"workers"`
+		NsPerOp int64  `json:"ns_per_op"`
+		Facts   int    `json:"facts"`
+	}
+	report := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, n := range []int{8, 24, 48} {
+		d := gen.CitationGraph(n)
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			reps := 3
+			var best time.Duration
+			facts := 0
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				res, err := chase.Run(th, d, chase.Options{
+					Variant: chase.Restricted, MaxDepth: 4, MaxFacts: 2_000_000, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if el := time.Since(t0); r == 0 || el < best {
+					best = el
+				}
+				facts = res.DB.Len()
+			}
+			report.Benchmarks = append(report.Benchmarks, entry{
+				Name:    fmt.Sprintf("ChaseParallel/n=%d/workers=%d", n, workers),
+				N:       n,
+				Workers: workers,
+				NsPerOp: best.Nanoseconds(),
+				Facts:   facts,
+			})
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_chase.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_chase.json (%d entries)", len(report.Benchmarks))
+}
+
 // BenchmarkA2ChaseVariants is the ablation: oblivious vs restricted chase
 // on the running example.
 func BenchmarkA2ChaseVariants(b *testing.B) {

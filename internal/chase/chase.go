@@ -7,18 +7,29 @@
 // A truncated result is a sound under-approximation of chase(Σ, D): every
 // returned atom is entailed. EXPERIMENTS.md justifies, per experiment,
 // the depth at which the relevant ground consequences are complete.
+//
+// The engine runs in the database's interned id space (DESIGN.md has the
+// full mapping to the paper's trigger definition): rule bodies are
+// compiled once to hom.CAtom slot programs, a trigger — the paper's pair
+// (σ, h) of a rule and a body homomorphism — is represented as the packed
+// uint32 id tuple of h's images over the rule's variables, and the
+// trigger memo is a (ruleID, id-tuple) hash set. Because interned ids are
+// bijective with terms, distinct triggers can never collide — unlike the
+// previous name-serialized trigger keys, where a separator byte inside a
+// constant name could conflate two triggers and silently drop one
+// (see triggerkey_regression_test.go).
 package chase
 
 import (
 	"errors"
 	"fmt"
-	"strings"
-	"sync"
+	"strconv"
 
 	"guardedrules/internal/budget"
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
 	"guardedrules/internal/hom"
+	"guardedrules/internal/par"
 )
 
 // Variant selects the chase flavor.
@@ -42,15 +53,18 @@ type Options struct {
 	// depth 0. Triggers that would create nulls deeper than MaxDepth are
 	// skipped (and the run marked truncated). 0 means unbounded.
 	MaxDepth int
-	// MaxFacts aborts the run once the database holds this many facts.
-	// 0 means the default of 1,000,000.
+	// MaxFacts caps the database size: a trigger application stops before
+	// any added fact (including derived ACDom facts) would push Len beyond
+	// the cap, so the returned database never exceeds it. 0 means the
+	// default of 1,000,000.
 	MaxFacts int
 	// MaxRounds bounds the number of breadth-first rounds. 0 = 10,000.
 	MaxRounds int
 	// Workers sets the number of goroutines collecting triggers per round
-	// (the database is read-only during collection, so rule matching
-	// parallelizes). 0 or 1 means sequential. The result is identical to
-	// the sequential one: triggers are merged in rule order.
+	// (the database is read-only during collection, so trigger matching
+	// parallelizes across (rule × delta-shard) work items). 0 or 1 means
+	// sequential. The result is byte-identical to the sequential one:
+	// work items are merged in deterministic order.
 	Workers int
 	// Budget, when non-nil, governs the run: its context/deadline cancels
 	// the chase between trigger applications, and its ceilings override
@@ -100,7 +114,11 @@ type Result struct {
 	Usage budget.Usage
 	// Steps is the number of trigger applications.
 	Steps int
-	// Rounds is the number of breadth-first rounds executed.
+	// Rounds is the number of breadth-first rounds that applied at least
+	// one trigger. A saturating run's final round — which finds no
+	// applicable trigger — is not counted, and a run truncated by a round
+	// ceiling reports the ceiling itself (it executed that many productive
+	// rounds), not ceiling-1.
 	Rounds int
 	// Depth maps each created null to its creation depth.
 	Depth map[core.Term]int
@@ -111,29 +129,99 @@ type Result struct {
 // answer is still sound.
 func (r *Result) Entails(a core.Atom) bool { return r.DB.Has(a) }
 
-// trigger is a rule paired with a body homomorphism.
-type trigger struct {
-	rule *core.Rule
-	sub  core.Subst
+// hookFn observes every newly derived atom together with the rule and
+// the (restricted, exist-free) substitution of the trigger that produced
+// it; used by the chase-tree and provenance constructions. The subst is
+// owned by the engine but stable for the duration of the call.
+type hookFn func(r *core.Rule, sub core.Subst, atom core.Atom)
+
+// runFn is the signature shared by the id-space engine (run) and the
+// term-space reference engine (legacyRun); RunTree/RunWithProvenance are
+// parameterized over it so the differential suite can drive both.
+type runFn func(th *core.Theory, d0 *database.Database, opts Options, hook hookFn) (*Result, error)
+
+// unboundID marks a rule variable with no binding in a trigger tuple
+// (a variable occurring only in negated literals that the search never
+// bound). Interned ids are dense from 0, so the sentinel is unreachable
+// for any realistic database.
+const unboundID = ^uint32(0)
+
+// pollInterval is how many candidate matches a worker processes between
+// cancellation polls inside a single work item.
+const pollInterval = 64
+
+// seqThreshold is the delta size (facts) below which a round's
+// collection runs sequentially: goroutine fan-out costs more than the
+// joins it splits.
+const seqThreshold = 128
+
+// crule is a rule compiled to the id space: its positive body, negated
+// atoms and head atoms as slot programs over one shared variable-slot
+// space, plus the slot of every rule variable (the trigger tuple layout)
+// and of every existential variable.
+type crule struct {
+	rule  *core.Rule
+	idx   int
+	body  []hom.CAtom // positive body, original order
+	neg   []hom.CAtom // negated atoms, body order
+	heads []hom.CAtom
+	nvars int
+	// ruleVars are the rule's universal and annotation variables in
+	// sorted order; a trigger is the packed tuple of their images.
+	// varSlots[i] is the slot of ruleVars[i] (-1 when the variable has no
+	// slot, which cannot happen for safe rules).
+	ruleVars []core.Term
+	varSlots []int
+	// existSlots[i] is the slot of rule.Exist[i] in the heads (-1 when
+	// the existential variable occurs in no head atom; the null is still
+	// minted, matching the term-space engine).
+	existSlots []int
+}
+
+func (cr *crule) resolve(db *database.Database) {
+	for i := range cr.body {
+		cr.body[i].Resolve(db)
+	}
+	for i := range cr.neg {
+		cr.neg[i].Resolve(db)
+	}
+}
+
+// trig is a collected trigger: a compiled rule and the packed id tuple
+// of its variable images (width len(cr.ruleVars)).
+type trig struct {
+	cr  *crule
+	ids []uint32
+}
+
+// deltaGroup is one relation's slice of the previous round's delta: n
+// packed id tuples of width w, in derivation order. For ACDom/1 the
+// tuples replay the constants of every delta fact (see prepareDelta).
+type deltaGroup struct {
+	w   int
+	n   int
+	ids []uint32
 }
 
 // engine carries the mutable state of a run.
 type engine struct {
-	opts    Options
-	db      *database.Database
-	depth   map[core.Term]int
-	applied map[string]bool // oblivious-mode trigger memo
-	nulls   int
-	steps   int
-	trunc   bool
-	reason  error // budget sentinel recorded at the first truncation
-	// Precomputed per rule: a numeric id and the sorted universal
-	// variables, so trigger keys are built without sorting or fmt.
-	ruleID   map[*core.Rule]int
-	ruleVars map[*core.Rule][]core.Term
-	// hook observes every newly derived atom with its trigger; used by the
-	// chase-tree construction.
-	hook func(tr trigger, atom core.Atom)
+	opts       Options
+	db         *database.Database
+	depth      map[core.Term]int // public: null term -> creation depth
+	depthID    []int32           // by interned id, 0 for input terms
+	applied    *triggerSet       // persistent trigger memo
+	nulls      int
+	steps      int
+	trunc      bool
+	overBudget bool
+	reason     error // budget sentinel recorded at the first truncation
+	maxFacts   int
+	rules      []crule
+	st         *hom.State // single-threaded state for admissible/apply
+	hook       hookFn
+	roundAdded []core.Atom // facts added this round, in insertion order
+	noteFn     func(core.Atom)
+	groups     map[core.RelKey]*deltaGroup
 }
 
 // Run chases d0 with th. The input database is not modified. Negated body
@@ -144,27 +232,67 @@ func Run(th *core.Theory, d0 *database.Database, opts Options) (*Result, error) 
 	return run(th, d0, opts, nil)
 }
 
-func run(th *core.Theory, d0 *database.Database, opts Options, hook func(tr trigger, atom core.Atom)) (*Result, error) {
-	if err := th.CheckSafe(); err != nil {
-		return nil, fmt.Errorf("chase: %w", err)
-	}
+func newEngine(th *core.Theory, d0 *database.Database, opts Options, hook hookFn) *engine {
 	e := &engine{
-		opts:     opts,
-		db:       d0.Clone(),
-		depth:    make(map[core.Term]int),
-		applied:  make(map[string]bool),
-		hook:     hook,
-		ruleID:   make(map[*core.Rule]int, len(th.Rules)),
-		ruleVars: make(map[*core.Rule][]core.Term, len(th.Rules)),
+		opts:    opts,
+		db:      d0.Clone(),
+		depth:   make(map[core.Term]int),
+		applied: newTriggerSet(),
+		hook:    hook,
+		rules:   make([]crule, len(th.Rules)),
 	}
+	maxNvars := 0
 	for i, r := range th.Rules {
-		e.ruleID[r] = i
+		cr := &e.rules[i]
+		cr.rule, cr.idx = r, i
+		slots := make(map[core.Term]int)
+		for _, a := range r.PositiveBody() {
+			cr.body = append(cr.body, hom.Compile(a, slots))
+		}
+		for _, l := range r.Body {
+			if l.Negated {
+				cr.neg = append(cr.neg, hom.Compile(l.Atom, slots))
+			}
+		}
+		for _, h := range r.Head {
+			cr.heads = append(cr.heads, hom.Compile(h, slots))
+		}
+		cr.nvars = len(slots)
 		keep := r.UVars()
 		for _, l := range r.Body {
 			keep.AddAll(l.Atom.AnnVars())
 		}
-		e.ruleVars[r] = keep.Sorted()
+		cr.ruleVars = keep.Sorted()
+		cr.varSlots = make([]int, len(cr.ruleVars))
+		for j, v := range cr.ruleVars {
+			if s, ok := slots[v]; ok {
+				cr.varSlots[j] = s
+			} else {
+				cr.varSlots[j] = -1
+			}
+		}
+		cr.existSlots = make([]int, len(r.Exist))
+		for j, v := range r.Exist {
+			if s, ok := slots[v]; ok {
+				cr.existSlots[j] = s
+			} else {
+				cr.existSlots[j] = -1
+			}
+		}
+		if cr.nvars > maxNvars {
+			maxNvars = cr.nvars
+		}
 	}
+	e.st = hom.NewState(e.db, maxNvars)
+	e.noteFn = func(f core.Atom) { e.roundAdded = append(e.roundAdded, f) }
+	return e
+}
+
+func run(th *core.Theory, d0 *database.Database, opts Options, hook hookFn) (*Result, error) {
+	if err := th.CheckSafe(); err != nil {
+		return nil, fmt.Errorf("chase: %w", err)
+	}
+	e := newEngine(th, d0, opts, hook)
 	bud := opts.Budget
 	tk := budget.Start(bud)
 	defer tk.Stop()
@@ -172,7 +300,7 @@ func run(th *core.Theory, d0 *database.Database, opts Options, hook func(tr trig
 	// Legacy truncation stays soft (Truncated + Reason, nil error); hitting
 	// a ceiling the budget itself declares is a typed error with a partial
 	// result attached.
-	maxFacts := budget.Cap(bud, func(b *budget.T) int { return b.MaxFacts }, opts.maxFacts())
+	e.maxFacts = budget.Cap(bud, func(b *budget.T) int { return b.MaxFacts }, opts.maxFacts())
 	maxRounds := budget.Cap(bud, func(b *budget.T) int { return b.MaxRounds }, opts.maxRounds())
 	maxSteps := 0
 	budFacts, budRounds := false, false
@@ -195,9 +323,8 @@ func run(th *core.Theory, d0 *database.Database, opts Options, hook func(tr trig
 	// Delta-driven rounds: round 0 considers all facts; later rounds only
 	// triggers whose body uses at least one fact derived in the previous
 	// round.
-	delta := e.db.UserFacts()
-	for rounds := 0; ; rounds++ {
-		tk.SetRounds(rounds)
+	for first := true; ; first = false {
+		tk.SetRounds(res.Rounds)
 		// Round checkpoint: cancellation and deadline are observed here and
 		// between trigger applications below; the partial database (all
 		// completed applications) stays attached to the result.
@@ -205,52 +332,58 @@ func run(th *core.Theory, d0 *database.Database, opts Options, hook func(tr trig
 			e.truncate(reasonOf(err))
 			return finish(err)
 		}
-		if rounds >= maxRounds {
+		if res.Rounds >= maxRounds {
 			e.truncate(budget.ErrRoundLimit)
 			if budRounds {
 				return finish(tk.Exhausted(budget.ErrRoundLimit))
 			}
 			break
 		}
-		res.Rounds = rounds
-		trs := e.collect(th, delta, rounds == 0)
+		trs := e.collect(first, tk)
 		if len(trs) == 0 {
 			break
 		}
-		var newFacts []core.Atom
-		overBudget := false
+		e.roundAdded = e.roundAdded[:0]
+		counted := false
 		for _, tr := range trs {
 			if err := tk.Check(); err != nil {
 				e.truncate(reasonOf(err))
 				return finish(err)
 			}
-			if e.db.Len() >= maxFacts {
+			if e.db.Len() >= e.maxFacts {
 				e.truncate(budget.ErrFactLimit)
 				if budFacts {
 					return finish(tk.Exhausted(budget.ErrFactLimit))
 				}
-				overBudget = true
+				e.overBudget = true
 				break
 			}
 			if maxSteps > 0 && e.steps >= maxSteps {
 				e.truncate(budget.ErrStepLimit)
 				return finish(tk.Exhausted(budget.ErrStepLimit))
 			}
-			added, err := e.apply(tr)
+			before := len(e.roundAdded)
+			fired, err := e.apply(tr)
 			if err != nil {
 				return finish(fmt.Errorf("chase: %w", err))
 			}
-			tk.AddFacts(len(added))
+			tk.AddFacts(len(e.roundAdded) - before)
 			tk.AddSteps(1)
-			newFacts = append(newFacts, added...)
+			if fired && !counted {
+				counted = true
+				res.Rounds++
+			}
+			if e.overBudget {
+				if budFacts {
+					return finish(tk.Exhausted(budget.ErrFactLimit))
+				}
+				break
+			}
 		}
-		if overBudget {
+		if e.overBudget || len(e.roundAdded) == 0 {
 			break
 		}
-		if len(newFacts) == 0 {
-			break
-		}
-		delta = newFacts
+		e.prepareDelta()
 	}
 	return finish(nil)
 }
@@ -273,102 +406,186 @@ func reasonOf(err error) error {
 	return err
 }
 
-// collect gathers the applicable triggers for this round: candidates are
-// found per rule (in parallel when Options.Workers > 1 — the database is
-// only read during collection), then merged in rule order with global
-// deduplication and admissibility checks, so the outcome is independent
-// of the worker count.
-func (e *engine) collect(th *core.Theory, delta []core.Atom, first bool) []trigger {
-	deltaDB := database.FromAtoms(delta)
-	perRule := make([][]trigger, len(th.Rules))
+// unit is one trigger-collection work item: a full search of a rule's
+// body (round 0, pos < 0) or a (rule × body position × delta block)
+// semi-naive item whose pattern atom must match one of the block's delta
+// tuples. Contiguous blocks keep the merged trigger order identical to
+// the sequential enumeration.
+type unit struct {
+	cr     *crule
+	pos    int
+	g      *deltaGroup
+	lo, hi int
+}
+
+// collect gathers the applicable triggers for this round. Work items are
+// evaluated over a fixed worker pool (the database is only read), each
+// buffering packed trigger tuples; a single-threaded merge in work-item
+// order then deduplicates and filters for admissibility, so the outcome
+// is byte-identical for every worker count.
+func (e *engine) collect(first bool, tk *budget.Tracker) []trig {
 	workers := e.opts.workers()
-	if workers > 1 && len(th.Rules) > 1 {
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
-		for i, r := range th.Rules {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int, r *core.Rule) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				perRule[i] = e.collectRule(r, deltaDB, first)
-			}(i, r)
+	var units []unit
+	if first {
+		for i := range e.rules {
+			units = append(units, unit{cr: &e.rules[i], pos: -1})
 		}
-		wg.Wait()
 	} else {
-		for i, r := range th.Rules {
-			perRule[i] = e.collectRule(r, deltaDB, first)
+		total := 0
+		for _, g := range e.groups {
+			total += g.n
+		}
+		nb := 1
+		if workers > 1 && total >= seqThreshold {
+			nb = workers
+		}
+		for i := range e.rules {
+			cr := &e.rules[i]
+			for pi := range cr.body {
+				g := e.groups[cr.body[pi].RK]
+				if g == nil {
+					continue
+				}
+				blocks := nb
+				if blocks > g.n {
+					blocks = g.n
+				}
+				per := (g.n + blocks - 1) / blocks
+				for lo := 0; lo < g.n; lo += per {
+					hi := lo + per
+					if hi > g.n {
+						hi = g.n
+					}
+					units = append(units, unit{cr: cr, pos: pi, g: g, lo: lo, hi: hi})
+				}
+			}
 		}
 	}
-	var out []trigger
-	seen := make(map[string]bool)
-	for _, trs := range perRule {
-		for _, tr := range trs {
-			k := e.triggerKey(tr)
-			if seen[k] {
+	// Re-resolve compiled constants against the frozen database once,
+	// before the fan-out: workers only read the compiled rules.
+	for i := range e.rules {
+		e.rules[i].resolve(e.db)
+	}
+	bufs := make([][]uint32, len(units))
+	counts := make([]int, len(units))
+	par.RunUnits(len(units), workers, tk.Canceled, func(u int) {
+		bufs[u], counts[u] = e.runUnit(units[u], first, tk.Canceled)
+	})
+	// Merge in unit order: global dedup (the per-round seen set, marked
+	// before admissibility like the trigger memo) then admissibility.
+	seen := newTriggerSet()
+	var out []trig
+	for ui := range units {
+		cr := units[ui].cr
+		w := len(cr.varSlots)
+		buf := bufs[ui]
+		for k := 0; k < counts[ui]; k++ {
+			ids := buf[k*w : k*w+w]
+			if !seen.add(uint32(cr.idx), ids) {
 				continue
 			}
-			seen[k] = true
-			if e.admissible(tr, k) {
-				out = append(out, tr)
+			if e.admissible(cr, ids) {
+				out = append(out, trig{cr: cr, ids: ids})
 			}
 		}
 	}
 	return out
 }
 
-// collectRule finds this round's candidate triggers of one rule. It only
-// reads the engine's database and precomputed tables, so calls for
-// different rules may run concurrently.
-func (e *engine) collectRule(r *core.Rule, deltaDB *database.Database, first bool) []trigger {
-	var out []trigger
-	body := r.PositiveBody()
-	emit := func(s core.Subst) bool {
+// runUnit enumerates one work item's candidate triggers into a packed
+// buffer. It runs on a worker goroutine: the database and compiled rules
+// are read-only, all mutable search state is local.
+func (e *engine) runUnit(u unit, first bool, canceled func() bool) ([]uint32, int) {
+	cr := u.cr
+	st := hom.NewState(e.db, cr.nvars)
+	var buf []uint32
+	count := 0
+	polls := 0
+	var scratch [64]byte
+	leaf := func() bool {
+		if polls++; polls%pollInterval == 0 && canceled() {
+			return false // abort enumeration; the run loop observes the cancellation
+		}
 		// Negative literals: evaluated against the full current db.
-		for _, l := range r.Body {
-			if l.Negated && e.db.Has(s.ApplyAtom(l.Atom)) {
+		for j := range cr.neg {
+			key, ok := st.PackApplied(scratch[:0], &cr.neg[j])
+			if ok && e.db.SeenKey(cr.neg[j].RK, key) {
 				return true
 			}
 		}
-		out = append(out, trigger{rule: r, sub: restrictToRule(s, r, e.ruleVars[r])})
+		for _, slot := range cr.varSlots {
+			if slot >= 0 && st.Bd[slot] {
+				buf = append(buf, st.B[slot])
+			} else {
+				buf = append(buf, unboundID)
+			}
+		}
+		count++
 		return true
 	}
-	if first || len(body) == 0 {
-		if len(body) == 0 {
+	if u.pos < 0 {
+		if len(cr.body) == 0 {
 			// Body-less rules fire once, in the first round.
 			if first {
-				emit(core.Subst{})
+				leaf()
 			}
-			return out
+			return buf, count
 		}
-		hom.ForEach(body, e.db, nil, emit)
-		return out
+		st.ForEach(cr.body, leaf)
+		return buf, count
 	}
-	// Semi-naive: require some body atom matched in the delta.
-	for i, b := range body {
-		rest := make([]core.Atom, 0, len(body)-1)
-		rest = append(rest, body[:i]...)
-		rest = append(rest, body[i+1:]...)
-		hom.ForEach([]core.Atom{b}, deltaDB, nil, func(s core.Subst) bool {
-			hom.ForEach(rest, e.db, s, emit)
-			return true
-		})
+	// Semi-naive: the pattern atom must match a delta tuple of the block;
+	// the rest of the body is searched over the full database.
+	done := make([]bool, len(cr.body))
+	done[u.pos] = true
+	pa := &cr.body[u.pos]
+	w := u.g.w
+	for j := u.lo; j < u.hi; j++ {
+		mark := st.Mark()
+		if st.Match(pa, u.g.ids[j*w:j*w+w]) {
+			if !st.Search(cr.body, done, leaf) {
+				st.Unwind(mark)
+				break
+			}
+		}
+		st.Unwind(mark)
 	}
-	return out
+	return buf, count
+}
+
+// seed binds the trigger tuple's ids onto the shared state (unbound
+// sentinel positions stay unbound); unseed undoes it.
+func (e *engine) seed(cr *crule, ids []uint32) {
+	for j, s := range cr.varSlots {
+		if s >= 0 && ids[j] != unboundID {
+			e.st.Bind(s, ids[j])
+		}
+	}
+}
+
+func (e *engine) unseed(cr *crule) {
+	for _, s := range cr.varSlots {
+		if s >= 0 {
+			e.st.Unbind(s)
+		}
+	}
 }
 
 // admissible filters triggers per variant and depth budget.
-func (e *engine) admissible(tr trigger, key string) bool {
-	if e.applied[key] {
+func (e *engine) admissible(cr *crule, ids []uint32) bool {
+	if e.applied.has(uint32(cr.idx), ids) {
 		return false
 	}
-	if e.opts.Variant == Restricted && e.headSatisfied(tr) {
+	if e.opts.Variant == Restricted && e.headSatisfied(cr, ids) {
 		return false
 	}
-	if len(tr.rule.Exist) > 0 && e.opts.MaxDepth > 0 {
+	if len(cr.rule.Exist) > 0 && e.opts.MaxDepth > 0 {
 		d := 0
-		for _, t := range tr.sub {
-			if dd, ok := e.depth[t]; ok && dd > d {
+		for _, id := range ids {
+			if id == unboundID {
+				continue
+			}
+			if dd := e.depthOf(id); dd > d {
 				d = dd
 			}
 		}
@@ -383,89 +600,177 @@ func (e *engine) admissible(tr trigger, key string) bool {
 }
 
 // headSatisfied reports whether the head of the trigger is already
-// entailed: some extension of the frontier assignment maps the head into
-// the database.
-func (e *engine) headSatisfied(tr trigger) bool {
-	init := core.Subst{}
-	ev := tr.rule.EVarSet()
-	for v, t := range tr.sub {
-		if !ev.Has(v) {
-			init[v] = t
-		}
+// entailed: some extension of the trigger assignment (the existential
+// slots stay free) maps the head into the database.
+func (e *engine) headSatisfied(cr *crule, ids []uint32) bool {
+	// The database grows between calls (triggers of the same round apply
+	// one by one), so head constants are re-resolved every time.
+	for i := range cr.heads {
+		cr.heads[i].Resolve(e.db)
 	}
-	return hom.Exists(tr.rule.Head, e.db, init)
+	e.seed(cr, ids)
+	ok := e.st.Exists(cr.heads)
+	e.unseed(cr)
+	return ok
 }
 
 // apply fires the trigger: existential variables become fresh nulls and
-// the instantiated head atoms are added. It returns the atoms that were
-// actually new.
-func (e *engine) apply(tr trigger) ([]core.Atom, error) {
-	key := e.triggerKey(tr)
-	if e.applied[key] {
-		return nil, nil
+// the instantiated head atoms are added. It reports whether the trigger
+// actually fired (was not memoized or pre-satisfied). Added facts are
+// appended to e.roundAdded via the notify callback.
+func (e *engine) apply(tr trig) (bool, error) {
+	cr := tr.cr
+	if e.applied.has(uint32(cr.idx), tr.ids) {
+		return false, nil
 	}
 	// Re-check satisfaction for the restricted variant: an earlier trigger
 	// in this round may have satisfied the head meanwhile.
-	if e.opts.Variant == Restricted && e.headSatisfied(tr) {
-		e.applied[key] = true
-		return nil, nil
+	if e.opts.Variant == Restricted && e.headSatisfied(cr, tr.ids) {
+		e.applied.add(uint32(cr.idx), tr.ids)
+		return false, nil
 	}
-	e.applied[key] = true
-	s := tr.sub.Clone()
+	e.applied.add(uint32(cr.idx), tr.ids)
 	base := 0
-	for _, t := range s {
-		if d, ok := e.depth[t]; ok && d > base {
+	for _, id := range tr.ids {
+		if id == unboundID {
+			continue
+		}
+		if d := e.depthOf(id); d > base {
 			base = d
 		}
 	}
-	for _, v := range tr.rule.Exist {
+	e.seed(cr, tr.ids)
+	for j := range cr.rule.Exist {
 		e.nulls++
-		n := core.NewNull(fmt.Sprintf("n%d", e.nulls))
+		n := core.NewNull("n" + strconv.Itoa(e.nulls))
+		id := e.db.InternTerm(n)
+		e.setDepth(id, base+1)
 		e.depth[n] = base + 1
-		s[v] = n
+		if s := cr.existSlots[j]; s >= 0 {
+			e.st.Bind(s, id)
+		}
 	}
 	e.steps++
-	var added []core.Atom
+	var sub core.Subst
+	if e.hook != nil {
+		sub = e.subOf(cr, tr.ids)
+	}
+	var applyErr error
 	// AddNotify also surfaces the ACDom facts derived for fresh head
 	// constants, so ACDom-reading rules see them in the next delta.
-	note := func(f core.Atom) { added = append(added, f) }
-	for _, h := range tr.rule.Head {
-		a := s.ApplyAtom(h)
-		isNew, err := e.db.AddNotify(a, note)
+	for hi := range cr.heads {
+		a := e.st.Materialize(&cr.heads[hi])
+		// Enforce the fact ceiling per added fact (including the ACDom
+		// facts this Add would derive): the database never exceeds it.
+		if e.db.Len()+e.db.AddCost(a) > e.maxFacts {
+			e.truncate(budget.ErrFactLimit)
+			e.overBudget = true
+			break
+		}
+		isNew, err := e.db.AddNotify(a, e.noteFn)
 		if err != nil {
-			return added, fmt.Errorf("rule %s: %w", tr.rule.Label, err)
+			applyErr = fmt.Errorf("rule %s: %w", cr.rule.Label, err)
+			break
 		}
 		if isNew && e.hook != nil {
-			e.hook(tr, a)
+			e.hook(cr.rule, sub, a)
 		}
 	}
-	return added, nil
-}
-
-// restrictToRule keeps only the bindings of the rule's own variables
-// (hom search may receive init substitutions carrying more).
-func restrictToRule(s core.Subst, r *core.Rule, vars []core.Term) core.Subst {
-	out := make(core.Subst, len(vars))
-	for _, v := range vars {
-		if t, ok := s[v]; ok {
-			out[v] = t
+	e.unseed(cr)
+	for _, s := range cr.existSlots {
+		if s >= 0 {
+			e.st.Unbind(s)
 		}
 	}
-	return out
+	return true, applyErr
 }
 
-// triggerKey identifies a (rule, homomorphism) pair. Variables are
-// serialized in the rule's precomputed order.
-func (e *engine) triggerKey(tr trigger) string {
-	var sb strings.Builder
-	sb.WriteByte(byte(e.ruleID[tr.rule]))
-	sb.WriteByte(byte(e.ruleID[tr.rule] >> 8))
-	sb.WriteByte(byte(e.ruleID[tr.rule] >> 16))
-	for _, v := range e.ruleVars[tr.rule] {
-		t := tr.sub[v]
-		sb.WriteByte(byte('0' + t.Kind))
-		sb.WriteString(t.Name)
-		sb.WriteByte(0)
+// subOf materializes the trigger's substitution over the rule variables
+// (exist variables excluded), for the tree/provenance hooks.
+func (e *engine) subOf(cr *crule, ids []uint32) core.Subst {
+	s := make(core.Subst, len(cr.ruleVars))
+	for i, v := range cr.ruleVars {
+		if ids[i] != unboundID {
+			s[v] = e.db.Term(ids[i])
+		}
 	}
-	return sb.String()
+	return s
+}
+
+func (e *engine) depthOf(id uint32) int {
+	if int(id) < len(e.depthID) {
+		return int(e.depthID[id])
+	}
+	return 0
+}
+
+func (e *engine) setDepth(id uint32, d int) {
+	for int(id) >= len(e.depthID) {
+		e.depthID = append(e.depthID, 0)
+	}
+	e.depthID[id] = int32(d)
+}
+
+// prepareDelta compiles this round's added facts into per-relation delta
+// groups for the next round's semi-naive collection.
+//
+// For every relation but ACDom/1 the group is the tail of the database's
+// id-tuple log — new facts of a relation are appended in derivation
+// order. ACDom/1 is special: the semi-naive contract (mirroring a
+// per-round delta database, which re-derives ACDom(c) for every constant
+// of every delta fact) requires the ACDom delta to cover all constants
+// occurring in the round's added facts — not only the globally fresh
+// ones — in first-occurrence order, plus any explicitly derived ACDom
+// facts. An ACDom-reading rule joined against a delta containing a
+// known constant must still see that constant.
+func (e *engine) prepareDelta() {
+	acdomRK := core.RelKey{Name: core.ACDom, Arity: 1}
+	counts := make(map[core.RelKey]int)
+	var acdomIDs []uint32
+	seenConst := make(map[uint32]bool)
+	noteID := func(t core.Term) {
+		if !t.IsConst() {
+			return
+		}
+		id, ok := e.db.TermID(t)
+		if !ok {
+			return
+		}
+		if !seenConst[id] {
+			seenConst[id] = true
+			acdomIDs = append(acdomIDs, id)
+		}
+	}
+	for _, a := range e.roundAdded {
+		if a.Relation == core.ACDom {
+			if a.Key() == acdomRK {
+				// Explicit/derived ACDom facts join the replay list (the
+				// arg may be a null if a rule head derived one).
+				id, ok := e.db.TermID(a.Args[0])
+				if ok && !seenConst[id] {
+					seenConst[id] = true
+					acdomIDs = append(acdomIDs, id)
+				}
+				continue
+			}
+			counts[a.Key()]++ // odd-arity ACDom: plain tail group
+			continue
+		}
+		counts[a.Key()]++
+		for _, t := range a.Args {
+			noteID(t)
+		}
+		for _, t := range a.Annotation {
+			noteID(t)
+		}
+	}
+	e.groups = make(map[core.RelKey]*deltaGroup, len(counts)+1)
+	for rk, n := range counts {
+		w := rk.Arity + rk.AnnArity
+		all := e.db.IDTuples(rk)
+		e.groups[rk] = &deltaGroup{w: w, n: n, ids: all[len(all)-n*w:]}
+	}
+	if len(acdomIDs) > 0 {
+		e.groups[acdomRK] = &deltaGroup{w: 1, n: len(acdomIDs), ids: acdomIDs}
+	}
 }

@@ -23,19 +23,23 @@ type Provenance map[string]Derivation
 // RunWithProvenance chases like Run while recording, for every derived
 // atom, the rule and premises that produced it first.
 func RunWithProvenance(th *core.Theory, d0 *database.Database, opts Options) (*Result, Provenance, error) {
+	return runWithProvenance(run, th, d0, opts)
+}
+
+func runWithProvenance(rf runFn, th *core.Theory, d0 *database.Database, opts Options) (*Result, Provenance, error) {
 	prov := make(Provenance)
-	res, err := run(th, d0, opts, func(tr trigger, atom core.Atom) {
+	res, err := rf(th, d0, opts, func(r *core.Rule, sub core.Subst, atom core.Atom) {
 		key := atom.String()
 		if _, ok := prov[key]; ok {
 			return
 		}
 		var premises []core.Atom
-		for _, l := range tr.rule.Body {
+		for _, l := range r.Body {
 			if !l.Negated {
-				premises = append(premises, tr.sub.ApplyAtom(l.Atom))
+				premises = append(premises, sub.ApplyAtom(l.Atom))
 			}
 		}
-		prov[key] = Derivation{RuleLabel: tr.rule.Label, Premises: premises}
+		prov[key] = Derivation{RuleLabel: r.Label, Premises: premises}
 	})
 	if err != nil {
 		if budget.IsBudget(err) && res != nil {

@@ -32,6 +32,10 @@ type Tree struct {
 // building the chase tree. The theory must have single-atom heads; rules
 // with constants must be of the form → R(c) (normal form, Definition 4).
 func RunTree(th *core.Theory, d0 *database.Database, opts Options) (*Tree, *Result, error) {
+	return runTree(run, th, d0, opts)
+}
+
+func runTree(rf runFn, th *core.Theory, d0 *database.Database, opts Options) (*Tree, *Result, error) {
 	for _, r := range th.Rules {
 		if len(r.Head) != 1 {
 			return nil, nil, fmt.Errorf("chase tree: rule %s does not have a singleton head (theory not normal)", r.Label)
@@ -51,11 +55,11 @@ func RunTree(th *core.Theory, d0 *database.Database, opts Options) (*Tree, *Resu
 	tree := &Tree{Root: root, Nodes: []*Node{root}}
 
 	var hookErr error
-	hook := func(tr trigger, atom core.Atom) {
+	hook := func(r *core.Rule, sub core.Subst, atom core.Atom) {
 		if hookErr != nil {
 			return
 		}
-		if len(tr.rule.Body) == 0 {
+		if len(r.Body) == 0 {
 			// Constant rules → R(c) are already part of the root.
 			root.addIfMissing(atom)
 			return
@@ -68,8 +72,8 @@ func RunTree(th *core.Theory, d0 *database.Database, opts Options) (*Tree, *Resu
 		}
 		// (C2): new node below the minimal node for the frontier image.
 		img := make(core.TermSet)
-		for v := range tr.rule.FVars() {
-			img.Add(tr.sub.Apply(v))
+		for v := range r.FVars() {
+			img.Add(sub.Apply(v))
 		}
 		parent := tree.minimalNode(img)
 		if parent == nil {
@@ -79,7 +83,7 @@ func RunTree(th *core.Theory, d0 *database.Database, opts Options) (*Tree, *Resu
 		node := &Node{ID: len(tree.Nodes), Parent: parent, Atoms: []core.Atom{atom}, terms: atom.Terms()}
 		tree.Nodes = append(tree.Nodes, node)
 	}
-	res, err := run(th, d0, opts, hook)
+	res, err := rf(th, d0, opts, hook)
 	if err != nil {
 		if budget.IsBudget(err) && res != nil && hookErr == nil {
 			// The partial run still induces a well-formed prefix of the

@@ -1,0 +1,65 @@
+package chase
+
+import (
+	"testing"
+
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+)
+
+// Regression test for the trigger-key serialization collision (same class
+// as PR 1's R("a,0b") == R(a,b) fact-store bug): the old triggerKey
+// concatenated, per variable, byte('0'+Kind) + Name + NUL. Two distinct
+// substitutions whose term names embed the separator and a kind byte can
+// therefore serialize identically, so the second trigger was deduplicated
+// away and the oblivious chase silently under-derived.
+//
+// Collision pair (rule P(X,Y) -> Q(X,Y), both terms constants, kind byte
+// '0'):
+//
+//	{X = "a\x000b", Y = "c"}  ->  "0" "a\x000b" NUL "0" "c" NUL
+//	{X = "a", Y = "b\x000c"}  ->  "0" "a" NUL "0" "b\x000c" NUL
+//
+// both of which are the byte string "0a\x000b\x000c\x00". The id-space
+// trigger keys (ruleID + interned id tuple) cannot collide: distinct terms
+// have distinct ids.
+func TestTriggerKeyCollisionRegression(t *testing.T) {
+	x, y := core.Var("X"), core.Var("Y")
+	r := &core.Rule{
+		Body:  []core.Literal{{Atom: core.NewAtom("P", x, y)}},
+		Head:  []core.Atom{core.NewAtom("Q", x, y)},
+		Label: "collide",
+	}
+	th := &core.Theory{Rules: []*core.Rule{r}}
+
+	// byte('0'+core.Constant) == '0' is the kind byte the old key wrote
+	// for constants; embed it next to the NUL separator.
+	kind := string(byte('0' + core.Constant))
+	a0b := core.Const("a\x00" + kind + "b")
+	c := core.Const("c")
+	a := core.Const("a")
+	b0c := core.Const("b\x00" + kind + "c")
+
+	d := database.New()
+	d.Add(core.NewAtom("P", a0b, c))
+	d.Add(core.NewAtom("P", a, b0c))
+
+	res, err := Run(th, d, Options{Variant: Oblivious})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatal("chase must saturate")
+	}
+	for _, q := range []core.Atom{
+		core.NewAtom("Q", a0b, c),
+		core.NewAtom("Q", a, b0c),
+	} {
+		if !res.Entails(q) {
+			t.Errorf("missing %v: distinct triggers collided in the trigger key", q)
+		}
+	}
+	if res.Steps != 2 {
+		t.Errorf("expected 2 trigger applications, got %d", res.Steps)
+	}
+}

@@ -1,0 +1,102 @@
+package chase
+
+// triggerSet is a hash set of triggers keyed by (rule id, packed id
+// tuple). Entries live in a shared uint32 arena — [rule, width,
+// ids...] — and the open-addressing table stores 1-based arena offsets,
+// so membership tests never allocate and never serialize terms. Because
+// interned ids identify terms bijectively, two distinct triggers always
+// have distinct keys (the property the old name-serialized keys lacked).
+type triggerSet struct {
+	arena []uint32
+	table []int32 // 1-based offsets into arena; 0 = empty
+	n     int
+}
+
+func newTriggerSet() *triggerSet {
+	return &triggerSet{table: make([]int32, 64)}
+}
+
+func hashTrigger(rule uint32, ids []uint32) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a
+	mix := func(v uint32) {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(v >> s))
+			h *= 1099511628211
+		}
+	}
+	mix(rule)
+	for _, id := range ids {
+		mix(id)
+	}
+	return h
+}
+
+func (ts *triggerSet) equal(off int32, rule uint32, ids []uint32) bool {
+	e := ts.arena[off-1:]
+	if e[0] != rule || int(e[1]) != len(ids) {
+		return false
+	}
+	for i, id := range ids {
+		if e[2+i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// has reports membership.
+func (ts *triggerSet) has(rule uint32, ids []uint32) bool {
+	mask := uint64(len(ts.table) - 1)
+	for i := hashTrigger(rule, ids) & mask; ; i = (i + 1) & mask {
+		off := ts.table[i]
+		if off == 0 {
+			return false
+		}
+		if ts.equal(off, rule, ids) {
+			return true
+		}
+	}
+}
+
+// add inserts the trigger, reporting true when it was absent.
+func (ts *triggerSet) add(rule uint32, ids []uint32) bool {
+	if ts.n*4 >= len(ts.table)*3 {
+		ts.grow()
+	}
+	mask := uint64(len(ts.table) - 1)
+	i := hashTrigger(rule, ids) & mask
+	for {
+		off := ts.table[i]
+		if off == 0 {
+			break
+		}
+		if ts.equal(off, rule, ids) {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	off := int32(len(ts.arena) + 1)
+	ts.arena = append(ts.arena, rule, uint32(len(ids)))
+	ts.arena = append(ts.arena, ids...)
+	ts.table[i] = off
+	ts.n++
+	return true
+}
+
+func (ts *triggerSet) grow() {
+	old := ts.table
+	ts.table = make([]int32, len(old)*2)
+	mask := uint64(len(ts.table) - 1)
+	for _, off := range old {
+		if off == 0 {
+			continue
+		}
+		e := ts.arena[off-1:]
+		w := int(e[1])
+		i := hashTrigger(e[0], e[2:2+w]) & mask
+		for ts.table[i] != 0 {
+			i = (i + 1) & mask
+		}
+		ts.table[i] = off
+	}
+}

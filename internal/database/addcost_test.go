@@ -1,0 +1,70 @@
+package database
+
+import (
+	"testing"
+
+	"guardedrules/internal/core"
+)
+
+// AddCost must predict exactly how much Len grows on Add, including the
+// derived ACDom facts — fact-ceiling enforcement depends on it.
+func TestAddCostPredictsLenGrowth(t *testing.T) {
+	d := New()
+	check := func(a core.Atom) {
+		t.Helper()
+		cost := d.AddCost(a)
+		before := d.Len()
+		d.Add(a)
+		if got := d.Len() - before; got != cost {
+			t.Fatalf("AddCost(%v) = %d, but Len grew by %d", a, cost, got)
+		}
+	}
+	// Fresh binary fact over two fresh constants: fact + 2 ACDom.
+	check(core.NewAtom("R", core.Const("a"), core.Const("b")))
+	// Same atom again: cost 0.
+	if c := d.AddCost(core.NewAtom("R", core.Const("a"), core.Const("b"))); c != 0 {
+		t.Fatalf("present atom cost = %d, want 0", c)
+	}
+	// One fresh, one known constant: fact + 1 ACDom.
+	check(core.NewAtom("R", core.Const("a"), core.Const("c")))
+	// Repeated fresh constant within the atom counts once.
+	check(core.NewAtom("S", core.Const("d"), core.Const("d")))
+	// Annotation constants count too.
+	check(core.Atom{Relation: "T", Args: []core.Term{core.Const("a")},
+		Annotation: []core.Term{core.Const("e")}})
+	// Nulls never enter ACDom.
+	check(core.NewAtom("R", core.Const("a"), core.NewNull("n1")))
+	// ACDom facts themselves derive nothing.
+	check(core.NewAtom(core.ACDom, core.Const("zz")))
+	// ... and a constant whose ACDom fact was explicitly added is not
+	// double-counted when it later appears in a user fact.
+	check(core.NewAtom("R", core.Const("zz"), core.Const("a")))
+}
+
+func TestAddCostNonGround(t *testing.T) {
+	d := New()
+	if c := d.AddCost(core.NewAtom("R", core.Var("X"))); c != 1 {
+		t.Fatalf("non-ground cost = %d, want 1", c)
+	}
+}
+
+func TestInternTermMintsStableIDs(t *testing.T) {
+	d := New()
+	n := core.NewNull("n1")
+	id := d.InternTerm(n)
+	if got, ok := d.TermID(n); !ok || got != id {
+		t.Fatalf("TermID after InternTerm = (%d,%v), want (%d,true)", got, ok, id)
+	}
+	if d.Term(id) != n {
+		t.Fatalf("Term(%d) = %v, want %v", id, d.Term(id), n)
+	}
+	// Interning must not add facts.
+	if d.Len() != 0 {
+		t.Fatalf("InternTerm added facts: Len=%d", d.Len())
+	}
+	// A later fact containing the term reuses the id.
+	d.Add(core.NewAtom("R", core.Const("a"), n))
+	if got, _ := d.TermID(n); got != id {
+		t.Fatalf("id changed after Add: %d vs %d", got, id)
+	}
+}

@@ -279,6 +279,55 @@ func (d *Database) HasApplied(a core.Atom, s core.Subst) bool {
 // fact of the database. Ids are only meaningful within this database.
 func (d *Database) TermID(t core.Term) (uint32, bool) { return d.intern.Lookup(t) }
 
+// InternTerm interns t into the database's term table without inserting
+// any fact, returning its dense id. Engines that mint fresh terms (the
+// chase's labeled nulls) use it to obtain the term's id before the first
+// fact containing it is added, so id-keyed side tables can be indexed
+// immediately.
+func (d *Database) InternTerm(t core.Term) uint32 { return d.intern.Intern(t) }
+
+// AddCost returns how many facts an Add of a would insert right now: 0
+// when the atom is already present, otherwise 1 plus one for each
+// distinct fresh constant of the atom that would newly enter ACDom (see
+// the ACDom maintenance contract). Non-ground atoms — which Add rejects —
+// cost 1. Engines with fact ceilings use it to enforce the ceiling
+// per added fact, including the derived ACDom facts.
+func (d *Database) AddCost(a core.Atom) int {
+	if !a.IsGround() {
+		return 1
+	}
+	if d.Has(a) {
+		return 0
+	}
+	cost := 1
+	if a.Relation == core.ACDom {
+		return cost
+	}
+	var fresh []core.Term
+	count := func(t core.Term) {
+		if !t.IsConst() || d.acdom[t] {
+			return
+		}
+		for _, u := range fresh {
+			if u == t {
+				return
+			}
+		}
+		fresh = append(fresh, t)
+		// An explicitly added ACDom fact keeps insert from re-adding it.
+		if !d.Has(core.NewAtom(core.ACDom, t)) {
+			cost++
+		}
+	}
+	for _, t := range a.Args {
+		count(t)
+	}
+	for _, t := range a.Annotation {
+		count(t)
+	}
+	return cost
+}
+
 // Term returns the term with the given interned id.
 func (d *Database) Term(id uint32) core.Term { return d.intern.TermOf(id) }
 

@@ -3,13 +3,12 @@ package datalog
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"guardedrules/internal/budget"
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
 	"guardedrules/internal/hom"
+	"guardedrules/internal/par"
 )
 
 // Options configures the semi-naive evaluator.
@@ -376,48 +375,6 @@ func (st *joinState) materialize(ca *catom) core.Atom {
 	return out
 }
 
-// runUnits executes run(0..n-1) across the worker pool. Units are claimed
-// from a shared counter; determinism is preserved because each unit writes
-// only its own result slot and the caller merges slots in unit order.
-// Workers poll canceled between units and drain without claiming more;
-// wg.Wait always runs, so cancellation can never leak a goroutine. Units
-// already started finish their (possibly canceled-short) run; the caller
-// discards all buffers of a canceled round, so partial units never leak
-// into the result.
-func runUnits(n, workers int, canceled func() bool, run func(u int)) {
-	if workers <= 1 || n <= 1 {
-		for u := 0; u < n; u++ {
-			if canceled() {
-				return
-			}
-			run(u)
-		}
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if canceled() {
-					return
-				}
-				u := int(next.Add(1)) - 1
-				if u >= n {
-					return
-				}
-				run(u)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
 // pollInterval is how many join results a worker processes between
 // cancellation polls inside a single unit, bounding the drain latency of
 // a unit with a huge delta shard.
@@ -499,7 +456,7 @@ func evalStratum(rules []*core.Rule, db *database.Database, opts Options, tk *bu
 
 	// Round 0: full evaluation, one work unit per rule.
 	bufs := make([][]core.Atom, len(rules))
-	runUnits(len(rules), workers, tk.Canceled, func(u int) {
+	par.RunUnits(len(rules), workers, tk.Canceled, func(u int) {
 		_ = tk.Check() // checkpoint: counts toward FailAt injection
 		r := rules[u]
 		body := r.PositiveBody()
@@ -583,7 +540,7 @@ func evalStratum(rules []*core.Rule, db *database.Database, opts Options, tk *bu
 			}
 		}
 		bufs = make([][]core.Atom, len(units))
-		runUnits(len(units), workers, tk.Canceled, func(u int) {
+		par.RunUnits(len(units), workers, tk.Canceled, func(u int) {
 			_ = tk.Check() // checkpoint: counts toward FailAt injection
 			c := units[u].c
 			g := groups[c.pattern.rk]

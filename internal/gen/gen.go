@@ -223,6 +223,38 @@ func ABDatabase(n int, seed int64) *database.Database {
 	return d
 }
 
+// AdversarialNames builds a database over the random-theory signature
+// (unary A/B/C, binary R/S) whose constant names embed NUL bytes and
+// term-kind characters — the byte sequences that break naive
+// separator-based key serialization (see the chase trigger-key
+// regression). Engines keyed on interned ids are immune; engines that
+// concatenate names are not.
+func AdversarialNames(n int, seed int64) *database.Database {
+	rng := rand.New(rand.NewSource(seed))
+	d := database.New()
+	c := func(i int) core.Term {
+		switch i % 4 {
+		case 0:
+			return core.Const(fmt.Sprintf("a\x00%d", i))
+		case 1:
+			return core.Const(fmt.Sprintf("%d\x001a", i))
+		case 2:
+			return core.Const(fmt.Sprintf("\x00\x00%d", i))
+		default:
+			return core.Const(fmt.Sprintf("x%d", i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			d.Add(core.NewAtom([]string{"A", "B", "C"}[rng.Intn(3)], c(rng.Intn(n))))
+		default:
+			d.Add(core.NewAtom([]string{"R", "S"}[rng.Intn(2)], c(rng.Intn(n)), c(rng.Intn(n))))
+		}
+	}
+	return d
+}
+
 // RandomWFGTheory builds a random weakly frontier-guarded theory: nulls
 // are invented at the first position of binary relations and joined with
 // safe side conditions. Samples are not guaranteed to be wfg for every

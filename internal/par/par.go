@@ -1,0 +1,51 @@
+// Package par provides the small deterministic worker-pool primitive
+// shared by the parallel fixpoint engines (datalog's semi-naive
+// evaluator and the chase's trigger collector).
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RunUnits executes run(0..n-1) across a pool of workers. Units are
+// claimed from a shared counter; determinism is preserved because each
+// unit writes only its own result slot and the caller merges slots in
+// unit order. Workers poll canceled between units and drain without
+// claiming more; wg.Wait always runs, so cancellation can never leak a
+// goroutine. Units already started finish their (possibly
+// canceled-short) run; the caller discards all buffers of a canceled
+// round, so partial units never leak into the result.
+func RunUnits(n, workers int, canceled func() bool, run func(u int)) {
+	if workers <= 1 || n <= 1 {
+		for u := 0; u < n; u++ {
+			if canceled() {
+				return
+			}
+			run(u)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if canceled() {
+					return
+				}
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					return
+				}
+				run(u)
+			}
+		}()
+	}
+	wg.Wait()
+}

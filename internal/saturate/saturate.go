@@ -11,6 +11,7 @@ import (
 	"guardedrules/internal/budget"
 	"guardedrules/internal/classify"
 	"guardedrules/internal/core"
+	"guardedrules/internal/hom"
 )
 
 // Options bounds the saturation. The closure is finite but can be doubly
@@ -499,53 +500,56 @@ func (p *pool) compose(left, right *core.Rule, deltaBeta []core.Atom) error {
 	// full maps of the right-rule variables by assigning leftover
 	// variables to vars(α). touched tracks whether the match uses a delta
 	// atom; with a delta restriction, matches over old atoms only were
-	// already explored when those atoms were new.
-	var assign func(i int, s core.Subst, touched bool) error
-	assign = func(i int, s core.Subst, touched bool) error {
+	// already explored when those atoms were new. One substitution map is
+	// threaded through the whole enumeration, with trail-based undo
+	// (hom.MatchInPlace) instead of cloning at every branch; g1 marks the
+	// atoms assigned to γ1.
+	s := core.Subst{}
+	g1 := make([]bool, len(rbody))
+	var assign func(i int, touched bool) error
+	assign = func(i int, touched bool) error {
 		if i == len(rbody) {
 			if !touched && deltaBeta != nil {
 				return nil
 			}
-			return p.emitComposition(left, right, s)
+			return p.emitComposition(left, right, s, g1)
 		}
 		atom := rbody[i]
 		// Option 1: atom ∈ γ2, matched against some head atom of left.
 		for _, b := range beta {
-			if s2, ok := core.MatchAtom(s.ApplyAtom(atom), b, s); ok {
-				if err := assign(i+1, s2, touched || inDelta(b)); err != nil {
+			if atom.Relation != b.Relation ||
+				len(atom.Args) != len(b.Args) || len(atom.Annotation) != len(b.Annotation) {
+				continue
+			}
+			if trail, ok := hom.MatchInPlace(s.ApplyAtom(atom), b, s); ok {
+				if err := assign(i+1, touched || inDelta(b)); err != nil {
 					return err
+				}
+				for _, v := range trail {
+					delete(s, v)
 				}
 			}
 		}
 		// Option 2: atom ∈ γ1; its variables must end up in vars(α),
 		// handled at emission.
-		return assign(i+1, markGamma1(s, i), touched)
+		g1[i] = true
+		err := assign(i+1, touched)
+		g1[i] = false
+		return err
 	}
-	return assign(0, core.Subst{}, false)
-}
-
-// gamma1Marker records which right-body atoms were assigned to γ1.
-func markGamma1(s core.Subst, i int) core.Subst {
-	out := s.Clone()
-	out[core.Var(fmt.Sprintf("\x00g1:%d", i))] = core.Const("1")
-	return out
-}
-
-func isGamma1(s core.Subst, i int) bool {
-	_, ok := s[core.Var(fmt.Sprintf("\x00g1:%d", i))]
-	return ok
+	return assign(0, false)
 }
 
 // emitComposition finishes a composition: leftover right-rule variables
 // (those of γ1 atoms not bound by the γ2 match) are mapped into vars(α)
 // in every possible way, then the derived rule is added.
-func (p *pool) emitComposition(left, right *core.Rule, s core.Subst) error {
+func (p *pool) emitComposition(left, right *core.Rule, s core.Subst, g1 []bool) error {
 	rbody := right.PositiveBody()
 	var gamma1 []core.Atom
 	evarTouched := false
 	lev := left.EVarSet()
 	for i, a := range rbody {
-		if isGamma1(s, i) {
+		if g1[i] {
 			gamma1 = append(gamma1, a)
 			continue
 		}
