@@ -31,3 +31,8 @@ func (bf *budgetFlags) budget() *guardedrules.Budget {
 	}
 	return &guardedrules.Budget{Timeout: bf.timeout, MaxFacts: bf.maxFacts}
 }
+
+// options lifts the flags into the unified facade Options (the v2 API).
+func (bf *budgetFlags) options() guardedrules.Options {
+	return guardedrules.Options{Timeout: bf.timeout, MaxFacts: bf.maxFacts}
+}

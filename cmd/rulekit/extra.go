@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -80,9 +81,13 @@ func cmdContains(args []string) error {
 	return nil
 }
 
-// cmdCore minimizes a fact file to its core.
+// cmdCore minimizes a fact file to its core. The endomorphism search is
+// governed: -timeout and -max-steps bound it, and an exhausted run
+// reports the (sound) current set with exact=false.
 func cmdCore(args []string) error {
 	fs := flag.NewFlagSet("core", flag.ExitOnError)
+	maxSteps := fs.Int("max-steps", 0, "cap on candidate endomorphisms inspected (0 = none)")
+	bf := addBudgetFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("core: expected one facts file")
@@ -92,7 +97,15 @@ func cmdCore(args []string) error {
 		return err
 	}
 	atoms := d.UserFacts()
-	coreAtoms, exact := guardedrules.CoreOf(atoms)
+	opts := bf.options()
+	opts.MaxSteps = *maxSteps
+	coreAtoms, exact, err := guardedrules.CoreOfCtx(context.Background(), atoms, opts)
+	if err != nil {
+		if !guardedrules.IsBudgetError(err) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "core: warning: search truncated (%v); result is sound but may not be minimal\n", err)
+	}
 	for _, a := range coreAtoms {
 		fmt.Println(parser.PrintAtom(a) + ".")
 	}

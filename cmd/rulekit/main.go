@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -60,6 +61,8 @@ func main() {
 		err = cmdExplain(os.Args[2:])
 	case "magic":
 		err = cmdMagic(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -92,6 +95,9 @@ commands:
   tree      -data <facts> [-depth N] <theory>   print the Section 4 chase tree
   explain   -data <facts> -atom 'Q(a)' <theory> print a derivation proof tree
   magic     -data <facts> -goal 'Anc(a,Y)' <theory>  goal-directed Datalog answers
+  serve     [-addr host:port] [-timeout D] [-max-facts N]
+                                         HTTP server over compiled KBs: register
+                                         theories, load databases, answer queries
 
 engine-running subcommands (translate, chase, query, capture, tree,
 explain, magic) also accept -timeout <dur> and -max-facts <n>: the run is
@@ -192,39 +198,24 @@ func cmdTranslate(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := guardedrules.TranslateOptions{MaxRules: *maxRules, Budget: bf.budget()}
+	opts := bf.options()
+	opts.MaxRules = *maxRules
+	var target guardedrules.Target
 	switch *to {
 	case "ng":
-		out, err := guardedrules.FrontierGuardedToNearlyGuarded(th, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Print(guardedrules.PrintTheory(out))
+		target = guardedrules.ToNearlyGuarded
 	case "wg":
-		res, err := guardedrules.WeaklyFrontierGuardedToWeaklyGuarded(th, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Print(guardedrules.PrintTheory(res.Rewritten))
+		target = guardedrules.ToWeaklyGuarded
 	case "datalog":
-		rep := guardedrules.Classify(th)
-		var out *guardedrules.Theory
-		if rep.Member[classify.NearlyGuarded] {
-			out, err = guardedrules.NearlyGuardedToDatalog(th, opts)
-		} else {
-			ng, nerr := guardedrules.FrontierGuardedToNearlyGuarded(th, opts)
-			if nerr != nil {
-				return nerr
-			}
-			out, err = guardedrules.NearlyGuardedToDatalog(ng, opts)
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Print(guardedrules.PrintTheory(out))
+		target = guardedrules.ToDatalog
 	default:
 		return fmt.Errorf("translate: unknown target %q", *to)
 	}
+	out, err := guardedrules.TranslateCtx(context.Background(), th, target, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(guardedrules.PrintTheory(out))
 	return nil
 }
 
@@ -265,13 +256,14 @@ func cmdChase(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := guardedrules.ChaseOptions{MaxDepth: *depth, Budget: bf.budget()}
+	opts := bf.options()
+	opts.MaxDepth = *depth
 	if *variant == "oblivious" {
 		opts.Variant = guardedrules.Oblivious
 	} else {
 		opts.Variant = guardedrules.Restricted
 	}
-	res, err := guardedrules.Chase(th, d, opts)
+	res, err := guardedrules.ChaseCtx(context.Background(), th, d, opts)
 	if err != nil && !guardedrules.IsBudgetError(err) {
 		return err
 	}
@@ -336,7 +328,7 @@ func cmdQuery(args []string) error {
 	}
 	var ans [][]guardedrules.Term
 	if guardedrules.Classify(th).Member[classify.Datalog] && !th.HasNegation() {
-		fix, qerr := guardedrules.EvalDatalogOpts(th, d, guardedrules.DatalogOptions{Budget: bf.budget()})
+		fix, qerr := guardedrules.EvalDatalogCtx(context.Background(), th, d, bf.options())
 		if qerr != nil {
 			if fix == nil || !guardedrules.IsBudgetError(qerr) {
 				return qerr
@@ -345,9 +337,10 @@ func cmdQuery(args []string) error {
 		}
 		ans = datalog.CollectAnswers(fix, *rel)
 	} else {
-		res, cerr := guardedrules.Chase(th, d, guardedrules.ChaseOptions{
-			Variant: guardedrules.Restricted, MaxDepth: *depth, Budget: bf.budget(),
-		})
+		copts := bf.options()
+		copts.Variant = guardedrules.Restricted
+		copts.MaxDepth = *depth
+		res, cerr := guardedrules.ChaseCtx(context.Background(), th, d, copts)
 		if cerr != nil && !guardedrules.IsBudgetError(cerr) {
 			return cerr
 		}
@@ -398,10 +391,13 @@ func cmdCapture(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := guardedrules.Chase(th, d, guardedrules.ChaseOptions{
-		Variant: guardedrules.Restricted, MaxDepth: 3*len(w) + 6, MaxFacts: 2_000_000,
-		Budget: bf.budget(),
-	})
+	copts := bf.options()
+	copts.Variant = guardedrules.Restricted
+	copts.MaxDepth = 3*len(w) + 6
+	if copts.MaxFacts == 0 {
+		copts.MaxFacts = 2_000_000
+	}
+	res, err := guardedrules.ChaseCtx(context.Background(), th, d, copts)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"guardedrules/internal/kbcache"
+	"guardedrules/internal/server"
+)
+
+// cmdServe boots the compiled-KB HTTP server: register theories once,
+// load fact databases, answer queries against the cached artifacts.
+// SIGINT/SIGTERM shut it down gracefully.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request engine budget (0 = request context only)")
+	maxFacts := fs.Int("max-facts", 1_000_000, "per-request derived-fact ceiling (0 = none)")
+	maxKBs := fs.Int("max-kbs", 32, "compiled-KB cache capacity")
+	maxPlans := fs.Int("max-plans", 64, "query-plan cache capacity per KB")
+	maxDBs := fs.Int("max-dbs", 32, "loaded-database cache capacity")
+	compileTimeout := fs.Duration("compile-timeout", 30*time.Second, "per-compilation budget (translations included)")
+	workers := fs.Int("workers", 0, "per-round engine parallelism (0 = all CPUs)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+
+	srv := server.New(server.Config{
+		Store: kbcache.Config{
+			MaxKBs:         *maxKBs,
+			MaxPlansPerKB:  *maxPlans,
+			CompileTimeout: *compileTimeout,
+		},
+		MaxDBs:         *maxDBs,
+		DefaultTimeout: *timeout,
+		MaxFacts:       *maxFacts,
+		Workers:        *workers,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "serve: shutting down")
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shctx)
+	case err := <-errCh:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,8 @@ func main() {
 	// n1 (the R-witness) and n2 (the T-witness).
 	facts, _ := guardedrules.ParseFacts(`A(c). C(c).`)
 	db := guardedrules.NewDatabase(facts...)
-	res, err := guardedrules.Chase(theory, db, guardedrules.ChaseOptions{Variant: guardedrules.Oblivious})
+	ctx := context.Background()
+	res, err := guardedrules.ChaseCtx(ctx, theory, db, guardedrules.Options{Variant: guardedrules.Oblivious})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func main() {
 
 	// The saturation view: dat(Σ) contains σ12, so the same consequence
 	// needs no nulls at all.
-	dat, err := guardedrules.GuardedToDatalog(theory, guardedrules.TranslateOptions{})
+	dat, err := guardedrules.TranslateCtx(ctx, theory, guardedrules.ToDatalog, guardedrules.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func main() {
 		}
 	}
 
-	answers, err := guardedrules.Answers(dat, "D", db)
+	answers, err := guardedrules.AnswersCtx(ctx, dat, "D", db, guardedrules.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,7 @@ func main() {
 
 	// Chase D with Σp. The restricted chase terminates here; the depth
 	// bound is a safety net for theories with infinite chases.
-	res, err := guardedrules.Chase(theory, db, guardedrules.ChaseOptions{
+	res, err := guardedrules.ChaseCtx(context.Background(), theory, db, guardedrules.Options{
 		Variant:  guardedrules.Restricted,
 		MaxDepth: 6,
 	})

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,7 @@ func main() {
 	}
 	db := guardedrules.NewDatabase(facts...)
 
-	out, exact, err := guardedrules.EvalStratified(theory, db, guardedrules.ChaseOptions{
+	out, exact, err := guardedrules.EvalStratifiedCtx(context.Background(), theory, db, guardedrules.Options{
 		Variant:  guardedrules.Restricted,
 		MaxDepth: 4,
 	})

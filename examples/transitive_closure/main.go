@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,8 +28,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	path := gen.Path(5)
-	res, err := guardedrules.Chase(fgTheory, path, guardedrules.ChaseOptions{
+	res, err := guardedrules.ChaseCtx(ctx, fgTheory, path, guardedrules.Options{
 		Variant:  guardedrules.Restricted,
 		MaxDepth: 3,
 	})
@@ -61,13 +63,13 @@ func main() {
 	fmt.Printf("\nmixed theory fragments: %v\n", report.Fragments())
 
 	// Translate to plain Datalog via Proposition 6 and evaluate.
-	dat, err := guardedrules.NearlyGuardedToDatalog(mixed, guardedrules.TranslateOptions{})
+	dat, err := guardedrules.TranslateCtx(ctx, mixed, guardedrules.ToDatalog, guardedrules.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Datalog translation: %d rules\n", len(dat.Rules))
 
-	answers, err := guardedrules.Answers(dat, "Connected", gen.Path(5))
+	answers, err := guardedrules.AnswersCtx(ctx, dat, "Connected", gen.Path(5), guardedrules.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -68,9 +68,16 @@ type (
 	// ClassReport describes fragment membership of a theory.
 	ClassReport = classify.Report
 	// ChaseOptions bounds a chase run.
+	//
+	// Deprecated: use the unified Options with ChaseCtx. ChaseOptions'
+	// Max* integers truncate softly (Truncated + Reason, nil error);
+	// the v2 API routes every limit through a Budget instead, so there
+	// is one limits code path with typed errors.
 	ChaseOptions = chase.Options
 	// ChaseResult is the outcome of a chase run.
 	ChaseResult = chase.Result
+	// Variant selects the chase flavor (Oblivious or Restricted).
+	Variant = chase.Variant
 	// CQ is a conjunctive query.
 	CQ = kb.CQ
 	// ATM is an alternating Turing machine.
@@ -174,12 +181,18 @@ func Normalize(th *Theory) *Theory { return normalize.Normalize(th) }
 // Chase runs the chase of D with Σ (Section 2). Existential theories may
 // have infinite chases; use the options' depth and fact budgets, or a
 // Budget for typed exhaustion errors with partial results.
+//
+// Deprecated: use ChaseCtx. This wrapper is kept for compatibility and
+// preserves ChaseOptions' soft Max* truncation semantics.
 func Chase(th *Theory, d *Database, opts ChaseOptions) (res *ChaseResult, err error) {
 	defer recoverToError(&err)
 	return chase.Run(th, d, opts)
 }
 
 // TranslateOptions bounds the exponential translations.
+//
+// Deprecated: use the unified Options with TranslateCtx; its MaxRules
+// and Timeout fields are routed through the Budget.
 type TranslateOptions struct {
 	// MaxRules caps intermediate rule counts (0 = defaults). Hitting the
 	// cap returns an error wrapping ErrRuleLimit.
@@ -193,6 +206,8 @@ type TranslateOptions struct {
 // Proposition 4 for a (nearly) frontier-guarded theory: a nearly guarded
 // theory with the same ground atomic consequences over Σ's signature. The
 // input is normalized automatically.
+//
+// Deprecated: use TranslateCtx(ctx, th, ToNearlyGuarded, opts).
 func FrontierGuardedToNearlyGuarded(th *Theory, opts TranslateOptions) (out *Theory, err error) {
 	defer recoverToError(&err)
 	out, _, err = rewrite.Rewrite(normalize.Normalize(th), rewrite.Options{MaxRules: opts.MaxRules, Budget: opts.Budget})
@@ -204,12 +219,16 @@ func FrontierGuardedToNearlyGuarded(th *Theory, opts TranslateOptions) (out *The
 type WFGResult = annotate.Result
 
 // WeaklyFrontierGuardedToWeaklyGuarded computes rew(Σ) of Theorem 2.
+//
+// Deprecated: use TranslateWFGCtx.
 func WeaklyFrontierGuardedToWeaklyGuarded(th *Theory, opts TranslateOptions) (res *WFGResult, err error) {
 	defer recoverToError(&err)
 	return annotate.RewriteWFG(th, rewrite.Options{MaxRules: opts.MaxRules, Budget: opts.Budget})
 }
 
 // GuardedToDatalog computes dat(Σ) of Theorem 3 for a guarded theory.
+//
+// Deprecated: use TranslateCtx(ctx, th, ToDatalog, opts).
 func GuardedToDatalog(th *Theory, opts TranslateOptions) (out *Theory, err error) {
 	defer recoverToError(&err)
 	out, _, err = saturate.Datalog(th, saturate.Options{MaxRules: opts.MaxRules, Budget: opts.Budget})
@@ -218,6 +237,8 @@ func GuardedToDatalog(th *Theory, opts TranslateOptions) (out *Theory, err error
 
 // NearlyGuardedToDatalog translates a nearly guarded theory into Datalog
 // (Proposition 6).
+//
+// Deprecated: use TranslateCtx(ctx, th, ToDatalog, opts).
 func NearlyGuardedToDatalog(th *Theory, opts TranslateOptions) (out *Theory, err error) {
 	defer recoverToError(&err)
 	out, _, err = saturate.NearlyGuardedToDatalog(th, saturate.Options{MaxRules: opts.MaxRules, Budget: opts.Budget})
@@ -230,6 +251,8 @@ func AxiomatizeACDom(th *Theory) *Theory { return rewrite.Axiomatize(th) }
 
 // EvalDatalog computes the stratified fixpoint of a Datalog program with
 // the parallel semi-naive engine at its default worker count (all CPUs).
+//
+// Deprecated: use EvalDatalogCtx.
 func EvalDatalog(th *Theory, d *Database) (out *Database, err error) {
 	defer recoverToError(&err)
 	return datalog.Eval(th, d)
@@ -238,17 +261,23 @@ func EvalDatalog(th *Theory, d *Database) (out *Database, err error) {
 // DatalogOptions configures the semi-naive Datalog engine: the per-round
 // worker count (0 = all CPUs, 1 = sequential) and the round budget. The
 // derived fact set is identical for every worker count.
+//
+// Deprecated: use the unified Options with EvalDatalogCtx/AnswersCtx.
 type DatalogOptions = datalog.Options
 
 // EvalDatalogOpts computes the stratified fixpoint with explicit engine
 // options; a Budget in opts makes the run cancellable, returning the
 // facts of completed rounds alongside a typed *BudgetError.
+//
+// Deprecated: use EvalDatalogCtx with the unified Options.
 func EvalDatalogOpts(th *Theory, d *Database, opts DatalogOptions) (out *Database, err error) {
 	defer recoverToError(&err)
 	return datalog.EvalSemiNaiveOpts(th, d, opts)
 }
 
 // Answers evaluates the query (Σ, Q) for a Datalog Σ over D.
+//
+// Deprecated: use AnswersCtx.
 func Answers(th *Theory, q string, d *Database) (ans [][]Term, err error) {
 	defer recoverToError(&err)
 	return datalog.Answers(th, q, d)
@@ -258,6 +287,8 @@ func Answers(th *Theory, q string, d *Database) (ans [][]Term, err error) {
 // weakly frontier-guarded theory, by bounded chase (Section 7). The
 // boolean result reports whether the chase saturated (answers are then
 // exact; otherwise they are a sound under-approximation).
+//
+// Deprecated: use AnswerCQCtx with the unified Options.
 func AnswerCQ(th *Theory, q CQ, d *Database, opts ChaseOptions) (ans [][]Term, exact bool, err error) {
 	defer recoverToError(&err)
 	return kb.AnswerByChase(th, q, d, opts)
@@ -266,6 +297,8 @@ func AnswerCQ(th *Theory, q CQ, d *Database, opts ChaseOptions) (ans [][]Term, e
 // EvalStratified evaluates a stratified existential theory (Definition 23)
 // with the given per-stratum chase bounds. On budget exhaustion the
 // partially chased database is returned (exact = false) with the error.
+//
+// Deprecated: use EvalStratifiedCtx with the unified Options.
 func EvalStratified(th *Theory, d *Database, opts ChaseOptions) (out *Database, exact bool, err error) {
 	defer recoverToError(&err)
 	res, err := stratified.Eval(th, d, stratified.Options{Chase: opts})
@@ -321,6 +354,10 @@ func ChaseTerminates(th *Theory) bool { return termination.IsWeaklyAcyclic(th) }
 // CoreOf minimizes an instance to its core: the smallest homomorphically
 // equivalent sub-instance (constants fixed, nulls mappable). The second
 // result reports whether the search was exhaustive.
+//
+// Deprecated: use CoreOfCtx, which accepts a budget so core
+// computation on large instances is cancellable like every other
+// engine (CoreOf runs with the default candidate cap only).
 func CoreOf(atoms []Atom) ([]Atom, bool) { return hom.Core(atoms, 0) }
 
 // ParseCQ parses a conjunctive query written as a rule whose head lists
@@ -335,6 +372,8 @@ func CQContained(q1, q2 CQ) (bool, error) { return q1.ContainedIn(q2) }
 // rewriting: bottom-up evaluation restricted to the facts relevant to the
 // query's bound constants. The query atom mixes constants (bound) and
 // variables (free); answers are full tuples of the query relation.
+//
+// Deprecated: use AnswersGoalDirectedCtx.
 func AnswersGoalDirected(th *Theory, query Atom, d *Database) (ans [][]Term, err error) {
 	defer recoverToError(&err)
 	ans, _, err = datalog.AnswerWithMagic(th, query, d)

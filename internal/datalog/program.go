@@ -1,0 +1,105 @@
+package datalog
+
+import (
+	"fmt"
+
+	"guardedrules/internal/budget"
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+)
+
+// Program is a Datalog program compiled once and evaluated many times:
+// the stratification, the per-stratum semi-naive work items (rule ×
+// positive-body-position, with the remaining body reordered
+// most-bound-first), and the round-0 body orderings are all computed at
+// Compile time and shared across evaluations.
+//
+// A Program is immutable after Compile and safe for concurrent use: Eval
+// clones the input database and compiles the shared delta items into
+// per-run id-space programs (id resolution is per-database, so the
+// compiled templates themselves are never written after construction).
+// This is the compile-once/query-many seam the serving layer
+// (internal/kbcache) builds on: stratify/reorder/compile happen once per
+// theory, per-query work is only the fixpoint itself.
+type Program struct {
+	th     *core.Theory
+	strata []compiledStratum
+}
+
+// compiledStratum is one stratum's reusable compiled form.
+type compiledStratum struct {
+	rules []*core.Rule
+	items []deltaItem
+	// round0 holds each rule's positive body reordered most-bound-first,
+	// for the full (non-delta) evaluation of round 0.
+	round0 [][]core.Atom
+}
+
+// Compile validates the theory as stratified Datalog and builds its
+// reusable evaluation plan. The returned Program references the theory's
+// rules; callers must not mutate them afterwards.
+func Compile(th *core.Theory) (*Program, error) {
+	for _, r := range th.Rules {
+		if !r.IsDatalog() {
+			return nil, fmt.Errorf("datalog: rule %s has existential variables", r.Label)
+		}
+	}
+	strata, err := Stratify(th)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{th: th, strata: make([]compiledStratum, len(strata))}
+	for i, rules := range strata {
+		cs := &p.strata[i]
+		cs.rules = rules
+		cs.items = deltaItemsOf(rules)
+		cs.round0 = make([][]core.Atom, len(rules))
+		for j, r := range rules {
+			cs.round0[j] = reorderMostBound(r.PositiveBody(), nil)
+		}
+	}
+	return p, nil
+}
+
+// Theory returns the compiled program's rules.
+func (p *Program) Theory() *core.Theory { return p.th }
+
+// Strata reports the number of strata of the compiled program.
+func (p *Program) Strata() int { return len(p.strata) }
+
+// Rules reports the number of rules of the compiled program.
+func (p *Program) Rules() int { return len(p.th.Rules) }
+
+// Eval computes the stratified fixpoint over d with the compiled plan.
+// The input database is not modified. On budget exhaustion the partial
+// database — every fully merged round — is returned together with a
+// typed *budget.Error, exactly like EvalSemiNaiveOpts.
+func (p *Program) Eval(d *database.Database, opts Options) (*database.Database, error) {
+	tk := budget.Start(opts.Budget)
+	defer tk.Stop()
+	out := d.Clone()
+	for i := range p.strata {
+		if err := evalStratum(&p.strata[i], out, opts, tk); err != nil {
+			if budget.IsBudget(err) {
+				return out, fmt.Errorf("datalog: stratum %d: %w", i, err)
+			}
+			return nil, fmt.Errorf("datalog: stratum %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Answers evaluates the compiled program over d and extracts the
+// all-constant q-tuples, in sorted textual order. On budget exhaustion
+// the answers of the partial fixpoint are returned (a sound
+// under-approximation) alongside the typed error.
+func (p *Program) Answers(q string, d *database.Database, opts Options) ([][]core.Term, error) {
+	fix, err := p.Eval(d, opts)
+	if err != nil {
+		if fix != nil && budget.IsBudget(err) {
+			return CollectAnswers(fix, q), err
+		}
+		return nil, err
+	}
+	return CollectAnswers(fix, q), nil
+}

@@ -402,9 +402,14 @@ const seqThreshold = 128
 // waits for the pool, so no goroutine outlives the call. The buffers of a
 // canceled round are discarded, never merged — the database then holds
 // exactly the completed rounds, a well-formed partial fixpoint.
-func evalStratum(rules []*core.Rule, db *database.Database, opts Options, tk *budget.Tracker) error {
+func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *budget.Tracker) error {
+	rules := cs.rules
 	workers := opts.workers()
-	items := compileItems(deltaItemsOf(rules))
+	// Compile the shared (immutable) delta items into per-run id-space
+	// programs: constant-id resolution is per-database, so the citems are
+	// private to this evaluation while the templates stay shareable across
+	// concurrent Program.Eval calls.
+	items := compileItems(cs.items)
 	maxRounds := budget.Cap(opts.Budget, func(b *budget.T) int { return b.MaxRounds }, opts.maxRounds())
 	maxFacts := 0
 	if opts.Budget != nil {
@@ -459,13 +464,13 @@ func evalStratum(rules []*core.Rule, db *database.Database, opts Options, tk *bu
 	par.RunUnits(len(rules), workers, tk.Canceled, func(u int) {
 		_ = tk.Check() // checkpoint: counts toward FailAt injection
 		r := rules[u]
-		body := r.PositiveBody()
+		body := cs.round0[u]
 		emit := emitInto(r, &bufs[u])
 		if len(body) == 0 {
 			emit(core.Subst{})
 			return
 		}
-		hom.ForEach(reorderMostBound(body, nil), db, nil, emit)
+		hom.ForEach(body, db, nil, emit)
 	})
 
 	for round := 0; ; round++ {
@@ -607,25 +612,9 @@ func EvalSemiNaive(th *core.Theory, d *database.Database) (*database.Database, e
 // returns the partial database — all fully merged rounds — together with
 // a typed error satisfying errors.Is against the budget sentinels.
 func EvalSemiNaiveOpts(th *core.Theory, d *database.Database, opts Options) (*database.Database, error) {
-	for _, r := range th.Rules {
-		if !r.IsDatalog() {
-			return nil, fmt.Errorf("datalog: rule %s has existential variables", r.Label)
-		}
-	}
-	strata, err := Stratify(th)
+	p, err := Compile(th)
 	if err != nil {
 		return nil, err
 	}
-	tk := budget.Start(opts.Budget)
-	defer tk.Stop()
-	out := d.Clone()
-	for i, rules := range strata {
-		if err := evalStratum(rules, out, opts, tk); err != nil {
-			if budget.IsBudget(err) {
-				return out, fmt.Errorf("datalog: stratum %d: %w", i, err)
-			}
-			return nil, fmt.Errorf("datalog: stratum %d: %w", i, err)
-		}
-	}
-	return out, nil
+	return p.Eval(d, opts)
 }

@@ -1,9 +1,24 @@
 package hom
 
 import (
+	"guardedrules/internal/budget"
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
 )
+
+// CoreOptions bounds a core computation.
+type CoreOptions struct {
+	// MaxCandidates bounds the number of endomorphisms inspected per
+	// reduction round (0 means 100,000). Hitting it makes the result
+	// inexact but stays error-free: the search was bounded, not aborted.
+	MaxCandidates int
+	// Budget, when non-nil, governs the search like every other engine:
+	// cancellation and deadline are polled between candidate
+	// endomorphisms, MaxSteps caps total candidates inspected across all
+	// rounds, and exhaustion returns the (sound) current set with
+	// exact=false and a typed *budget.Error.
+	Budget *budget.T
+}
 
 // Core computes the core of the atom set: a homomorphically equivalent
 // subset admitting no proper endomorphism. Constants are fixed, labeled
@@ -15,14 +30,58 @@ import (
 // endomorphisms inspected per round (0 means 100,000). When the budget is
 // hit, the (sound) current set is returned with exact=false.
 func Core(atoms []core.Atom, maxCandidates int) (result []core.Atom, exact bool) {
+	result, exact, _ = CoreOpts(atoms, CoreOptions{MaxCandidates: maxCandidates})
+	return result, exact
+}
+
+// corePollInterval is how many candidate endomorphisms are inspected
+// between cancellation polls.
+const corePollInterval = 64
+
+// CoreOpts is Core under explicit options: a governed, cancellable core
+// computation. Every return value is a sound representative (a superset
+// of some core of the input, homomorphically equivalent to it); exact
+// reports whether the endomorphism search ran to completion. On budget
+// exhaustion the current set is returned with exact=false and a typed
+// *budget.Error.
+func CoreOpts(atoms []core.Atom, opts CoreOptions) (result []core.Atom, exact bool, err error) {
+	maxCandidates := opts.MaxCandidates
 	if maxCandidates <= 0 {
 		maxCandidates = 100_000
 	}
+	tk := budget.Start(opts.Budget)
+	defer tk.Stop()
+	maxSteps := 0
+	if opts.Budget != nil {
+		maxSteps = opts.Budget.MaxSteps
+	}
 	cur := dedup(atoms)
 	for {
-		h, found, complete := reducingEndo(cur, maxCandidates)
+		// Round checkpoint: a canceled or expired search returns the
+		// current (sound) set.
+		if cerr := tk.Check(); cerr != nil {
+			return cur, false, cerr
+		}
+		if maxSteps > 0 && tk.Usage().Steps >= maxSteps {
+			return cur, false, tk.Exhausted(budget.ErrStepLimit)
+		}
+		// A step ceiling tightens the per-round candidate cap so the run
+		// never inspects candidates past the budget.
+		roundCap := maxCandidates
+		if maxSteps > 0 {
+			if rem := maxSteps - tk.Usage().Steps; rem < roundCap {
+				roundCap = rem
+			}
+		}
+		h, found, complete := reducingEndo(cur, roundCap, tk)
+		if tk.Canceled() {
+			return cur, false, tk.Check()
+		}
 		if !found {
-			return cur, complete
+			if !complete && maxSteps > 0 && tk.Usage().Steps >= maxSteps {
+				return cur, false, tk.Exhausted(budget.ErrStepLimit)
+			}
+			return cur, complete, nil
 		}
 		// Stabilize h: composing an endomorphism with itself |nulls| times
 		// yields a retraction (idempotent on its image).
@@ -37,7 +96,7 @@ func Core(atoms []core.Atom, maxCandidates int) (result []core.Atom, exact bool)
 		next = dedup(next)
 		if len(nullsOf(next)) >= len(nullsOf(cur)) && len(next) >= len(cur) {
 			// No progress (should not happen for a reducing endo).
-			return cur, true
+			return cur, true, nil
 		}
 		cur = next
 	}
@@ -49,15 +108,17 @@ func IsCore(atoms []core.Atom, maxCandidates int) bool {
 	if maxCandidates <= 0 {
 		maxCandidates = 100_000
 	}
-	_, found, _ := reducingEndo(dedup(atoms), maxCandidates)
+	_, found, _ := reducingEndo(dedup(atoms), maxCandidates, nil)
 	return !found
 }
 
 // reducingEndo searches for an endomorphism that is non-injective on the
 // nulls or maps a null to a constant — exactly the endomorphisms whose
 // stabilization drops a null. It reports whether the search space was
-// exhausted.
-func reducingEndo(atoms []core.Atom, maxCandidates int) (core.Subst, bool, bool) {
+// exhausted. A non-nil tracker is polled every corePollInterval
+// candidates (aborting the enumeration on cancellation) and counts every
+// candidate as a step.
+func reducingEndo(atoms []core.Atom, maxCandidates int, tk *budget.Tracker) (core.Subst, bool, bool) {
 	nulls := nullsOf(atoms)
 	if len(nulls) == 0 {
 		return nil, false, true
@@ -71,6 +132,10 @@ func reducingEndo(atoms []core.Atom, maxCandidates int) (core.Subst, bool, bool)
 	tried := 0
 	complete := ForEach(pattern, db, nil, func(s core.Subst) bool {
 		tried++
+		tk.AddSteps(1)
+		if tried%corePollInterval == 0 && tk.Canceled() {
+			return false // abort; CoreOpts observes the cancellation
+		}
 		image := make(core.TermSet)
 		reducing := false
 		for _, n := range nulls {

@@ -1,0 +1,44 @@
+package kbcache
+
+import "sync/atomic"
+
+// Metrics counts the cache and query activity of a Store. All counters
+// are atomic; a Store and every CompiledKB it serves share one instance.
+type Metrics struct {
+	// Compile-path counters (Store.Register).
+	CompileHits   atomic.Int64 // served from the KB cache
+	CompileMisses atomic.Int64 // actually compiled
+	CompileDedup  atomic.Int64 // waited on a concurrent identical compile
+	CompileErrors atomic.Int64 // compilation failed
+	KBEvictions   atomic.Int64 // compiled KBs dropped by the LRU
+
+	// Plan-path counters (per-KB query plan cache).
+	PlanHits      atomic.Int64 // query reused a cached plan
+	PlanMisses    atomic.Int64 // query built a fresh plan
+	PlanEvictions atomic.Int64 // plans dropped by the LRU
+	Translations  atomic.Int64 // rewrite/saturation chains actually run
+
+	// Query counters.
+	Queries         atomic.Int64 // answer requests served
+	QueryErrors     atomic.Int64 // requests that failed outright
+	BudgetExhausted atomic.Int64 // requests truncated by a budget ceiling
+}
+
+// Snapshot renders the counters as a flat map, for /metrics endpoints
+// and tests.
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"compile_hits":     m.CompileHits.Load(),
+		"compile_misses":   m.CompileMisses.Load(),
+		"compile_dedup":    m.CompileDedup.Load(),
+		"compile_errors":   m.CompileErrors.Load(),
+		"kb_evictions":     m.KBEvictions.Load(),
+		"plan_hits":        m.PlanHits.Load(),
+		"plan_misses":      m.PlanMisses.Load(),
+		"plan_evictions":   m.PlanEvictions.Load(),
+		"translations":     m.Translations.Load(),
+		"queries":          m.Queries.Load(),
+		"query_errors":     m.QueryErrors.Load(),
+		"budget_exhausted": m.BudgetExhausted.Load(),
+	}
+}

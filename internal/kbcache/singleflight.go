@@ -1,0 +1,43 @@
+package kbcache
+
+import "sync"
+
+// flight deduplicates concurrent function calls by key: while one
+// goroutine runs fn for a key, others calling Do with the same key block
+// and share its result instead of running fn again.
+type flight[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Do runs fn under the key, deduplicating concurrent duplicates. shared
+// reports whether the result came from another goroutine's in-flight run.
+func (g *flight[V]) Do(key string, fn func() (V, error)) (v V, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall[V])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := &flightCall[V]{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, false, c.err
+}

@@ -1,0 +1,397 @@
+// Package server exposes a kbcache.Store over HTTP/JSON: register
+// theories once, load fact databases, and answer conjunctive or atomic
+// queries against the compiled artifacts concurrently. Compilation cost
+// (the paper's combined-complexity work: classification, rew(Σ), dat(Σ),
+// stratification, magic rewriting) is paid at registration and on the
+// first query of each shape; every later query pays only evaluation.
+//
+// Endpoints:
+//
+//	POST /v1/theories  {"source": "..."}          → compiled-KB summary
+//	POST /v1/dbs       {"facts": "..."}           → database id
+//	POST /v1/query     {"theory_id", "db_id", …}  → answers
+//	GET  /metrics                                 → flat counter JSON
+//	GET  /healthz                                 → liveness
+//
+// Every query runs under a request budget: the request context is the
+// cancellation source (a disconnecting client aborts the engines) and
+// the server's default timeout and fact ceiling bound the run. Budget
+// exhaustion is not an HTTP error: the response carries the sound
+// partial answers with "truncated": true and the typed reason.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"guardedrules/internal/budget"
+	"guardedrules/internal/chase"
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/kb"
+	"guardedrules/internal/kbcache"
+	"guardedrules/internal/lint"
+	"guardedrules/internal/lru"
+	"guardedrules/internal/parser"
+)
+
+// Config bounds a Server.
+type Config struct {
+	// Store configures the compiled-KB cache.
+	Store kbcache.Config
+	// MaxDBs caps the number of loaded fact databases (LRU; 0 means 32).
+	MaxDBs int
+	// DefaultTimeout is the per-request engine budget; 0 means only the
+	// request context bounds the run.
+	DefaultTimeout time.Duration
+	// MaxFacts is the per-request derived-fact ceiling (0 = none).
+	MaxFacts int
+	// Workers is the per-round engine parallelism (0 = engine default).
+	Workers int
+}
+
+func (c Config) maxDBs() int {
+	if c.MaxDBs <= 0 {
+		return 32
+	}
+	return c.MaxDBs
+}
+
+// endpointStats counts one endpoint's traffic.
+type endpointStats struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	latencyUS atomic.Int64
+}
+
+type dbEntry struct {
+	id    string
+	db    *database.Database
+	facts int
+}
+
+// Server serves a compiled-KB store over HTTP.
+type Server struct {
+	cfg   Config
+	store *kbcache.Store
+
+	mu          sync.Mutex
+	dbs         *lru.Cache[*dbEntry]
+	dbEvictions atomic.Int64
+
+	endpoints map[string]*endpointStats
+	mux       *http.ServeMux
+}
+
+// New builds a server around a fresh store.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg,
+		store:     kbcache.NewStore(cfg.Store),
+		dbs:       lru.New[*dbEntry](cfg.maxDBs()),
+		endpoints: make(map[string]*endpointStats),
+		mux:       http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/theories", s.instrument("theories", s.handleTheories))
+	s.mux.HandleFunc("POST /v1/dbs", s.instrument("dbs", s.handleDBs))
+	s.mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	return s
+}
+
+// Store exposes the underlying compiled-KB store (tests, metrics).
+func (s *Server) Store() *kbcache.Store { return s.store }
+
+// Handler is the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusRecorder captures the response status for error counting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint request, error and
+// latency counters.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	st := &endpointStats{}
+	s.endpoints[name] = st
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		st.requests.Add(1)
+		if rec.status >= 400 {
+			st.errors.Add(1)
+		}
+		st.latencyUS.Add(time.Since(start).Microseconds())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+// writeError maps an error onto an HTTP status: typed budget errors name
+// their ceiling; deadlines are 504, cancellations 503, other budget
+// ceilings 422 (the artifact is too large for the configured bounds).
+func writeError(w http.ResponseWriter, status int, err error) {
+	resp := errorResponse{Error: err.Error()}
+	var be *budget.Error
+	if errors.As(err, &be) {
+		resp.Kind = be.Unwrap().Error()
+		switch {
+		case errors.Is(err, budget.ErrDeadline):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, budget.ErrCanceled):
+			status = http.StatusServiceUnavailable
+		default:
+			status = http.StatusUnprocessableEntity
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+type theoryRequest struct {
+	Source string `json:"source"`
+}
+
+type theoryResponse struct {
+	ID        string            `json:"id"`
+	Cached    bool              `json:"cached"`
+	Mode      string            `json:"mode"`
+	Fragments []string          `json:"fragments"`
+	Chain     []string          `json:"chain"`
+	Rules     int               `json:"rules"`
+	Lint      []lint.Diagnostic `json:"lint,omitempty"`
+}
+
+func (s *Server) handleTheories(w http.ResponseWriter, r *http.Request) {
+	var req theoryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing \"source\""))
+		return
+	}
+	ckb, cached, err := s.store.Register(req.Source)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := theoryResponse{
+		ID:     ckb.ID,
+		Cached: cached,
+		Mode:   ckb.Mode.String(),
+		Chain:  ckb.Chain,
+		Rules:  len(ckb.Theory.Rules),
+		Lint:   ckb.Lint,
+	}
+	for _, f := range ckb.Class.Fragments() {
+		resp.Fragments = append(resp.Fragments, f.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type dbRequest struct {
+	Facts string `json:"facts"`
+}
+
+type dbResponse struct {
+	ID    string `json:"id"`
+	Facts int    `json:"facts"`
+}
+
+func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
+	var req dbRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return
+	}
+	atoms, err := parser.ParseFacts(req.Facts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d := database.FromAtoms(atoms)
+	id := kbcache.HashSource(req.Facts)
+	s.mu.Lock()
+	if _, evicted := s.dbs.Add(id, &dbEntry{id: id, db: d, facts: len(atoms)}); evicted {
+		s.dbEvictions.Add(1)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, dbResponse{ID: id, Facts: len(atoms)})
+}
+
+type queryRequest struct {
+	TheoryID string `json:"theory_id"`
+	DBID     string `json:"db_id"`
+	// CQ is a conjunctive query written as a rule, e.g.
+	// "T(X,Y), B(Y) -> Ans(X)."; exactly one of CQ and Atom is set.
+	CQ string `json:"cq,omitempty"`
+	// Atom is an atomic query, e.g. "T(a,Y)": constants are bound,
+	// variables free. Served goal-directed via a cached magic-sets plan.
+	Atom string `json:"atom,omitempty"`
+	// Variant selects the chase flavor for chase-mode plans
+	// ("restricted" or "oblivious"; default restricted).
+	Variant string `json:"variant,omitempty"`
+	// MaxDepth bounds chase-mode null depth (0 = server default).
+	MaxDepth int `json:"max_depth,omitempty"`
+}
+
+type queryResponse struct {
+	Answers   [][]string `json:"answers"`
+	Count     int        `json:"count"`
+	Exact     bool       `json:"exact"`
+	PlanKey   string     `json:"plan_key"`
+	PlanHit   bool       `json:"plan_hit"`
+	Truncated bool       `json:"truncated,omitempty"`
+	Reason    string     `json:"reason,omitempty"`
+	Chain     []string   `json:"chain,omitempty"`
+}
+
+// requestBudget builds the engine budget of one request: the request
+// context cancels it, the server defaults bound it.
+func (s *Server) requestBudget(r *http.Request) *budget.T {
+	return &budget.T{
+		Ctx:      r.Context(),
+		Timeout:  s.cfg.DefaultTimeout,
+		MaxFacts: s.cfg.MaxFacts,
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return
+	}
+	ckb, ok := s.store.Get(req.TheoryID)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown theory_id %q (evicted or never registered)", req.TheoryID))
+		return
+	}
+	s.mu.Lock()
+	ent, ok := s.dbs.Get(req.DBID)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown db_id %q (evicted or never loaded)", req.DBID))
+		return
+	}
+	opts := kbcache.QueryOptions{
+		Workers:  s.cfg.Workers,
+		Variant:  chase.Restricted,
+		MaxDepth: req.MaxDepth,
+		Budget:   s.requestBudget(r),
+	}
+	if req.Variant == "oblivious" {
+		opts.Variant = chase.Oblivious
+	}
+
+	var (
+		res *kbcache.QueryResult
+		err error
+	)
+	switch {
+	case req.CQ != "" && req.Atom == "":
+		var q kb.CQ
+		q, err = kb.ParseCQ(req.CQ)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err = ckb.AnswerCQ(q, ent.db, opts)
+	case req.Atom != "" && req.CQ == "":
+		var query core.Atom
+		query, err = parseQueryAtom(req.Atom)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err = ckb.AnswerAtom(query, ent.db, opts)
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("exactly one of \"cq\" and \"atom\" must be set"))
+		return
+	}
+	if err != nil && (res == nil || !budget.IsBudget(err)) {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := queryResponse{
+		Answers: make([][]string, 0, len(res.Answers)),
+		Count:   len(res.Answers),
+		Exact:   res.Exact,
+		PlanKey: res.PlanKey,
+		PlanHit: res.PlanHit,
+		Chain:   res.Chain,
+	}
+	for _, tuple := range res.Answers {
+		row := make([]string, len(tuple))
+		for i, t := range tuple {
+			row[i] = t.String()
+		}
+		resp.Answers = append(resp.Answers, row)
+	}
+	if err != nil {
+		// Budget exhaustion with sound partial answers: a 200 with the
+		// truncation reason, mirroring the engines' partial-result
+		// convention.
+		resp.Truncated = true
+		resp.Reason = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseQueryAtom parses an atomic query, allowing variables.
+func parseQueryAtom(src string) (core.Atom, error) {
+	th, err := parser.ParseTheory(src + " -> QueryDummy__().")
+	if err != nil {
+		return core.Atom{}, fmt.Errorf("bad query atom: %w", err)
+	}
+	body := th.Rules[0].PositiveBody()
+	if len(body) != 1 {
+		return core.Atom{}, errors.New("query atom must be a single atom")
+	}
+	return body[0], nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	out := s.store.Metrics().Snapshot()
+	s.mu.Lock()
+	out["dbs"] = int64(s.dbs.Len())
+	s.mu.Unlock()
+	out["db_evictions"] = s.dbEvictions.Load()
+	out["kbs"] = int64(s.store.Len())
+	for name, st := range s.endpoints {
+		out["http_"+name+"_requests"] = st.requests.Load()
+		out["http_"+name+"_errors"] = st.errors.Load()
+		out["http_"+name+"_latency_us"] = st.latencyUS.Load()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

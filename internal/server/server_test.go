@@ -1,0 +1,262 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+const e5Source = `
+	A(X) -> exists Y. R(X,Y).
+	R(X,Y) -> B(X).
+	E(X,Y) -> T(X,Y).
+	T(X,Y), T(Y,Z) -> T(X,Z).
+	T(X,Y), B(X), B(Y) -> Linked(X,Y).
+`
+
+const e5Facts = `
+	E(v0,v1). E(v1,v2). E(v2,v3).
+	A(v0). A(v1). A(v2). A(v3).
+`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := New(Config{DefaultTimeout: 10 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func get(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func registerFixtures(t *testing.T, base string) (theoryID, dbID string) {
+	t.Helper()
+	var th theoryResponse
+	if code := post(t, base+"/v1/theories", theoryRequest{Source: e5Source}, &th); code != 200 {
+		t.Fatalf("theories: status %d", code)
+	}
+	var db dbResponse
+	if code := post(t, base+"/v1/dbs", dbRequest{Facts: e5Facts}, &db); code != 200 {
+		t.Fatalf("dbs: status %d", code)
+	}
+	return th.ID, db.ID
+}
+
+// The full round trip: register, load, query twice; the repeat query is
+// a plan hit with identical answers and moves no compile-side counters.
+func TestServerRoundTripAndPlanReuse(t *testing.T) {
+	ts := newTestServer(t)
+
+	var th theoryResponse
+	if code := post(t, ts.URL+"/v1/theories", theoryRequest{Source: e5Source}, &th); code != 200 {
+		t.Fatalf("theories: status %d", code)
+	}
+	if th.Mode != "translated" || th.Cached {
+		t.Fatalf("mode=%q cached=%v, want fresh translated artifact", th.Mode, th.Cached)
+	}
+	if len(th.Fragments) == 0 || len(th.Chain) == 0 {
+		t.Fatalf("response must report fragments and chain: %+v", th)
+	}
+
+	// Re-registering is a cache hit.
+	var th2 theoryResponse
+	post(t, ts.URL+"/v1/theories", theoryRequest{Source: e5Source}, &th2)
+	if !th2.Cached || th2.ID != th.ID {
+		t.Fatalf("re-registration must be cached under the same id")
+	}
+
+	var db dbResponse
+	if code := post(t, ts.URL+"/v1/dbs", dbRequest{Facts: e5Facts}, &db); code != 200 {
+		t.Fatalf("dbs: status %d", code)
+	}
+	if db.Facts == 0 {
+		t.Fatal("fact count missing")
+	}
+
+	q := queryRequest{TheoryID: th.ID, DBID: db.ID, CQ: "Linked(X,Y) -> Ans(X,Y)."}
+	var r1, r2 queryResponse
+	if code := post(t, ts.URL+"/v1/query", q, &r1); code != 200 {
+		t.Fatalf("query: status %d", code)
+	}
+	if !r1.Exact || r1.PlanHit || r1.Count == 0 {
+		t.Fatalf("first query: exact=%v hit=%v count=%d", r1.Exact, r1.PlanHit, r1.Count)
+	}
+
+	var before map[string]int64
+	get(t, ts.URL+"/metrics", &before)
+
+	if code := post(t, ts.URL+"/v1/query", q, &r2); code != 200 {
+		t.Fatalf("repeat query: status %d", code)
+	}
+	if !r2.PlanHit {
+		t.Fatal("repeat query must hit the plan cache")
+	}
+	if fmt.Sprint(r2.Answers) != fmt.Sprint(r1.Answers) {
+		t.Fatal("repeat query changed the answers")
+	}
+
+	var after map[string]int64
+	get(t, ts.URL+"/metrics", &after)
+	for _, k := range []string{"plan_misses", "translations", "compile_misses"} {
+		if before[k] != after[k] {
+			t.Fatalf("%s moved %d -> %d across a repeat query: compile-side work re-ran", k, before[k], after[k])
+		}
+	}
+	if after["plan_hits"] <= before["plan_hits"] {
+		t.Fatal("repeat query must increment plan_hits")
+	}
+}
+
+// Atomic queries work over the wire and share plans per adornment.
+func TestServerAtomQuery(t *testing.T) {
+	ts := newTestServer(t)
+	thID, dbID := registerFixtures(t, ts.URL)
+	var r1, r2 queryResponse
+	post(t, ts.URL+"/v1/query", queryRequest{TheoryID: thID, DBID: dbID, Atom: "T(v0,Y)"}, &r1)
+	post(t, ts.URL+"/v1/query", queryRequest{TheoryID: thID, DBID: dbID, Atom: "T(v1,Y)"}, &r2)
+	if r1.Count != 3 || r2.Count != 2 {
+		t.Fatalf("T(v0,Y)=%d answers, T(v1,Y)=%d; want 3 and 2", r1.Count, r2.Count)
+	}
+	if !r2.PlanHit || r2.PlanKey != r1.PlanKey {
+		t.Fatalf("same adornment must share the plan: %+v vs %+v", r1.PlanKey, r2.PlanKey)
+	}
+}
+
+// Error mapping: bad JSON and bad queries are 400, unknown ids 404,
+// and both-or-neither query forms are rejected.
+func TestServerErrorStatuses(t *testing.T) {
+	ts := newTestServer(t)
+	thID, dbID := registerFixtures(t, ts.URL)
+
+	resp, err := http.Post(ts.URL+"/v1/theories", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad JSON: status %d", resp.StatusCode)
+	}
+	if code := post(t, ts.URL+"/v1/theories", theoryRequest{Source: "A(X) -> ."}, nil); code != 400 {
+		t.Fatalf("parse error: status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/query", queryRequest{TheoryID: "nope", DBID: dbID, CQ: "B(X) -> Ans(X)."}, nil); code != 404 {
+		t.Fatalf("unknown theory: status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/query", queryRequest{TheoryID: thID, DBID: "nope", CQ: "B(X) -> Ans(X)."}, nil); code != 404 {
+		t.Fatalf("unknown db: status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/query", queryRequest{TheoryID: thID, DBID: dbID}, nil); code != 400 {
+		t.Fatalf("neither cq nor atom: status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/query", queryRequest{TheoryID: thID, DBID: dbID, CQ: "x", Atom: "y"}, nil); code != 400 {
+		t.Fatalf("both cq and atom: status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/query", queryRequest{TheoryID: thID, DBID: dbID, CQ: "not a query"}, nil); code != 400 {
+		t.Fatalf("malformed cq: status %d", code)
+	}
+	var hz map[string]bool
+	if code := get(t, ts.URL+"/healthz", &hz); code != 200 || !hz["ok"] {
+		t.Fatalf("healthz: %d %v", code, hz)
+	}
+	var m map[string]int64
+	get(t, ts.URL+"/metrics", &m)
+	if m["http_query_errors"] == 0 || m["http_query_requests"] == 0 {
+		t.Fatalf("endpoint counters missing: %v", m)
+	}
+}
+
+// Concurrent clients sharing one compiled KB get identical answers.
+func TestServerConcurrentQueries(t *testing.T) {
+	ts := newTestServer(t)
+	thID, dbID := registerFixtures(t, ts.URL)
+	q := queryRequest{TheoryID: thID, DBID: dbID, CQ: "Linked(X,Y) -> Ans(X,Y)."}
+	var baseline queryResponse
+	post(t, ts.URL+"/v1/query", q, &baseline)
+	want := fmt.Sprint(baseline.Answers)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				var r queryResponse
+				if code := post(t, ts.URL+"/v1/query", q, &r); code != 200 {
+					t.Errorf("status %d", code)
+					return
+				}
+				if fmt.Sprint(r.Answers) != want {
+					t.Error("concurrent query diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// A tight server-side fact ceiling yields a 200 with sound truncated
+// answers, not an error.
+func TestServerBudgetTruncation(t *testing.T) {
+	srv := New(Config{MaxFacts: 30})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var th theoryResponse
+	post(t, ts.URL+"/v1/theories", theoryRequest{Source: "E(X,Y) -> T(X,Y). T(X,Y), T(Y,Z) -> T(X,Z)."}, &th)
+	facts := ""
+	for i := 0; i < 25; i++ {
+		facts += fmt.Sprintf("E(v%d,v%d). ", i, i+1)
+	}
+	var db dbResponse
+	post(t, ts.URL+"/v1/dbs", dbRequest{Facts: facts}, &db)
+	var r queryResponse
+	if code := post(t, ts.URL+"/v1/query", queryRequest{TheoryID: th.ID, DBID: db.ID, CQ: "T(X,Y) -> Ans(X,Y)."}, &r); code != 200 {
+		t.Fatalf("truncated query: status %d", code)
+	}
+	if !r.Truncated || r.Exact || r.Reason == "" {
+		t.Fatalf("want truncated inexact answers with a reason, got %+v", r)
+	}
+	var m map[string]int64
+	get(t, ts.URL+"/metrics", &m)
+	if m["budget_exhausted"] == 0 {
+		t.Fatal("budget exhaustion must surface in /metrics")
+	}
+}
