@@ -508,6 +508,207 @@ func TestEmitDatalogBenchJSON(t *testing.T) {
 	t.Logf("wrote BENCH_datalog.json (%d entries)", len(report.Benchmarks))
 }
 
+// joinBenchCases are the workloads of the join-planner benchmarks: a
+// recursive closure (delta-driven, plans re-fitted every round as T
+// grows) and a triangle join (a 3-atom body where the access-path
+// choice — seek vs two-position hash probe — dominates).
+func joinBenchCases() []struct {
+	name   string
+	theory string
+	db     *database.Database
+} {
+	return []struct {
+		name   string
+		theory string
+		db     *database.Database
+	}{
+		{
+			name: "closure",
+			theory: `
+				E(X,Y) -> T(X,Y).
+				T(X,Y), T(Y,Z) -> T(X,Z).
+			`,
+			db: gen.ChainForest(40, 50),
+		},
+		{
+			name: "triangles",
+			theory: `
+				E(X,Y) -> T(X,Y).
+				T(X,Y), T(Y,Z), E(X,Z) -> Tri(X,Y).
+			`,
+			db: gen.RandomGraph(120, 600, 11),
+		},
+	}
+}
+
+// BenchmarkJoinPlanner is the planner ablation: the cost-based planner
+// (per-round re-planning from live statistics) against the legacy static
+// greedy order, each cold (stratify + compile every evaluation) and warm
+// (a shared compiled Program, the serving layer's steady state).
+func BenchmarkJoinPlanner(b *testing.B) {
+	for _, c := range joinBenchCases() {
+		th := parser.MustParseTheory(c.theory)
+		for _, pl := range []struct {
+			name string
+			p    datalog.Planner
+		}{{"greedy", datalog.PlannerGreedy}, {"cost", datalog.PlannerCost}} {
+			opts := datalog.Options{Planner: pl.p}
+			b.Run(fmt.Sprintf("%s/planner=%s/cold", c.name, pl.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := datalog.EvalSemiNaiveOpts(th, c.db, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/planner=%s/warm", c.name, pl.name), func(b *testing.B) {
+				p, err := datalog.Compile(th)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Eval(c.db, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEmitJoinBenchJSON times the BenchmarkJoinPlanner grid once per
+// configuration (best of 3) and writes BENCH_join.json, the planner's
+// perf trajectory for future PRs. Only runs when EMIT_BENCH=1 is set:
+//
+//	EMIT_BENCH=1 go test -run TestEmitJoinBenchJSON .
+func TestEmitJoinBenchJSON(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") != "1" {
+		t.Skip("set EMIT_BENCH=1 to refresh BENCH_join.json")
+	}
+	type entry struct {
+		Name    string `json:"name"`
+		Planner string `json:"planner"`
+		Mode    string `json:"mode"`
+		NsPerOp int64  `json:"ns_per_op"`
+		Facts   int    `json:"facts"`
+	}
+	report := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, c := range joinBenchCases() {
+		th := parser.MustParseTheory(c.theory)
+		prog, err := datalog.Compile(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pl := range []struct {
+			name string
+			p    datalog.Planner
+		}{{"greedy", datalog.PlannerGreedy}, {"cost", datalog.PlannerCost}} {
+			opts := datalog.Options{Planner: pl.p}
+			for _, mode := range []string{"cold", "warm"} {
+				var best time.Duration
+				facts := 0
+				for r := 0; r < 3; r++ {
+					t0 := time.Now()
+					var fix *database.Database
+					var err error
+					if mode == "cold" {
+						fix, err = datalog.EvalSemiNaiveOpts(th, c.db, opts)
+					} else {
+						fix, err = prog.Eval(c.db, opts)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					if el := time.Since(t0); r == 0 || el < best {
+						best = el
+					}
+					facts = fix.Len()
+				}
+				report.Benchmarks = append(report.Benchmarks, entry{
+					Name:    fmt.Sprintf("JoinPlanner/%s/planner=%s/%s", c.name, pl.name, mode),
+					Planner: pl.name,
+					Mode:    mode,
+					NsPerOp: best.Nanoseconds(),
+					Facts:   facts,
+				})
+			}
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_join.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_join.json (%d entries)", len(report.Benchmarks))
+}
+
+// TestEmitMulticoreBenchJSON times the closure workload at worker counts
+// 1/2/4/8 (best of 3) and writes BENCH_multicore.json; the multicore CI
+// job runs it on a multi-CPU runner and checks the byte-identity of the
+// results while it is at it. Only runs when EMIT_BENCH=1 is set:
+//
+//	EMIT_BENCH=1 go test -run TestEmitMulticoreBenchJSON .
+func TestEmitMulticoreBenchJSON(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") != "1" {
+		t.Skip("set EMIT_BENCH=1 to refresh BENCH_multicore.json")
+	}
+	th := parser.MustParseTheory(`
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+	`)
+	d := gen.ChainForest(100, 50)
+	type entry struct {
+		Name    string `json:"name"`
+		Workers int    `json:"workers"`
+		NsPerOp int64  `json:"ns_per_op"`
+		Facts   int    `json:"facts"`
+	}
+	report := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	var want string
+	for _, workers := range []int{1, 2, 4, 8} {
+		var best time.Duration
+		facts := 0
+		for r := 0; r < 3; r++ {
+			t0 := time.Now()
+			fix, err := datalog.EvalSemiNaiveOpts(th, d, datalog.Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if el := time.Since(t0); r == 0 || el < best {
+				best = el
+			}
+			facts = fix.Len()
+			if got := fix.String(); want == "" {
+				want = got
+			} else if got != want {
+				t.Fatalf("workers=%d: result differs from workers=1", workers)
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, entry{
+			Name:    fmt.Sprintf("EvalSemiNaiveMulticore/workers=%d", workers),
+			Workers: workers,
+			NsPerOp: best.Nanoseconds(),
+			Facts:   facts,
+		})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_multicore.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_multicore.json (%d entries)", len(report.Benchmarks))
+}
+
 // BenchmarkChaseParallel measures the id-space chase's re-sharded trigger
 // collection on the running example over growing citation graphs, at 1
 // worker and at all available CPUs. Results are byte-identical across

@@ -65,6 +65,7 @@ func main() {
 		{"A4", "Ablation: core minimization of chase results", runA4},
 		{"A5", "Ablation: magic sets vs full bottom-up evaluation", runA5},
 		{"A6", "Ablation: parallel trigger collection in the chase", runA6},
+		{"A7", "Ablation: cost-based join planning vs static greedy order", runA7},
 	}
 
 	want := map[string]bool{}

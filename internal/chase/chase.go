@@ -166,6 +166,9 @@ type crule struct {
 	neg   []hom.CAtom // negated atoms, body order
 	heads []hom.CAtom
 	nvars int
+	// headEpoch is the intern epoch the heads were last resolved at;
+	// headSatisfied skips the re-resolution while it is current.
+	headEpoch int
 	// ruleVars are the rule's universal and annotation variables in
 	// sorted order; a trigger is the packed tuple of their images.
 	// varSlots[i] is the slot of ruleVars[i] (-1 when the variable has no
@@ -217,6 +220,10 @@ type engine struct {
 	reason     error // budget sentinel recorded at the first truncation
 	maxFacts   int
 	rules      []crule
+	// ruleEpoch is the intern epoch the rules' bodies were last resolved
+	// at (-1 = never); collect skips the per-round re-resolution while no
+	// new term has been interned.
+	ruleEpoch  int
 	st         *hom.State // single-threaded state for admissible/apply
 	hook       hookFn
 	roundAdded []core.Atom // facts added this round, in insertion order
@@ -241,10 +248,12 @@ func newEngine(th *core.Theory, d0 *database.Database, opts Options, hook hookFn
 		hook:    hook,
 		rules:   make([]crule, len(th.Rules)),
 	}
+	e.ruleEpoch = -1
 	maxNvars := 0
 	for i, r := range th.Rules {
 		cr := &e.rules[i]
 		cr.rule, cr.idx = r, i
+		cr.headEpoch = -1
 		slots := make(map[core.Term]int)
 		for _, a := range r.PositiveBody() {
 			cr.body = append(cr.body, hom.Compile(a, slots))
@@ -462,9 +471,14 @@ func (e *engine) collect(first bool, tk *budget.Tracker) []trig {
 		}
 	}
 	// Re-resolve compiled constants against the frozen database once,
-	// before the fan-out: workers only read the compiled rules.
-	for i := range e.rules {
-		e.rules[i].resolve(e.db)
+	// before the fan-out (workers only read the compiled rules) — skipped
+	// entirely when no new term was interned since the last resolve:
+	// every TermID answer is then unchanged.
+	if ep := e.db.InternEpoch(); ep != e.ruleEpoch {
+		for i := range e.rules {
+			e.rules[i].resolve(e.db)
+		}
+		e.ruleEpoch = ep
 	}
 	bufs := make([][]uint32, len(units))
 	counts := make([]int, len(units))
@@ -604,9 +618,14 @@ func (e *engine) admissible(cr *crule, ids []uint32) bool {
 // slots stay free) maps the head into the database.
 func (e *engine) headSatisfied(cr *crule, ids []uint32) bool {
 	// The database grows between calls (triggers of the same round apply
-	// one by one), so head constants are re-resolved every time.
-	for i := range cr.heads {
-		cr.heads[i].Resolve(e.db)
+	// one by one), so head constants may need re-resolving — but only
+	// when a new term was actually interned since this rule's last
+	// resolve, which the intern epoch tracks exactly.
+	if ep := e.db.InternEpoch(); ep != cr.headEpoch {
+		for i := range cr.heads {
+			cr.heads[i].Resolve(e.db)
+		}
+		cr.headEpoch = ep
 	}
 	e.seed(cr, ids)
 	ok := e.st.Exists(cr.heads)

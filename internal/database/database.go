@@ -45,21 +45,11 @@ import (
 // definition (Section 2 of the paper). Match with errors.Is.
 var ErrNotGround = errors.New("database: atom is not ground")
 
-// posID indexes facts by (flat position, interned term id): argument
-// positions first, then annotation positions.
-type posID struct {
-	pos int
-	id  uint32
-}
-
 // Database is a set of ground atoms with per-relation and per-position
 // indexes supporting homomorphism search.
 type Database struct {
 	intern *Interner
-	byRel  map[core.RelKey][]core.Atom
-	ids    map[core.RelKey][]uint32
-	index  map[core.RelKey]map[posID][]int
-	seen   map[core.RelKey]map[string]bool
+	byRel  map[core.RelKey]*relation
 	size   int
 	acdom  map[core.Term]bool
 }
@@ -68,10 +58,7 @@ type Database struct {
 func New() *Database {
 	return &Database{
 		intern: NewInterner(),
-		byRel:  make(map[core.RelKey][]core.Atom),
-		ids:    make(map[core.RelKey][]uint32),
-		index:  make(map[core.RelKey]map[posID][]int),
-		seen:   make(map[core.RelKey]map[string]bool),
+		byRel:  make(map[core.RelKey]*relation),
 		acdom:  make(map[core.Term]bool),
 	}
 }
@@ -137,63 +124,61 @@ func (d *Database) noteConstant(t core.Term, notify func(core.Atom)) {
 	}
 }
 
-// tupleKey packs the interned ids of the atom's terms (arguments first,
-// then annotation) into dst, interning unseen terms.
-func (d *Database) tupleKey(dst []byte, a core.Atom) []byte {
+// internTuple appends the interned ids of the atom's terms (arguments
+// first, then annotation) to dst, interning unseen terms.
+func (d *Database) internTuple(dst []uint32, a core.Atom) []uint32 {
 	for _, t := range a.Args {
-		dst = appendID(dst, d.intern.Intern(t))
+		dst = append(dst, d.intern.Intern(t))
 	}
 	for _, t := range a.Annotation {
-		dst = appendID(dst, d.intern.Intern(t))
+		dst = append(dst, d.intern.Intern(t))
 	}
 	return dst
 }
 
-// lookupKey packs the ids of the atom's terms without interning; ok is
+// lookupTuple appends the ids of the atom's terms without interning; ok is
 // false when some term has never been interned (the atom cannot be in d).
-func (d *Database) lookupKey(dst []byte, a core.Atom) ([]byte, bool) {
+func (d *Database) lookupTuple(dst []uint32, a core.Atom) ([]uint32, bool) {
 	for _, t := range a.Args {
 		id, ok := d.intern.Lookup(t)
 		if !ok {
 			return dst, false
 		}
-		dst = appendID(dst, id)
+		dst = append(dst, id)
 	}
 	for _, t := range a.Annotation {
 		id, ok := d.intern.Lookup(t)
 		if !ok {
 			return dst, false
 		}
-		dst = appendID(dst, id)
+		dst = append(dst, id)
 	}
 	return dst, true
 }
 
 func (d *Database) insert(a core.Atom) bool {
 	rk := a.Key()
-	var buf [64]byte
-	key := d.tupleKey(buf[:0], a)
-	sm := d.seen[rk]
-	if sm == nil {
-		sm = make(map[string]bool)
-		d.seen[rk] = sm
+	r := d.byRel[rk]
+	if r == nil {
+		r = newRelation(rk)
+		d.byRel[rk] = r
 	}
-	if sm[string(key)] {
+	var buf [16]uint32
+	key := d.internTuple(buf[:0], a)
+	if r.seen.has(r, key) {
 		return false
 	}
-	sm[string(key)] = true
-	idx := len(d.byRel[rk])
-	d.byRel[rk] = append(d.byRel[rk], a)
-	m := d.index[rk]
-	if m == nil {
-		m = make(map[posID][]int)
-		d.index[rk] = m
-	}
-	for i := 0; i < len(key); i += 4 {
-		id := uint32(key[i]) | uint32(key[i+1])<<8 | uint32(key[i+2])<<16 | uint32(key[i+3])<<24
-		pt := posID{i / 4, id}
-		m[pt] = append(m[pt], idx)
-		d.ids[rk] = append(d.ids[rk], id)
+	ix := len(r.facts)
+	r.facts = append(r.facts, a)
+	r.ids = append(r.ids, key...)
+	r.seen.add(r, ix)
+	for p, id := range key {
+		m := r.index[p]
+		if m == nil {
+			m = make(map[uint32][]int32)
+			r.index[p] = m
+		}
+		m[id] = append(m[id], int32(ix))
 	}
 	d.size++
 	return true
@@ -203,31 +188,48 @@ func (d *Database) insert(a core.Atom) bool {
 // slice, rk.Arity+rk.AnnArity ids per fact, in the same order as Facts.
 // The returned slice must not be modified. Together with ForEachIndexWithID
 // it lets fixpoint engines join entirely in id space.
-func (d *Database) IDTuples(rk core.RelKey) []uint32 { return d.ids[rk] }
+func (d *Database) IDTuples(rk core.RelKey) []uint32 {
+	if r := d.byRel[rk]; r != nil {
+		return r.ids
+	}
+	return nil
+}
 
 // ForEachIndexWithID calls fn with the Facts index of every fact of rk
 // whose flat position pos has the interned id; fn returning false stops
 // the iteration early.
 func (d *Database) ForEachIndexWithID(rk core.RelKey, pos int, id uint32, fn func(int) bool) {
-	m := d.index[rk]
-	if m == nil {
+	r := d.byRel[rk]
+	if r == nil || pos < 0 || pos >= len(r.index) {
 		return
 	}
-	for _, ix := range m[posID{pos, id}] {
-		if !fn(ix) {
+	for _, ix := range r.index[pos][id] {
+		if !fn(int(ix)) {
 			return
 		}
 	}
 }
 
+// IndexWithID returns the Facts ordinals of every fact of rk whose flat
+// position pos has the interned id, in insertion order. The returned
+// slice must not be modified.
+func (d *Database) IndexWithID(rk core.RelKey, pos int, id uint32) []int32 {
+	r := d.byRel[rk]
+	if r == nil || pos < 0 || pos >= len(r.index) {
+		return nil
+	}
+	return r.index[pos][id]
+}
+
 // Has reports whether the ground atom is in the database.
 func (d *Database) Has(a core.Atom) bool {
-	var buf [64]byte
-	key, ok := d.lookupKey(buf[:0], a)
+	var buf [16]uint32
+	key, ok := d.lookupTuple(buf[:0], a)
 	if !ok {
 		return false
 	}
-	return d.seen[a.Key()][string(key)]
+	r := d.byRel[a.Key()]
+	return r != nil && r.seen.has(r, key)
 }
 
 // AppliedKey appends the packed interned-id key of a's instantiation
@@ -259,20 +261,56 @@ func (d *Database) AppliedKey(dst []byte, a core.Atom, s core.Subst) ([]byte, bo
 	return dst, true
 }
 
-// SeenKey reports whether a fact with relation key rk and packed id key
-// key (as produced by AppliedKey or tupleKey) is in the database.
+// SeenKey reports whether a fact with relation key rk and packed
+// little-endian byte key (as produced by AppliedKey) is in the database.
+// The id-slice variant SeenIDs avoids the byte packing and is preferred
+// on hot paths.
 func (d *Database) SeenKey(rk core.RelKey, key []byte) bool {
-	return d.seen[rk][string(key)]
+	var buf [16]uint32
+	ids := buf[:0]
+	for i := 0; i+4 <= len(key); i += 4 {
+		ids = append(ids, uint32(key[i])|uint32(key[i+1])<<8|uint32(key[i+2])<<16|uint32(key[i+3])<<24)
+	}
+	return d.SeenIDs(rk, ids)
+}
+
+// SeenIDs reports whether a fact of rk with the given packed id tuple
+// (arguments first, then annotation) is in the database.
+func (d *Database) SeenIDs(rk core.RelKey, ids []uint32) bool {
+	r := d.byRel[rk]
+	return r != nil && len(ids) == r.w && r.seen.has(r, ids)
 }
 
 // HasApplied reports whether the instantiation of a under s is in the
 // database, without materializing the instantiated atom. It is the
-// allocation-free duplicate prefilter of the semi-naive engine, where
+// allocation-free duplicate prefilter of the term-space engines, where
 // most candidate derivations are re-derivations of facts already present.
 func (d *Database) HasApplied(a core.Atom, s core.Subst) bool {
-	var buf [64]byte
-	key, ok := d.AppliedKey(buf[:0], a, s)
-	return ok && d.seen[a.Key()][string(key)]
+	var buf [16]uint32
+	key := buf[:0]
+	lookup := func(t core.Term) bool {
+		if v, ok := s[t]; ok {
+			t = v
+		}
+		id, ok := d.intern.Lookup(t)
+		if !ok {
+			return false
+		}
+		key = append(key, id)
+		return true
+	}
+	for _, t := range a.Args {
+		if !lookup(t) {
+			return false
+		}
+	}
+	for _, t := range a.Annotation {
+		if !lookup(t) {
+			return false
+		}
+	}
+	r := d.byRel[a.Key()]
+	return r != nil && r.seen.has(r, key)
 }
 
 // TermID returns the interned id of t; ok is false when t occurs in no
@@ -354,7 +392,12 @@ func (d *Database) Relations() []core.RelKey {
 
 // Facts returns the facts of a relation in insertion order. The returned
 // slice must not be modified.
-func (d *Database) Facts(rk core.RelKey) []core.Atom { return d.byRel[rk] }
+func (d *Database) Facts(rk core.RelKey) []core.Atom {
+	if r := d.byRel[rk]; r != nil {
+		return r.facts
+	}
+	return nil
+}
 
 // FactsWith returns the facts of rk whose flat position pos (arguments
 // first, then annotation positions) equals t. The returned slice of atoms
@@ -364,13 +407,12 @@ func (d *Database) FactsWith(rk core.RelKey, pos int, t core.Term) []core.Atom {
 	if !ok {
 		return nil
 	}
-	m := d.index[rk]
-	if m == nil {
+	idxs := d.IndexWithID(rk, pos, id)
+	if len(idxs) == 0 {
 		return nil
 	}
-	idxs := m[posID{pos, id}]
 	out := make([]core.Atom, len(idxs))
-	facts := d.byRel[rk]
+	facts := d.byRel[rk].facts
 	for i, ix := range idxs {
 		out[i] = facts[ix]
 	}
@@ -388,18 +430,14 @@ func (d *Database) CountWith(rk core.RelKey, pos int, t core.Term) int {
 
 // CountWithID is CountWith for a term already resolved to its id.
 func (d *Database) CountWithID(rk core.RelKey, pos int, id uint32) int {
-	m := d.index[rk]
-	if m == nil {
-		return 0
-	}
-	return len(m[posID{pos, id}])
+	return len(d.IndexWithID(rk, pos, id))
 }
 
 // All returns every fact, including ACDom, grouped by relation.
 func (d *Database) All() []core.Atom {
 	out := make([]core.Atom, 0, d.size)
 	for _, rk := range d.Relations() {
-		out = append(out, d.byRel[rk]...)
+		out = append(out, d.byRel[rk].facts...)
 	}
 	return out
 }
@@ -411,7 +449,7 @@ func (d *Database) UserFacts() []core.Atom {
 		if rk.Name == core.ACDom {
 			continue
 		}
-		out = append(out, d.byRel[rk]...)
+		out = append(out, d.byRel[rk].facts...)
 	}
 	return out
 }
@@ -431,11 +469,11 @@ func (d *Database) Constants() []core.Term {
 // facts.
 func (d *Database) Terms() core.TermSet {
 	s := make(core.TermSet)
-	for rk, facts := range d.byRel {
+	for rk, r := range d.byRel {
 		if rk.Name == core.ACDom {
 			continue
 		}
-		for _, a := range facts {
+		for _, a := range r.facts {
 			for _, t := range a.Args {
 				s.Add(t)
 			}
@@ -468,7 +506,7 @@ func (d *Database) Clone() *Database {
 		out.Add(a.Clone())
 	}
 	// Preserve explicitly added ACDom facts (rare, but allowed).
-	for _, a := range d.byRel[core.RelKey{Name: core.ACDom, Arity: 1}] {
+	for _, a := range d.Facts(core.RelKey{Name: core.ACDom, Arity: 1}) {
 		out.Add(a.Clone())
 	}
 	return out
@@ -482,7 +520,7 @@ func (d *Database) Restrict(keep func(core.RelKey) bool) *Database {
 		if rk.Name == core.ACDom || !keep(rk) {
 			continue
 		}
-		for _, a := range d.byRel[rk] {
+		for _, a := range d.byRel[rk].facts {
 			out.Add(a)
 		}
 	}
@@ -558,12 +596,12 @@ func (d *Database) ForEachWith(rk core.RelKey, pos int, t core.Term, fn func(cor
 
 // ForEachWithID is ForEachWith for a term already resolved to its id.
 func (d *Database) ForEachWithID(rk core.RelKey, pos int, id uint32, fn func(core.Atom) bool) {
-	m := d.index[rk]
-	if m == nil {
+	idxs := d.IndexWithID(rk, pos, id)
+	if len(idxs) == 0 {
 		return
 	}
-	facts := d.byRel[rk]
-	for _, ix := range m[posID{pos, id}] {
+	facts := d.byRel[rk].facts
+	for _, ix := range idxs {
 		if !fn(facts[ix]) {
 			return
 		}
@@ -572,7 +610,7 @@ func (d *Database) ForEachWithID(rk core.RelKey, pos int, id uint32, fn func(cor
 
 // ForEachFact calls fn for every fact of rk; fn returning false stops.
 func (d *Database) ForEachFact(rk core.RelKey, fn func(core.Atom) bool) {
-	for _, a := range d.byRel[rk] {
+	for _, a := range d.Facts(rk) {
 		if !fn(a) {
 			return
 		}

@@ -1,0 +1,112 @@
+package database
+
+import "guardedrules/internal/core"
+
+// relation is the per-relation-key store: the facts in insertion order,
+// their packed id tuples (w ids per fact, flat), per-position indexes
+// keyed on interned ids, and an open-addressing seen-set over the id
+// tuples. Keeping everything keyed on dense uint32 ids (instead of
+// serialized byte strings) removes string hashing from the insert and
+// dedup hot paths, which profiles showed dominating fixpoint runs.
+type relation struct {
+	w     int
+	facts []core.Atom
+	ids   []uint32
+	// index[pos][id] lists the fact ordinals (into facts/ids) whose flat
+	// position pos holds id, in insertion order. len(index[pos]) is the
+	// number of distinct ids at that position — the planner's DistinctAt.
+	index []map[uint32][]int32
+	seen  idSet
+}
+
+func newRelation(rk core.RelKey) *relation {
+	w := rk.Arity + rk.AnnArity
+	return &relation{w: w, index: make([]map[uint32][]int32, w)}
+}
+
+// tupleAt returns the packed id tuple of fact ordinal ix.
+func (r *relation) tupleAt(ix int) []uint32 { return r.ids[ix*r.w : ix*r.w+r.w] }
+
+// idSet is an open-addressing hash set of fact ordinals keyed by their id
+// tuples (stored once, in the relation's flat ids array — the set holds
+// only 1-based ordinals). Zero value is ready to use.
+type idSet struct {
+	table []int32 // 1-based fact ordinal; 0 = empty slot
+	n     int
+}
+
+// fnv64 constants, hashing word-at-a-time over the id tuple.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashIDs(ids []uint32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, id := range ids {
+		h ^= uint64(id)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func equalIDs(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// has reports whether the tuple key is already stored in r.
+func (s *idSet) has(r *relation, key []uint32) bool {
+	if len(s.table) == 0 {
+		return false
+	}
+	mask := uint64(len(s.table) - 1)
+	for i := hashIDs(key) & mask; ; i = (i + 1) & mask {
+		e := s.table[i]
+		if e == 0 {
+			return false
+		}
+		if equalIDs(r.tupleAt(int(e-1)), key) {
+			return true
+		}
+	}
+}
+
+// add records fact ordinal ix (whose tuple must already be appended to
+// r.ids). The caller checks has first; add never checks for duplicates.
+func (s *idSet) add(r *relation, ix int) {
+	if 4*(s.n+1) >= 3*len(s.table) {
+		s.grow(r)
+	}
+	mask := uint64(len(s.table) - 1)
+	i := hashIDs(r.tupleAt(ix)) & mask
+	for s.table[i] != 0 {
+		i = (i + 1) & mask
+	}
+	s.table[i] = int32(ix + 1)
+	s.n++
+}
+
+func (s *idSet) grow(r *relation) {
+	ncap := 2 * len(s.table)
+	if ncap < 16 {
+		ncap = 16
+	}
+	nt := make([]int32, ncap)
+	mask := uint64(ncap - 1)
+	for _, e := range s.table {
+		if e == 0 {
+			continue
+		}
+		i := hashIDs(r.tupleAt(int(e-1))) & mask
+		for nt[i] != 0 {
+			i = (i + 1) & mask
+		}
+		nt[i] = e
+	}
+	s.table = nt
+}

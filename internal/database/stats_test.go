@@ -1,0 +1,153 @@
+package database
+
+import (
+	"fmt"
+	"testing"
+
+	"guardedrules/internal/core"
+)
+
+func atom(rel string, consts ...string) core.Atom {
+	ts := make([]core.Term, len(consts))
+	for i, c := range consts {
+		ts[i] = core.Const(c)
+	}
+	return core.NewAtom(rel, ts...)
+}
+
+// The planner statistics are exact and maintained incrementally: RelSize
+// is the fact count, DistinctAt the distinct ids at one position, and
+// both cover the derived ACDom relation like any other.
+func TestStatsIncremental(t *testing.T) {
+	d := New()
+	rk := atom("R", "a", "b").Key()
+	if d.RelSize(rk) != 0 || d.DistinctAt(rk, 0) != 0 {
+		t.Fatal("empty database must report zero statistics")
+	}
+	d.Add(atom("R", "a", "b"))
+	d.Add(atom("R", "a", "c"))
+	d.Add(atom("R", "b", "c"))
+	d.Add(atom("R", "a", "b")) // duplicate: no effect
+	if got := d.RelSize(rk); got != 3 {
+		t.Fatalf("RelSize = %d, want 3", got)
+	}
+	if got := d.DistinctAt(rk, 0); got != 2 { // a, b
+		t.Fatalf("DistinctAt(0) = %d, want 2", got)
+	}
+	if got := d.DistinctAt(rk, 1); got != 2 { // b, c
+		t.Fatalf("DistinctAt(1) = %d, want 2", got)
+	}
+	if got := d.DistinctAt(rk, 2); got != 0 {
+		t.Fatalf("DistinctAt out of range = %d, want 0", got)
+	}
+	ack := core.NewAtom(core.ACDom, core.Const("a")).Key()
+	if got := d.RelSize(ack); got != 3 { // a, b, c
+		t.Fatalf("RelSize(ACDom) = %d, want 3", got)
+	}
+	if got := d.DistinctAt(ack, 0); got != 3 {
+		t.Fatalf("DistinctAt(ACDom, 0) = %d, want 3", got)
+	}
+	// CountWithID agrees with the posting lists the planner divides by.
+	id, ok := d.TermID(core.Const("a"))
+	if !ok {
+		t.Fatal("a not interned")
+	}
+	if got := d.CountWithID(rk, 0, id); got != 2 {
+		t.Fatalf("CountWithID(R, 0, a) = %d, want 2", got)
+	}
+}
+
+// InternEpoch changes exactly when a new term is interned: duplicate
+// facts and facts over already-interned terms leave it unchanged, and it
+// only grows.
+func TestInternEpochChangesIffNewTerm(t *testing.T) {
+	d := New()
+	e0 := d.InternEpoch()
+	d.Add(atom("R", "a", "b"))
+	e1 := d.InternEpoch()
+	if e1 <= e0 {
+		t.Fatalf("epoch %d -> %d: new terms must move the epoch", e0, e1)
+	}
+	d.Add(atom("R", "a", "b")) // duplicate
+	if d.InternEpoch() != e1 {
+		t.Fatal("duplicate fact moved the epoch")
+	}
+	d.Add(atom("R", "b", "a")) // new fact, known terms
+	if d.InternEpoch() != e1 {
+		t.Fatal("fact over known terms moved the epoch")
+	}
+	d.InternTerm(core.Const("a")) // known term
+	if d.InternEpoch() != e1 {
+		t.Fatal("re-interning a known term moved the epoch")
+	}
+	d.InternTerm(core.Const("fresh"))
+	if d.InternEpoch() <= e1 {
+		t.Fatal("interning a fresh term must move the epoch")
+	}
+}
+
+// SeenIDs and its byte-packed sibling SeenKey agree, and both respect
+// tuple width.
+func TestSeenIDsSeenKeyAgree(t *testing.T) {
+	d := New()
+	d.Add(atom("R", "a", "b"))
+	d.Add(atom("S", "a"))
+	rk := atom("R", "a", "b").Key()
+	ida, _ := d.TermID(core.Const("a"))
+	idb, _ := d.TermID(core.Const("b"))
+	pack := func(ids ...uint32) []byte {
+		var out []byte
+		for _, id := range ids {
+			out = append(out, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+		return out
+	}
+	if !d.SeenIDs(rk, []uint32{ida, idb}) {
+		t.Fatal("SeenIDs misses R(a,b)")
+	}
+	if !d.SeenKey(rk, pack(ida, idb)) {
+		t.Fatal("SeenKey misses R(a,b)")
+	}
+	if d.SeenIDs(rk, []uint32{idb, ida}) || d.SeenKey(rk, pack(idb, ida)) {
+		t.Fatal("reversed tuple reported as seen")
+	}
+	if d.SeenIDs(rk, []uint32{ida}) {
+		t.Fatal("wrong-width tuple reported as seen")
+	}
+	if d.SeenIDs(atom("T", "a", "b").Key(), []uint32{ida, idb}) {
+		t.Fatal("absent relation reported as seen")
+	}
+}
+
+// The packed-id seen-set dedups across growth (rehashing) and handles
+// the nullary edge case, where every fact has the same empty tuple.
+func TestSeenSetDedupAndNullary(t *testing.T) {
+	d := New()
+	for i := 0; i < 200; i++ {
+		if !d.Add(atom("R", fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1))) {
+			t.Fatalf("fresh fact %d reported duplicate", i)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if d.Add(atom("R", fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1))) {
+			t.Fatalf("duplicate fact %d admitted after rehash growth", i)
+		}
+	}
+	rk := atom("R", "c0", "c1").Key()
+	if d.RelSize(rk) != 200 {
+		t.Fatalf("RelSize = %d, want 200", d.RelSize(rk))
+	}
+	n := New()
+	if !n.Add(core.NewAtom("P")) {
+		t.Fatal("first nullary fact rejected")
+	}
+	if n.Add(core.NewAtom("P")) {
+		t.Fatal("nullary duplicate admitted")
+	}
+	if n.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", n.Len())
+	}
+	if !n.SeenIDs(core.NewAtom("P").Key(), nil) {
+		t.Fatal("SeenIDs misses the nullary fact")
+	}
+}

@@ -9,18 +9,23 @@ import (
 )
 
 // Program is a Datalog program compiled once and evaluated many times:
-// the stratification, the per-stratum semi-naive work items (rule ×
-// positive-body-position, with the remaining body reordered
-// most-bound-first), and the round-0 body orderings are all computed at
-// Compile time and shared across evaluations.
+// the stratification and the per-stratum work-item templates — one
+// round-0 template per rule, one semi-naive template per (rule ×
+// positive-body-position), each with compiled id-space atoms, slot
+// assignments and the legacy greedy join order — are all computed at
+// Compile time and shared across evaluations. The join plans themselves
+// are not fixed here: the evaluator re-plans every work item each round
+// from the database's live cardinality statistics (see Options.Planner),
+// so the compile-time artifact is the plan *shape* (templates, slots,
+// candidate orders) while the per-round choice is data-driven.
 //
 // A Program is immutable after Compile and safe for concurrent use: Eval
-// clones the input database and compiles the shared delta items into
-// per-run id-space programs (id resolution is per-database, so the
-// compiled templates themselves are never written after construction).
-// This is the compile-once/query-many seam the serving layer
-// (internal/kbcache) builds on: stratify/reorder/compile happen once per
-// theory, per-query work is only the fixpoint itself.
+// clones the input database and instantiates the shared templates into
+// per-run copies (constant-id resolution is per-database, so the
+// templates themselves are never written after construction). This is
+// the compile-once/query-many seam the serving layer (internal/kbcache)
+// builds on: stratify/compile happen once per theory, per-query work is
+// the fixpoint plus its per-round planning.
 type Program struct {
 	th     *core.Theory
 	strata []compiledStratum
@@ -29,10 +34,11 @@ type Program struct {
 // compiledStratum is one stratum's reusable compiled form.
 type compiledStratum struct {
 	rules []*core.Rule
-	items []deltaItem
-	// round0 holds each rule's positive body reordered most-bound-first,
-	// for the full (non-delta) evaluation of round 0.
-	round0 [][]core.Atom
+	// round0 holds one template per rule (full positive body, no delta
+	// pattern) for the full evaluation of round 0.
+	round0 []ctempl
+	// items holds one template per (rule, positive body position).
+	items []ctempl
 }
 
 // Compile validates the theory as stratified Datalog and builds its
@@ -52,10 +58,12 @@ func Compile(th *core.Theory) (*Program, error) {
 	for i, rules := range strata {
 		cs := &p.strata[i]
 		cs.rules = rules
-		cs.items = deltaItemsOf(rules)
-		cs.round0 = make([][]core.Atom, len(rules))
+		cs.round0 = make([]ctempl, len(rules))
 		for j, r := range rules {
-			cs.round0[j] = reorderMostBound(r.PositiveBody(), nil)
+			cs.round0[j] = compileTemplate(r, -1)
+			for bi := range r.PositiveBody() {
+				cs.items = append(cs.items, compileTemplate(r, bi))
+			}
 		}
 	}
 	return p, nil

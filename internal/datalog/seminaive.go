@@ -3,6 +3,7 @@ package datalog
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"guardedrules/internal/budget"
 	"guardedrules/internal/core"
@@ -11,23 +12,58 @@ import (
 	"guardedrules/internal/par"
 )
 
+// Planner selects the join-order strategy of the semi-naive engine.
+type Planner int
+
+const (
+	// PlannerCost (the default) re-plans every work item each round from
+	// the database's live cardinality statistics: greedy smallest-
+	// estimate-first atom order with per-step access paths (index seek,
+	// pre-sized hash probe, scan) chosen by hom.PlanBody.
+	PlannerCost Planner = iota
+	// PlannerGreedy keeps the legacy static order — most-bound-first,
+	// fixed at Compile time, blind to cardinalities — while still
+	// executing through the shared plan runner. It exists for ablation
+	// benchmarks and differential tests.
+	PlannerGreedy
+)
+
+// JoinStats counts planner activity; all fields are atomic, one instance
+// may be shared by concurrent evaluations (the serving layer aggregates
+// them into its /metrics snapshot).
+type JoinStats struct {
+	// RoundPlans counts join plans computed (per work item per round).
+	RoundPlans atomic.Int64
+	// HashTables counts hash-join tables built by the join cache.
+	HashTables atomic.Int64
+	// ProbeSteps counts plan steps executed via a hash-probe access path.
+	ProbeSteps atomic.Int64
+}
+
 // Options configures the semi-naive evaluator.
 type Options struct {
 	// Workers is the number of goroutines evaluating join work items per
 	// round; 0 means runtime.GOMAXPROCS(0), 1 forces sequential
 	// evaluation. The derived fact set is identical for every worker
-	// count: the database is read-only while workers run, and their
-	// buffers are merged by a single writer in work-item order.
+	// count: the database is read-only while workers run, plans are fixed
+	// by the single writer before the fan-out, and the workers' buffers
+	// are merged by the writer in work-item order.
 	Workers int
 	// MaxRounds bounds the rounds per stratum (0 = 1,000,000).
 	MaxRounds int
 	// Budget, when non-nil, governs the run: cancellation and deadline are
 	// observed mid-stratum (workers drain between units and every
-	// pollInterval delta facts; a canceled round's buffers are not
+	// pollInterval join results; a canceled round's buffers are not
 	// merged), and its ceilings override MaxRounds and cap derived facts.
-	// On exhaustion EvalSemiNaiveOpts returns the partial database —
-	// every completed round's facts — with a typed *budget.Error.
+	// MaxFacts is enforced per added fact during the merge — the partial
+	// database never exceeds the ceiling, mirroring the chase. On
+	// exhaustion EvalSemiNaiveOpts returns the partial database — every
+	// fact merged so far — with a typed *budget.Error.
 	Budget *budget.T
+	// Planner selects the join-order strategy (default PlannerCost).
+	Planner Planner
+	// Stats, when non-nil, accumulates planner counters.
+	Stats *JoinStats
 }
 
 func (o Options) workers() int {
@@ -47,33 +83,84 @@ func (o Options) maxRounds() int {
 	return o.MaxRounds
 }
 
-// deltaItem is one semi-naive work item of a stratum: a rule together with
-// the body position required to match the previous round's delta. The
-// remaining body atoms are pre-ordered most-bound-first (greedy join
-// reorder seeded with the delta pattern's variables), so the backtracking
-// search starts from the most constrained atoms.
-type deltaItem struct {
+// ctempl is the compiled template of one work item, built once at
+// Compile time and shared (immutably) across evaluations: either a
+// round-0 item (hasPat false; rest is the full positive body) or a
+// semi-naive item (pattern is the body atom that must match a delta
+// fact, rest the remaining positive body in source order). Variable
+// slots are scoped per template.
+type ctempl struct {
 	rule    *core.Rule
-	pattern core.Atom   // body atom that must match a delta fact
-	rk      core.RelKey // pattern.Key(), precomputed
-	rest    []core.Atom // remaining positive body, reordered
+	hasPat  bool
+	pattern hom.CAtom
+	rest    []hom.CAtom
+	neg     []hom.CAtom
+	heads   []hom.CAtom
+	nvars   int
+	// patBound marks the slots bound before the first planned step: the
+	// pattern's slots (none for round-0 templates).
+	patBound []bool
+	// greedy is the legacy most-bound-first order over rest, the
+	// PlannerGreedy ablation's fixed join order.
+	greedy []int
 }
 
-// reorderMostBound greedily orders atoms so that each next atom has the
-// most already-bound variables (ties: fewest unbound variables, then
-// original position). bound is the set of variables known to be bound
-// before the first atom is matched; it is not modified.
-func reorderMostBound(atoms []core.Atom, bound core.TermSet) []core.Atom {
-	if len(atoms) < 2 {
-		return atoms
+// compileTemplate compiles rule with body position pat as the delta
+// pattern (pat < 0 for a round-0 template).
+func compileTemplate(r *core.Rule, pat int) ctempl {
+	body := r.PositiveBody()
+	slots := make(map[core.Term]int)
+	t := ctempl{rule: r}
+	bound := make(core.TermSet)
+	if pat >= 0 {
+		t.hasPat = true
+		t.pattern = hom.Compile(body[pat], slots)
+		bound.AddAll(body[pat].AllVars())
 	}
+	var restAtoms []core.Atom
+	for i, a := range body {
+		if i == pat {
+			continue
+		}
+		t.rest = append(t.rest, hom.Compile(a, slots))
+		restAtoms = append(restAtoms, a)
+	}
+	for _, l := range r.Body {
+		if l.Negated {
+			t.neg = append(t.neg, hom.Compile(l.Atom, slots))
+		}
+	}
+	for _, h := range r.Head {
+		t.heads = append(t.heads, hom.Compile(h, slots))
+	}
+	t.nvars = len(slots)
+	t.patBound = make([]bool, t.nvars)
+	if pat >= 0 {
+		for _, p := range t.pattern.Pos {
+			if p.Slot >= 0 {
+				t.patBound[p.Slot] = true
+			}
+		}
+	}
+	t.greedy = greedyOrder(restAtoms, bound)
+	return t
+}
+
+// greedyOrder returns the legacy static join order as a permutation of
+// atoms: each next atom has the most already-bound variables (ties:
+// fewest unbound variables, then source position). bound is the variable
+// set known before the first atom; it is not modified.
+func greedyOrder(atoms []core.Atom, bound core.TermSet) []int {
 	b := make(core.TermSet, len(bound))
 	b.AddAll(bound)
-	remaining := append([]core.Atom(nil), atoms...)
-	out := make([]core.Atom, 0, len(atoms))
-	for len(remaining) > 0 {
-		besti, bestBound, bestUnbound := 0, -1, 0
-		for i, a := range remaining {
+	order := make([]int, 0, len(atoms))
+	taken := make([]bool, len(atoms))
+	for len(order) < len(atoms) {
+		besti, bestBound, bestUnbound := -1, -1, 0
+		for i, a := range atoms {
+			if taken[i] {
+				continue
+			}
 			nb, nu := 0, 0
 			for v := range a.AllVars() {
 				if b.Has(v) {
@@ -82,297 +169,100 @@ func reorderMostBound(atoms []core.Atom, bound core.TermSet) []core.Atom {
 					nu++
 				}
 			}
-			if nb > bestBound || nb == bestBound && nu < bestUnbound {
+			if besti == -1 || nb > bestBound || nb == bestBound && nu < bestUnbound {
 				besti, bestBound, bestUnbound = i, nb, nu
 			}
 		}
-		pick := remaining[besti]
-		out = append(out, pick)
-		b.AddAll(pick.AllVars())
-		remaining = append(remaining[:besti], remaining[besti+1:]...)
+		taken[besti] = true
+		order = append(order, besti)
+		b.AddAll(atoms[besti].AllVars())
+	}
+	return order
+}
+
+// citem is the per-evaluation instantiation of a template: the compiled
+// atoms are deep-copied because Resolve writes constant ids into them
+// (id resolution is per-database), and the plan is recomputed per round
+// by the single writer from live statistics.
+type citem struct {
+	t       *ctempl
+	pattern hom.CAtom
+	rest    []hom.CAtom
+	neg     []hom.CAtom
+	heads   []hom.CAtom
+	plan    hom.Plan
+}
+
+func cloneAtoms(src []hom.CAtom) []hom.CAtom {
+	out := make([]hom.CAtom, len(src))
+	for i, a := range src {
+		a.Pos = append([]hom.CPos(nil), a.Pos...)
+		out[i] = a
 	}
 	return out
 }
 
-// deltaItemsOf precomputes the per-round work items of a stratum, one per
-// (rule, positive body position).
-func deltaItemsOf(rules []*core.Rule) []deltaItem {
-	var items []deltaItem
-	for _, r := range rules {
-		body := r.PositiveBody()
-		for i, b := range body {
-			rest := make([]core.Atom, 0, len(body)-1)
-			rest = append(rest, body[:i]...)
-			rest = append(rest, body[i+1:]...)
-			items = append(items, deltaItem{
-				rule:    r,
-				pattern: b,
-				rk:      b.Key(),
-				rest:    reorderMostBound(rest, b.AllVars()),
-			})
+func instantiate(ts []ctempl) []citem {
+	out := make([]citem, len(ts))
+	for i := range ts {
+		t := &ts[i]
+		c := citem{t: t, rest: cloneAtoms(t.rest), neg: cloneAtoms(t.neg), heads: cloneAtoms(t.heads)}
+		if t.hasPat {
+			c.pattern = t.pattern
+			c.pattern.Pos = append([]hom.CPos(nil), t.pattern.Pos...)
 		}
-	}
-	return items
-}
-
-// cpos is a compiled flat atom position: a variable slot (slot >= 0) or a
-// constant (slot < 0). term keeps the original term for materialization;
-// id is the constant's interned id, re-resolved each round.
-type cpos struct {
-	slot int
-	term core.Term
-	id   uint32
-}
-
-// catom is an atom compiled to id space: its relation key plus one cpos
-// per flat position (arguments, then annotation). ok reports whether all
-// constants were interned at the last resolve; when false the atom can
-// match no fact, and no instantiation of it can be in the database.
-type catom struct {
-	atom core.Atom
-	rk   core.RelKey
-	pos  []cpos
-	ok   bool
-}
-
-// citem is a deltaItem compiled to id space. Variable slots are scoped
-// per item; nvars sizes the binding arrays.
-type citem struct {
-	rule    *core.Rule
-	pattern catom
-	rest    []catom
-	neg     []catom
-	heads   []catom
-	nvars   int
-}
-
-func compileAtom(a core.Atom, slots map[core.Term]int) catom {
-	ca := catom{atom: a, rk: a.Key()}
-	add := func(t core.Term) {
-		p := cpos{slot: -1, term: t}
-		if t.IsVar() {
-			s, ok := slots[t]
-			if !ok {
-				s = len(slots)
-				slots[t] = s
-			}
-			p.slot = s
-		}
-		ca.pos = append(ca.pos, p)
-	}
-	for _, t := range a.Args {
-		add(t)
-	}
-	for _, t := range a.Annotation {
-		add(t)
-	}
-	return ca
-}
-
-// compileItems compiles the stratum's work items to id space, so that the
-// per-round delta joins run entirely on integer tuples: no term structs
-// are hashed and no substitution maps are built in the inner loop.
-func compileItems(items []deltaItem) []citem {
-	out := make([]citem, len(items))
-	for i := range items {
-		it := &items[i]
-		slots := make(map[core.Term]int)
-		c := citem{rule: it.rule}
-		c.pattern = compileAtom(it.pattern, slots)
-		for _, a := range it.rest {
-			c.rest = append(c.rest, compileAtom(a, slots))
-		}
-		for _, l := range it.rule.Body {
-			if l.Negated {
-				c.neg = append(c.neg, compileAtom(l.Atom, slots))
-			}
-		}
-		for _, h := range it.rule.Head {
-			c.heads = append(c.heads, compileAtom(h, slots))
-		}
-		c.nvars = len(slots)
 		out[i] = c
 	}
 	return out
 }
 
-// resolve re-resolves the constants of every compiled atom against the
-// frozen database. Called once per round by the single writer before
-// workers start; workers then only read the compiled items.
+// resolve re-resolves the compiled constants against the (frozen)
+// database. Callers gate it on Database.InternEpoch: while no new term
+// was interned, every resolution is unchanged and the call is skipped.
 func (c *citem) resolve(db *database.Database) {
-	resolveAtom(&c.pattern, db)
+	if c.t.hasPat {
+		c.pattern.Resolve(db)
+	}
 	for i := range c.rest {
-		resolveAtom(&c.rest[i], db)
+		c.rest[i].Resolve(db)
 	}
 	for i := range c.neg {
-		resolveAtom(&c.neg[i], db)
+		c.neg[i].Resolve(db)
 	}
 	for i := range c.heads {
-		resolveAtom(&c.heads[i], db)
+		c.heads[i].Resolve(db)
 	}
 }
 
-func resolveAtom(ca *catom, db *database.Database) {
-	ca.ok = true
-	for k := range ca.pos {
-		p := &ca.pos[k]
-		if p.slot >= 0 {
-			continue
+// replan recomputes the item's join plan from the database's current
+// statistics and prepares the hash tables its probe steps need.
+// Writer-only: workers see a fixed plan and read-only tables.
+func (c *citem) replan(db *database.Database, planner Planner, jc *hom.JoinCache, js *JoinStats) {
+	if planner == PlannerGreedy {
+		c.plan = hom.PlanOrder(c.rest, c.t.greedy, c.t.patBound, db)
+	} else {
+		c.plan = hom.PlanBody(c.rest, c.t.patBound, db)
+	}
+	jc.Prepare(c.rest, &c.plan)
+	if js != nil {
+		js.RoundPlans.Add(1)
+		for _, s := range c.plan.Steps {
+			if s.Kind == hom.AccessProbe {
+				js.ProbeSteps.Add(1)
+			}
 		}
-		id, ok := db.TermID(p.term)
-		if !ok {
-			ca.ok = false
-			return
-		}
-		p.id = id
 	}
 }
 
-// joinState is the per-unit mutable state of the id-space join: variable
-// bindings by slot, a bound mask, and the undo trail.
-type joinState struct {
-	db    *database.Database
-	b     []uint32
-	bd    []bool
-	trail []int
-}
-
-// match unifies ca against a fact's id tuple, recording fresh bindings on
-// the trail. On failure the caller unwinds to its trail mark.
-func (st *joinState) match(ca *catom, ids []uint32) bool {
-	for k := range ca.pos {
-		p := &ca.pos[k]
-		id := ids[k]
-		if p.slot < 0 {
-			if p.id != id {
-				return false
-			}
-			continue
+// patternOK reports whether the item's delta pattern resolved fully; a
+// pattern with an uninterned constant matches no delta fact.
+func (c *citem) patternOK() bool {
+	for k := range c.pattern.Pos {
+		if p := &c.pattern.Pos[k]; p.Slot < 0 && !p.OK {
+			return false
 		}
-		if st.bd[p.slot] {
-			if st.b[p.slot] != id {
-				return false
-			}
-			continue
-		}
-		st.bd[p.slot] = true
-		st.b[p.slot] = id
-		st.trail = append(st.trail, p.slot)
 	}
 	return true
-}
-
-func (st *joinState) unwind(mark int) {
-	for _, s := range st.trail[mark:] {
-		st.bd[s] = false
-	}
-	st.trail = st.trail[:mark]
-}
-
-// searchRest backtracks over the remaining body atoms, picking at each
-// step the tightest index among the atom's bound positions (mirroring
-// hom.bestIndex), and calls leaf for every full match.
-func (st *joinState) searchRest(rest []catom, i int, leaf func()) {
-	if i == len(rest) {
-		leaf()
-		return
-	}
-	ca := &rest[i]
-	if !ca.ok {
-		return
-	}
-	bestPos, bestCount := -1, 0
-	var bestID uint32
-	for k := range ca.pos {
-		p := &ca.pos[k]
-		var id uint32
-		switch {
-		case p.slot < 0:
-			id = p.id
-		case st.bd[p.slot]:
-			id = st.b[p.slot]
-		default:
-			continue
-		}
-		n := st.db.CountWithID(ca.rk, k, id)
-		if bestPos < 0 || n < bestCount {
-			bestPos, bestID, bestCount = k, id, n
-			if n == 0 {
-				return
-			}
-		}
-	}
-	w := len(ca.pos)
-	tuples := st.db.IDTuples(ca.rk)
-	try := func(ix int) bool {
-		mark := len(st.trail)
-		if st.match(ca, tuples[ix*w:(ix+1)*w]) {
-			st.searchRest(rest, i+1, leaf)
-		}
-		st.unwind(mark)
-		return true
-	}
-	if bestPos >= 0 {
-		st.db.ForEachIndexWithID(ca.rk, bestPos, bestID, try)
-		return
-	}
-	for ix := 0; ix < len(st.db.Facts(ca.rk)); ix++ {
-		try(ix)
-	}
-}
-
-// appendID32 appends id to dst in the little-endian encoding of the
-// database's packed keys, so keys built here compare against SeenKey.
-func appendID32(dst []byte, id uint32) []byte {
-	return append(dst, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-}
-
-// packApplied appends the packed id key of ca's instantiation under the
-// current bindings; ok is false when a constant is uninterned or a
-// variable unbound — the instantiation then cannot be in the database.
-func (st *joinState) packApplied(dst []byte, ca *catom) ([]byte, bool) {
-	if !ca.ok {
-		return dst, false
-	}
-	for k := range ca.pos {
-		p := &ca.pos[k]
-		switch {
-		case p.slot < 0:
-			dst = appendID32(dst, p.id)
-		case st.bd[p.slot]:
-			dst = appendID32(dst, st.b[p.slot])
-		default:
-			return dst, false
-		}
-	}
-	return dst, true
-}
-
-// materialize builds the instantiated atom: bound slots become their
-// interned terms; constants and unbound variables keep their original
-// term (an unbound head variable yields a non-ground atom, which the
-// merge rejects exactly as the substitution-based path did).
-func (st *joinState) materialize(ca *catom) core.Atom {
-	at := func(k int) core.Term {
-		p := &ca.pos[k]
-		if p.slot >= 0 && st.bd[p.slot] {
-			return st.db.Term(st.b[p.slot])
-		}
-		return p.term
-	}
-	out := core.Atom{Relation: ca.atom.Relation}
-	n := len(ca.atom.Args)
-	out.Args = make([]core.Term, n)
-	for k := 0; k < n; k++ {
-		out.Args[k] = at(k)
-	}
-	if ca.atom.Annotation != nil {
-		out.Annotation = make([]core.Term, len(ca.atom.Annotation))
-		for k := range ca.atom.Annotation {
-			out.Annotation[k] = at(n + k)
-		}
-	}
-	return out
 }
 
 // pollInterval is how many join results a worker processes between
@@ -384,100 +274,116 @@ const pollInterval = 64
 // sequentially: goroutine fan-out costs more than the joins it splits.
 const seqThreshold = 128
 
+// emitter buffers the new head instantiations of one work unit. The
+// frozen database's seen-set prefilters candidates in id space, and a
+// packed-id local keyset drops within-unit re-derivations, so candidates
+// are materialized to term atoms only when genuinely unseen. Remaining
+// cross-unit duplicates are resolved by the single-writer merge.
+type emitter struct {
+	c       *citem
+	st      *hom.State
+	db      *database.Database
+	tk      *budget.Tracker
+	out     []core.Atom
+	local   keyset
+	scratch []uint32
+	polls   int
+}
+
+// leaf is the complete-match callback; returning false aborts the
+// enumeration (the unit's buffer is then discarded by the canceled run).
+func (e *emitter) leaf() bool {
+	if e.polls++; e.polls%pollInterval == 0 && e.tk.Canceled() {
+		return false
+	}
+	c := e.c
+	for i := range c.neg {
+		ids, ok := e.st.PackIDs(e.scratch[:0], &c.neg[i])
+		if ok && e.db.SeenIDs(c.neg[i].RK, ids) {
+			return true
+		}
+	}
+	for i := range c.heads {
+		h := &c.heads[i]
+		ids, ok := e.st.PackIDs(e.scratch[:0], h)
+		if !ok {
+			// A head constant not yet interned (or an unbound head
+			// variable): certainly not in the database, but with no id key
+			// to dedup on; the merge dedups it.
+			e.out = append(e.out, e.st.Materialize(h))
+			continue
+		}
+		if e.db.SeenIDs(h.RK, ids) || !e.local.add(uint32(i), ids) {
+			continue
+		}
+		e.out = append(e.out, e.st.Materialize(h))
+	}
+	return true
+}
+
 // evalStratum computes the fixpoint of one stratum with a parallel
-// semi-naive loop. Each round freezes the database, fans (rule ×
-// delta-position × delta-shard) work items out over the worker pool —
-// workers only read the database and buffer candidate head atoms — and
-// then a single writer merges the buffers in work-item order. The merge
-// uses AddNotify so that ACDom facts derived from fresh head constants
-// enter the next delta; without this, ACDom-reading rules in the same
-// stratum would miss constants introduced mid-fixpoint.
+// semi-naive loop. Each round freezes the database; the single writer
+// re-resolves compiled constants (only when the intern epoch moved),
+// recomputes every live item's join plan from the now-current statistics
+// and builds the hash tables the plans probe; then (rule ×
+// delta-position × delta-shard) work items fan out over the worker pool
+// — workers only read the database, the plans and the tables, and buffer
+// candidate head atoms — and the writer merges the buffers in work-item
+// order. The merge uses AddNotify so that ACDom facts derived from fresh
+// head constants enter the next delta; without this, ACDom-reading rules
+// in the same stratum would miss constants introduced mid-fixpoint.
 //
 // Negated literals are evaluated against the current database; callers
 // guarantee stratification (the negated relations are fully computed, and
 // Stratify's implicit head→ACDom edges extend the guarantee to ACDom).
 //
 // Cancellation protocol: workers poll the tracker between units and every
-// pollInterval delta facts inside a unit, then drain; runUnits always
+// pollInterval join results inside a unit, then drain; runUnits always
 // waits for the pool, so no goroutine outlives the call. The buffers of a
 // canceled round are discarded, never merged — the database then holds
-// exactly the completed rounds, a well-formed partial fixpoint.
+// exactly the merged facts, a well-formed partial fixpoint.
 func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *budget.Tracker) error {
-	rules := cs.rules
 	workers := opts.workers()
-	// Compile the shared (immutable) delta items into per-run id-space
-	// programs: constant-id resolution is per-database, so the citems are
-	// private to this evaluation while the templates stay shareable across
-	// concurrent Program.Eval calls.
-	items := compileItems(cs.items)
+	planner := opts.Planner
+	js := opts.Stats
+	jc := hom.NewJoinCache(db)
+	prevBuilds := 0
+	noteBuilds := func() {
+		if js != nil && jc.Builds() != prevBuilds {
+			js.HashTables.Add(int64(jc.Builds() - prevBuilds))
+		}
+		prevBuilds = jc.Builds()
+	}
 	maxRounds := budget.Cap(opts.Budget, func(b *budget.T) int { return b.MaxRounds }, opts.maxRounds())
 	maxFacts := 0
 	if opts.Budget != nil {
 		maxFacts = opts.Budget.MaxFacts
 	}
 
-	// emitInto returns the callback buffering r's instantiated heads into
-	// *out. db is frozen during a round, so its seen-set is a stable
-	// prefilter; a unit-local seen-set on the same packed id keys
-	// additionally drops within-unit duplicates (in recursive rules the
-	// same new fact is typically re-derived many times per round), so
-	// candidates are materialized only when genuinely unseen. Remaining
-	// cross-unit duplicates are resolved by the single-writer merge.
-	emitInto := func(r *core.Rule, out *[]core.Atom) func(core.Subst) bool {
-		headRK := make([]core.RelKey, len(r.Head))
-		local := make([]map[string]bool, len(r.Head))
-		for i, h := range r.Head {
-			headRK[i] = h.Key()
-			local[i] = make(map[string]bool)
-		}
-		var scratch [64]byte
-		polls := 0
-		return func(s core.Subst) bool {
-			if polls++; polls%pollInterval == 0 && tk.Canceled() {
-				return false // abort enumeration; the round's buffers are dropped
-			}
-			for _, l := range r.Body {
-				if l.Negated && db.HasApplied(l.Atom, s) {
-					return true
-				}
-			}
-			for i, h := range r.Head {
-				key, ok := db.AppliedKey(scratch[:0], h, s)
-				if !ok {
-					// A head constant not yet interned: certainly new, but
-					// with no id key to dedup on; the merge dedups it.
-					*out = append(*out, s.ApplyAtom(h))
-					continue
-				}
-				if db.SeenKey(headRK[i], key) || local[i][string(key)] {
-					continue
-				}
-				local[i][string(key)] = true
-				*out = append(*out, s.ApplyAtom(h))
-			}
-			return true
-		}
+	// Round 0: full evaluation, one work unit per rule, planned over the
+	// input statistics.
+	r0 := instantiate(cs.round0)
+	for i := range r0 {
+		r0[i].resolve(db)
+		r0[i].replan(db, planner, jc, js)
 	}
-
-	// Round 0: full evaluation, one work unit per rule.
-	bufs := make([][]core.Atom, len(rules))
-	par.RunUnits(len(rules), workers, tk.Canceled, func(u int) {
+	noteBuilds()
+	bufs := make([][]core.Atom, len(r0))
+	par.RunUnits(len(r0), workers, tk.Canceled, func(u int) {
 		_ = tk.Check() // checkpoint: counts toward FailAt injection
-		r := rules[u]
-		body := cs.round0[u]
-		emit := emitInto(r, &bufs[u])
-		if len(body) == 0 {
-			emit(core.Subst{})
-			return
-		}
-		hom.ForEach(body, db, nil, emit)
+		c := &r0[u]
+		em := &emitter{c: c, st: hom.NewState(db, c.t.nvars), db: db, tk: tk,
+			scratch: make([]uint32, 0, 16)}
+		em.st.SearchPlan(c.rest, &c.plan, jc, em.leaf)
+		bufs[u] = em.out
 	})
 
+	items := instantiate(cs.items)
+	itemsEpoch := -1
 	for round := 0; ; round++ {
 		tk.SetRounds(round)
 		// Merge-point checkpoint: a canceled or expired run returns here
-		// with the previous rounds' facts intact and this round's buffers
-		// discarded.
+		// with the merged facts intact and this round's buffers discarded.
 		if err := tk.Check(); err != nil {
 			return err
 		}
@@ -486,12 +392,20 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 				maxRounds, tk.Exhausted(budget.ErrRoundLimit))
 		}
 		// Single-writer merge; newly inserted facts — including derived
-		// ACDom facts — form the next delta.
+		// ACDom facts — form the next delta. The fact ceiling is enforced
+		// per added fact, AddCost-style: a fact whose insertion (including
+		// the ACDom facts it derives) would push the run past the ceiling
+		// is never added, so the partial database never overshoots.
+		used := tk.Usage().Facts
 		deltaCount := make(map[core.RelKey]int)
 		ndelta := 0
 		note := func(a core.Atom) { deltaCount[a.Key()]++; ndelta++ }
 		for _, buf := range bufs {
 			for _, a := range buf {
+				if maxFacts > 0 && used+ndelta+db.AddCost(a) > maxFacts {
+					tk.AddFacts(ndelta)
+					return tk.Exhausted(budget.ErrFactLimit)
+				}
 				if _, err := db.AddNotify(a, note); err != nil {
 					return fmt.Errorf("datalog: merge: %w", err)
 				}
@@ -501,13 +415,15 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 		if ndelta == 0 {
 			return nil
 		}
-		if maxFacts > 0 && tk.Usage().Facts >= maxFacts {
-			return tk.Exhausted(budget.ErrFactLimit)
-		}
-		// Freeze the round: re-resolve compiled constants, then slice each
-		// relation's delta — the newly merged tail of its id-tuple array.
-		for i := range items {
-			items[i].resolve(db)
+		// Freeze the round: re-resolve compiled constants (skipped when no
+		// new term was interned — the intern epoch is unchanged, so every
+		// resolution would come out identical), then slice each relation's
+		// delta — the newly merged tail of its id-tuple array.
+		if e := db.InternEpoch(); e != itemsEpoch {
+			for i := range items {
+				items[i].resolve(db)
+			}
+			itemsEpoch = e
 		}
 		type group struct {
 			n, w int
@@ -519,7 +435,8 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 			all := db.IDTuples(rk)
 			groups[rk] = group{n: k, w: w, ids: all[len(all)-k*w:]}
 		}
-		// Fan out (item × shard) units; shards stripe each item's delta
+		// Re-plan the live items against the post-merge statistics, then
+		// fan out (item × shard) units; shards stripe each item's delta
 		// facts so a round dominated by one rule still parallelizes.
 		shards := workers
 		if ndelta < seqThreshold {
@@ -532,10 +449,11 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 		var units []unit
 		for i := range items {
 			c := &items[i]
-			g, found := groups[c.pattern.rk]
-			if !found || !c.pattern.ok {
+			g, found := groups[c.pattern.RK]
+			if !found || !c.patternOK() {
 				continue
 			}
+			c.replan(db, planner, jc, js)
 			n := shards
 			if g.n < n {
 				n = g.n
@@ -544,73 +462,46 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 				units = append(units, unit{c, s})
 			}
 		}
+		noteBuilds()
 		bufs = make([][]core.Atom, len(units))
 		par.RunUnits(len(units), workers, tk.Canceled, func(u int) {
 			_ = tk.Check() // checkpoint: counts toward FailAt injection
 			c := units[u].c
-			g := groups[c.pattern.rk]
+			g := groups[c.pattern.RK]
 			n := shards
 			if g.n < n {
 				n = g.n
 			}
-			st := &joinState{db: db, b: make([]uint32, c.nvars), bd: make([]bool, c.nvars)}
-			out := &bufs[u]
-			local := make([]map[string]bool, len(c.heads))
-			for i := range local {
-				local[i] = make(map[string]bool)
-			}
-			var scratch [64]byte
-			leaf := func() {
-				for i := range c.neg {
-					key, ok := st.packApplied(scratch[:0], &c.neg[i])
-					if ok && db.SeenKey(c.neg[i].rk, key) {
-						return
-					}
-				}
-				for i := range c.heads {
-					h := &c.heads[i]
-					key, ok := st.packApplied(scratch[:0], h)
-					if !ok {
-						// A head constant not yet interned (or an unbound
-						// head variable): no id key to dedup on; buffer and
-						// let the merge decide.
-						*out = append(*out, st.materialize(h))
-						continue
-					}
-					if db.SeenKey(h.rk, key) || local[i][string(key)] {
-						continue
-					}
-					local[i][string(key)] = true
-					*out = append(*out, st.materialize(h))
-				}
-			}
-			polls := 0
+			em := &emitter{c: c, st: hom.NewState(db, c.t.nvars), db: db, tk: tk,
+				scratch: make([]uint32, 0, 16)}
+			st := em.st
 			for j := units[u].shard; j < g.n; j += n {
-				if polls++; polls%pollInterval == 0 && tk.Canceled() {
-					return // drain: this unit's buffer will be discarded
+				mark := st.Mark()
+				matched := st.Match(&c.pattern, g.ids[j*g.w:(j+1)*g.w])
+				if matched && !st.SearchPlan(c.rest, &c.plan, jc, em.leaf) {
+					st.Unwind(mark)
+					return // canceled: drain; the unit's buffer is discarded
 				}
-				mark := len(st.trail)
-				if st.match(&c.pattern, g.ids[j*g.w:(j+1)*g.w]) {
-					st.searchRest(c.rest, 0, leaf)
-				}
-				st.unwind(mark)
+				st.Unwind(mark)
 			}
+			bufs[u] = em.out
 		})
 	}
 }
 
 // EvalSemiNaive computes the stratified fixpoint with the native
-// semi-naive evaluator and default options (parallel across all CPUs). It
-// is the default engine behind Eval; the chase-based EvalViaChase remains
-// available for the ablation benchmarks.
+// semi-naive evaluator and default options (parallel across all CPUs,
+// cost-based planning). It is the default engine behind Eval; the
+// chase-based EvalViaChase remains available for the ablation benchmarks.
 func EvalSemiNaive(th *core.Theory, d *database.Database) (*database.Database, error) {
 	return EvalSemiNaiveOpts(th, d, Options{})
 }
 
 // EvalSemiNaiveOpts is EvalSemiNaive with explicit options. On budget
 // exhaustion (cancellation, deadline, or a ceiling of opts.Budget) it
-// returns the partial database — all fully merged rounds — together with
-// a typed error satisfying errors.Is against the budget sentinels.
+// returns the partial database — all facts merged before exhaustion —
+// together with a typed error satisfying errors.Is against the budget
+// sentinels.
 func EvalSemiNaiveOpts(th *core.Theory, d *database.Database, opts Options) (*database.Database, error) {
 	p, err := Compile(th)
 	if err != nil {

@@ -1,6 +1,10 @@
 package kbcache
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"guardedrules/internal/datalog"
+)
 
 // Metrics counts the cache and query activity of a Store. All counters
 // are atomic; a Store and every CompiledKB it serves share one instance.
@@ -22,6 +26,11 @@ type Metrics struct {
 	Queries         atomic.Int64 // answer requests served
 	QueryErrors     atomic.Int64 // requests that failed outright
 	BudgetExhausted atomic.Int64 // requests truncated by a budget ceiling
+
+	// Join holds the Datalog engine's join-planner counters (plans
+	// computed per round, hash tables built, probe steps planned) for
+	// every evaluation this store served.
+	Join datalog.JoinStats
 }
 
 // Snapshot renders the counters as a flat map, for /metrics endpoints
@@ -40,5 +49,8 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"queries":          m.Queries.Load(),
 		"query_errors":     m.QueryErrors.Load(),
 		"budget_exhausted": m.BudgetExhausted.Load(),
+		"join_round_plans": m.Join.RoundPlans.Load(),
+		"join_hash_tables": m.Join.HashTables.Load(),
+		"join_probe_steps": m.Join.ProbeSteps.Load(),
 	}
 }

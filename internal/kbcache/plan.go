@@ -59,10 +59,20 @@ type QueryOptions struct {
 	// Budget, when non-nil, governs the evaluation; exhausting it yields
 	// the sound partial answers alongside a typed *budget.Error.
 	Budget *budget.T
+	// Planner selects the Datalog join-order strategy (the zero value is
+	// the cost-based planner; datalog.PlannerGreedy forces the legacy
+	// static order, for ablations).
+	Planner datalog.Planner
 }
 
-func (o QueryOptions) datalogOptions() datalog.Options {
-	return datalog.Options{Workers: o.Workers, Budget: o.Budget}
+// datalogOptions derives the engine options of one evaluation, wiring
+// the store's join-planner counters into the run.
+func (o QueryOptions) datalogOptions(m *Metrics) datalog.Options {
+	opts := datalog.Options{Workers: o.Workers, Budget: o.Budget, Planner: o.Planner}
+	if m != nil {
+		opts.Stats = &m.Join
+	}
+	return opts
 }
 
 // QueryResult is the outcome of one answer call.
@@ -342,7 +352,7 @@ func (ckb *CompiledKB) evalPlan(p *plan, d *database.Database, opts QueryOptions
 			Chain:   p.chain,
 		}, nil
 	default:
-		fix, err := p.prog.Eval(d, opts.datalogOptions())
+		fix, err := p.prog.Eval(d, opts.datalogOptions(ckb.metrics))
 		if err != nil {
 			if !budget.IsBudget(err) || fix == nil {
 				ckb.metrics.QueryErrors.Add(1)
@@ -377,7 +387,7 @@ func (ckb *CompiledKB) evalAtomPlan(p *plan, query core.Atom, d *database.Databa
 		in = d.Clone()
 		in.Add(core.NewAtom(p.seedRel, bound...))
 	}
-	fix, err := p.prog.Eval(in, opts.datalogOptions())
+	fix, err := p.prog.Eval(in, opts.datalogOptions(ckb.metrics))
 	if err != nil && (!budget.IsBudget(err) || fix == nil) {
 		ckb.metrics.QueryErrors.Add(1)
 		return nil, err
