@@ -793,6 +793,68 @@ func TestEmitChaseBenchJSON(t *testing.T) {
 	t.Logf("wrote BENCH_chase.json (%d entries)", len(report.Benchmarks))
 }
 
+// TestEmitTerminationBenchJSON times the full acyclicity-hierarchy
+// analysis (WA graph, JA dependency graph, critical-instance check,
+// certificate construction) on the class-separating theory families at
+// growing rule counts and writes BENCH_termination.json, giving future
+// PRs a perf trajectory for the analyzer. Only runs when EMIT_BENCH=1
+// is set:
+//
+//	EMIT_BENCH=1 go test -run TestEmitTerminationBenchJSON .
+func TestEmitTerminationBenchJSON(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") != "1" {
+		t.Skip("set EMIT_BENCH=1 to refresh BENCH_termination.json")
+	}
+	families := []struct {
+		name string
+		mk   func(n int) *core.Theory
+	}{
+		{"wa-chain", gen.WAChainTheory},
+		{"ja-not-wa", gen.JANotWATheory},
+		{"swa-not-ja", gen.SWANotJATheory},
+	}
+	type entry struct {
+		Name    string `json:"name"`
+		N       int    `json:"n"`
+		Class   string `json:"class"`
+		NsPerOp int64  `json:"ns_per_op"`
+	}
+	report := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, fam := range families {
+		for _, n := range []int{4, 16, 64} {
+			th := fam.mk(n)
+			reps := 3
+			var best time.Duration
+			var class termination.Class
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				rep := termination.Analyze(th)
+				if el := time.Since(t0); r == 0 || el < best {
+					best = el
+				}
+				class = rep.Class
+			}
+			report.Benchmarks = append(report.Benchmarks, entry{
+				Name:    fmt.Sprintf("Termination/%s/n=%d", fam.name, n),
+				N:       n,
+				Class:   class.String(),
+				NsPerOp: best.Nanoseconds(),
+			})
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_termination.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_termination.json (%d entries)", len(report.Benchmarks))
+}
+
 // BenchmarkA2ChaseVariants is the ablation: oblivious vs restricted chase
 // on the running example.
 func BenchmarkA2ChaseVariants(b *testing.B) {

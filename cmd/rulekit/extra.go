@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,10 +17,13 @@ import (
 	"guardedrules/internal/termination"
 )
 
-// cmdTermination reports the weak-acyclicity analysis of a theory.
+// cmdTermination reports the full acyclicity-hierarchy analysis of a
+// theory: weak acyclicity, joint acyclicity, the critical-instance
+// check, and the machine-checkable certificate behind the verdict.
 func cmdTermination(args []string) error {
 	fs := flag.NewFlagSet("termination", flag.ExitOnError)
-	verbose := fs.Bool("v", false, "print the position dependency graph")
+	verbose := fs.Bool("v", false, "print the position dependency graph and the full certificate")
+	asJSON := fs.Bool("json", false, "print the report as JSON")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("termination: expected one theory file")
@@ -29,11 +33,44 @@ func cmdTermination(args []string) error {
 		return err
 	}
 	rep := termination.Analyze(th)
-	if rep.WeaklyAcyclic {
-		fmt.Println("weakly acyclic: the chase terminates on every database")
-	} else {
-		fmt.Printf("NOT weakly acyclic: value invention may loop (witness: %v -> %v, special)\n",
-			rep.Witness.From, rep.Witness.To)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("termination class: %s\n", rep.Class)
+	switch rep.Class {
+	case termination.ClassWA:
+		fmt.Printf("weakly acyclic: the restricted chase terminates on every database (max special-edge rank %d)\n", rep.Bound.MaxRank)
+		fmt.Println("a certified per-database fact bound is available (rulekit chase prints it)")
+	case termination.ClassJA:
+		fmt.Printf("NOT weakly acyclic: value invention at %v feeds back into %v\n", rep.Witness.To, rep.Witness.From)
+		fmt.Printf("jointly acyclic: no existential variable consumes its own nulls; order %s\n", evarList(rep.Certificate.Order))
+	case termination.ClassSWA:
+		fmt.Printf("NOT jointly acyclic: dependency cycle %s\n", evarList(rep.JACycle))
+		fmt.Printf("critically terminating: the all-star critical-instance chase saturates in %d facts / %d rounds — the chase (both variants) terminates on every database\n",
+			rep.Critical.Facts, rep.Critical.Rounds)
+	default:
+		fmt.Printf("no termination certificate: not weakly acyclic (witness: %v => %v, special)", rep.Witness.From, rep.Witness.To)
+		if len(rep.JACycle) > 0 {
+			fmt.Printf("; not jointly acyclic (cycle %s)", evarList(rep.JACycle))
+		}
+		fmt.Println()
+		if rep.Critical != nil {
+			switch {
+			case len(rep.Critical.LineageCycle) > 0:
+				fmt.Printf("critical-instance chase mints nulls along the cycle %s: the chase is INFINITE on the all-star instance\n",
+					evarList(rep.Critical.LineageCycle))
+			case rep.Critical.Exhausted:
+				fmt.Println("critical-instance chase exhausted its budget without a verdict")
+			}
+		}
+	}
+	if rep.Certificate != nil {
+		if err := rep.Certificate.Verify(th); err != nil {
+			return fmt.Errorf("termination: certificate failed verification: %w", err)
+		}
+		fmt.Println("certificate: verified")
 	}
 	if *verbose {
 		for _, e := range rep.Edges {
@@ -43,8 +80,24 @@ func cmdTermination(args []string) error {
 			}
 			fmt.Printf("  %v -> %v  (%s)\n", e.From, e.To, kind)
 		}
+		if rep.Certificate != nil {
+			blob, err := json.MarshalIndent(rep.Certificate, "  ", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  certificate: %s\n", blob)
+		}
 	}
 	return nil
+}
+
+// evarList renders an existential-variable sequence for messages.
+func evarList(vs []termination.EVar) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, " -> ")
 }
 
 // cmdContains decides CQ containment between two query files.

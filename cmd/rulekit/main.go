@@ -25,6 +25,7 @@ import (
 	"guardedrules/internal/datalog"
 	"guardedrules/internal/lint"
 	"guardedrules/internal/parser"
+	"guardedrules/internal/termination"
 	"guardedrules/internal/tm"
 )
 
@@ -157,16 +158,27 @@ func cmdClassify(args []string) error {
 		fmt.Println()
 	}
 	if *explain {
-		// The same explainer pass backs `rulekit lint`, so classify and
-		// lint cannot drift apart on why membership fails.
-		pass, _ := lint.Lookup("fragments")
-		diags := lint.RunPasses(th, []lint.Pass{pass})
+		// The same explainer passes back `rulekit lint`, so classify and
+		// lint cannot drift apart on why membership fails — nor on the
+		// termination verdict.
+		fragments, _ := lint.Lookup("fragments")
+		term, _ := lint.Lookup("termination")
+		lctx := &lint.Context{Theory: th}
+		diags := lint.RunWithContext(lctx, []lint.Pass{fragments, term})
 		if len(diags) > 0 {
 			fmt.Println()
 			if err := lint.WriteText(os.Stdout, lint.Findings(fs.Arg(0), diags)); err != nil {
 				return err
 			}
 		}
+		trep := lctx.Termination()
+		fmt.Printf("\ntermination class: %s", trep.Class)
+		if trep.Class.Terminating() {
+			fmt.Print(" (chase terminates; certificate machine-checkable, see rulekit termination)")
+		} else {
+			fmt.Print(" (no termination certificate)")
+		}
+		fmt.Println()
 	}
 	return nil
 }
@@ -262,6 +274,31 @@ func cmdChase(args []string) error {
 		opts.Variant = guardedrules.Oblivious
 	} else {
 		opts.Variant = guardedrules.Restricted
+	}
+	// Certified-termination reporting: with a certificate covering the
+	// requested variant (WA/JA certify the restricted chase only, the
+	// critical-instance check certifies both), announce the verdict, and
+	// for weakly acyclic theories price the derived per-database bound —
+	// replacing the engine's blanket fact default with the certified
+	// ceiling, or noting when the bound is tighter than -max-facts.
+	trep := termination.Analyze(th)
+	if trep.Class.Terminating() && (trep.Class == termination.ClassSWA || *variant != "oblivious") {
+		fmt.Fprintf(os.Stderr, "chase: termination certificate (class %s): this chase terminates on every database\n", trep.Class)
+		if trep.Bound != nil {
+			n0 := toInternal(d).InternEpoch() + len(th.Constants())
+			if bound, ok := trep.Bound.Facts(n0, d.Len()); ok {
+				fmt.Fprintf(os.Stderr, "chase: certified fact bound for this database: %d\n", bound)
+				switch {
+				case bf.maxFacts == 0 && *depth == 0:
+					// +1 headroom so a fixpoint landing exactly on the bound
+					// is not mistaken for truncation.
+					opts.MaxFacts = bound + 1
+					fmt.Fprintln(os.Stderr, "chase: running budget-free under the certified bound (engine default ceiling dropped)")
+				case bf.maxFacts > 0 && bound < bf.maxFacts:
+					fmt.Fprintf(os.Stderr, "chase: certified bound %d is tighter than -max-facts %d\n", bound, bf.maxFacts)
+				}
+			}
+		}
 	}
 	res, err := guardedrules.ChaseCtx(context.Background(), th, d, opts)
 	if err != nil && !guardedrules.IsBudgetError(err) {

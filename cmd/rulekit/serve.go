@@ -22,7 +22,7 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request engine budget (0 = request context only)")
-	maxFacts := fs.Int("max-facts", 1_000_000, "per-request derived-fact ceiling (0 = none)")
+	maxFacts := fs.Int("max-facts", 1_000_000, "per-request derived-fact ceiling for uncertified theories (0 = none; certified theories run budget-free)")
 	maxKBs := fs.Int("max-kbs", 32, "compiled-KB cache capacity")
 	maxPlans := fs.Int("max-plans", 64, "query-plan cache capacity per KB")
 	maxDBs := fs.Int("max-dbs", 32, "loaded-database cache capacity")

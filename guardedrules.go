@@ -346,6 +346,35 @@ func EvalBoolean(th *Theory, d *Database, steps int) (ok bool, err error) {
 	return ok, err
 }
 
+// TerminationReport is the acyclicity-hierarchy analysis of a theory:
+// the tightest certified class (wa ⊋ ja ⊋ swa), a machine-checkable
+// certificate, and for weakly acyclic theories the fact-bound
+// coefficients (internal/termination).
+type TerminationReport = termination.Report
+
+// TerminationClass names a certified chase-termination class.
+type TerminationClass = termination.Class
+
+// AnalyzeTermination runs the layered termination analysis: weak
+// acyclicity, joint acyclicity, and the bounded critical-instance check,
+// in that order, stopping at the tightest class that certifies. The
+// report's Certificate re-verifies against the theory without trusting
+// the analyzer; its Class covers the restricted chase variant (the
+// critical-instance class additionally covers the oblivious variant).
+func AnalyzeTermination(th *Theory) *TerminationReport { return termination.Analyze(th) }
+
+// ChaseCertified chases d to saturation with no fact or round ceiling —
+// for theories whose termination AnalyzeTermination certified. bound,
+// when positive, is the certificate's priced fact bound and is asserted:
+// failing to saturate within it is reported as a certificate violation.
+// Pass 0 when the certificate proves finiteness without pricing it.
+// Callers must use the chase variant the certificate covers (Restricted
+// for wa/ja; either for the critical-instance class).
+func ChaseCertified(th *Theory, d *Database, bound int, opts ChaseOptions) (res *ChaseResult, err error) {
+	defer recoverToError(&err)
+	return chase.RunCertified(th, d, bound, opts)
+}
+
 // ChaseTerminates reports whether the chase of th terminates on every
 // database by the weak-acyclicity criterion (sound, not complete: a false
 // answer does not prove non-termination).

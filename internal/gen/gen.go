@@ -300,3 +300,89 @@ func RandomWFGTheory(rules int, seed int64) *core.Theory {
 	}
 	return th
 }
+
+// JANotWATheory builds an n-stage theory that is jointly acyclic but not
+// weakly acyclic: the stages form a special-edge cycle
+// (A0,1) ⇒ (R0,2) → (A1,1) ⇒ … → (A0,1) in the position dependency
+// graph, but the EDB-only side condition B{i} blocks the Move-set
+// closure, so no existential variable depends on another. The restricted
+// chase terminates on every database (B is never derived, so each null
+// dies at the B-join).
+func JANotWATheory(n int) *core.Theory {
+	if n < 1 {
+		n = 1
+	}
+	x, y, v := core.Var("X"), core.Var("Y"), core.Var("V")
+	th := core.NewTheory()
+	for i := 0; i < n; i++ {
+		a, r, b := fmt.Sprintf("A%d", i), fmt.Sprintf("R%d", i), fmt.Sprintf("B%d", i)
+		next := fmt.Sprintf("A%d", (i+1)%n)
+		mint := core.NewRule(
+			[]core.Atom{core.NewAtom(a, x)},
+			[]core.Term{v},
+			core.NewAtom(r, x, v))
+		mint.Label = fmt.Sprintf("mint%d", i)
+		feed := core.NewRule(
+			[]core.Atom{core.NewAtom(r, x, y), core.NewAtom(b, y)},
+			nil,
+			core.NewAtom(next, y))
+		feed.Label = fmt.Sprintf("feed%d", i)
+		th.Add(mint, feed)
+	}
+	return th
+}
+
+// SWANotJATheory builds n independent copies of a theory that fails
+// joint acyclicity but whose critical-instance chase saturates: the swap
+// rule R(x,y) → R(y,x) drags both R positions (and via the diagonal rule
+// (A,1)) into Move(V), closing the dependency V ⇝ V — yet no chase ever
+// derives R(t,t) for a null t, so the feedback never realizes and the
+// chase of every database is finite.
+func SWANotJATheory(n int) *core.Theory {
+	if n < 1 {
+		n = 1
+	}
+	x, y, v := core.Var("X"), core.Var("Y"), core.Var("V")
+	th := core.NewTheory()
+	for i := 0; i < n; i++ {
+		a, r := fmt.Sprintf("A%d", i), fmt.Sprintf("R%d", i)
+		mint := core.NewRule(
+			[]core.Atom{core.NewAtom(a, x)},
+			[]core.Term{v},
+			core.NewAtom(r, x, v))
+		mint.Label = fmt.Sprintf("mint%d", i)
+		swap := core.NewRule(
+			[]core.Atom{core.NewAtom(r, x, y)},
+			nil,
+			core.NewAtom(r, y, x))
+		swap.Label = fmt.Sprintf("swap%d", i)
+		diag := core.NewRule(
+			[]core.Atom{core.NewAtom(r, x, x)},
+			nil,
+			core.NewAtom(a, x))
+		diag.Label = fmt.Sprintf("diag%d", i)
+		th.Add(mint, swap, diag)
+	}
+	return th
+}
+
+// WAChainTheory builds a weakly acyclic chain of n value inventions
+// S{i}(x,y) → ∃v S{i+1}(y,v): the position (S{i},2) has rank i, so the
+// maximum rank (and with it the derived fact-bound degree) grows with n.
+// Used by the analyzer benchmarks and the bound tests.
+func WAChainTheory(n int) *core.Theory {
+	if n < 1 {
+		n = 1
+	}
+	x, y, v := core.Var("X"), core.Var("Y"), core.Var("V")
+	th := core.NewTheory()
+	for i := 0; i < n; i++ {
+		r := core.NewRule(
+			[]core.Atom{core.NewAtom(fmt.Sprintf("S%d", i), x, y)},
+			[]core.Term{v},
+			core.NewAtom(fmt.Sprintf("S%d", i+1), y, v))
+		r.Label = fmt.Sprintf("chain%d", i)
+		th.Add(r)
+	}
+	return th
+}

@@ -1,0 +1,157 @@
+package kbcache
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"guardedrules/internal/budget"
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/termination"
+)
+
+// jaSource is jointly acyclic but not weakly acyclic — the invented
+// values at (R,2),(R,3) flow into S and back into P, but only through
+// the EDB guard B — and its S-composition rule keeps it outside every
+// translatable fragment, so the certificate is what makes it exactly
+// servable.
+const jaSource = `
+	P(X) -> exists Y,Z. R(X,Y,Z).
+	R(X,Y,Z) -> S(Y,Z).
+	S(Y,Z), S(Z,W) -> S(Y,W).
+	S(Y,Z), B(Y) -> P(Y).
+`
+
+func jaFacts(n int) *database.Database {
+	d := database.New()
+	for i := 0; i < n; i++ {
+		d.Add(core.NewAtom("P", core.Const(fmt.Sprintf("a%d", i))))
+		if i%2 == 0 {
+			d.Add(core.NewAtom("B", core.Const(fmt.Sprintf("a%d", i))))
+		}
+		d.Add(core.NewAtom("S", core.Const(fmt.Sprintf("a%d", i)), core.Const(fmt.Sprintf("a%d", (i+1)%n))))
+	}
+	return d
+}
+
+// A JA-but-not-WA theory is served certified: default queries chase to
+// saturation with no fact ceiling and are exact, and agree byte for byte
+// with the bounded fallback wherever the fallback completes.
+func TestCertifiedRoutingAndDifferentialAnswers(t *testing.T) {
+	s := NewStore(Config{})
+	ckb := mustRegister(t, s, jaSource)
+	if ckb.Mode != ModeCertified {
+		t.Fatalf("mode = %v, want certified", ckb.Mode)
+	}
+	if ckb.Termination.Class != termination.ClassJA {
+		t.Fatalf("class = %v, want ja", ckb.Termination.Class)
+	}
+	if err := ckb.Termination.Certificate.Verify(ckb.Theory); err != nil {
+		t.Fatalf("served certificate must verify: %v", err)
+	}
+
+	d := jaFacts(8)
+	q := mustCQ(t, "P(X) -> Ans(X).")
+	certified, err := ckb.AnswerCQ(q, d, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !certified.Exact {
+		t.Fatal("certified answers must be exact")
+	}
+	if got := s.Metrics().CertifiedRuns.Load(); got != 1 {
+		t.Fatalf("certified runs = %d, want 1", got)
+	}
+
+	// The bounded fallback: an explicit budget generous enough to
+	// saturate routes around the certified path.
+	bounded, err := ckb.AnswerCQ(q, d, QueryOptions{
+		Budget: &budget.T{Timeout: 30 * time.Second, MaxFacts: 100_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounded.Exact {
+		t.Fatal("the generous bounded run must also saturate")
+	}
+	if !reflect.DeepEqual(certified.Answers, bounded.Answers) {
+		t.Fatalf("certified and bounded answers diverge:\n%v\nvs\n%v", certified.Answers, bounded.Answers)
+	}
+	if got := s.Metrics().CertifiedRuns.Load(); got != 1 {
+		t.Fatal("an explicitly budgeted query must not use the certified path")
+	}
+
+	// Atomic queries route through the same certified CQ path.
+	atomRes, err := ckb.AnswerAtom(core.NewAtom("P", core.Var("X")), d, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atomRes.Exact || len(atomRes.Answers) != len(certified.Answers) {
+		t.Fatalf("atom path: exact=%v n=%d, want exact with %d answers",
+			atomRes.Exact, len(atomRes.Answers), len(certified.Answers))
+	}
+}
+
+// A weakly acyclic chase-mode KB prices its run with the certified fact
+// bound, and the run stays within it.
+func TestCertifiedWABoundAsserted(t *testing.T) {
+	s := NewStore(Config{})
+	ckb := mustRegister(t, s, wgSource)
+	if ckb.Mode != ModeCertified || ckb.Termination.Bound == nil {
+		t.Fatalf("wg source must be certified wa with a bound (mode %v)", ckb.Mode)
+	}
+	d := database.New()
+	for i := 0; i < 5; i++ {
+		d.Add(core.NewAtom("P", core.Const(fmt.Sprintf("p%d", i))))
+	}
+	// Ground R facts give S ground certain answers (null-valued S tuples
+	// are correctly excluded by the ACDom guard of the query rule).
+	d.Add(core.NewAtom("R", core.Const("p0"), core.Const("u"), core.Const("v")))
+	res, err := ckb.AnswerCQ(mustCQ(t, "S(Y,Z) -> Ans(Y,Z)."), d, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || len(res.Answers) == 0 {
+		t.Fatalf("certified wa query must return exact nonempty answers, got %d (exact=%v)", len(res.Answers), res.Exact)
+	}
+	if got := s.Metrics().Snapshot()["termination_class_wa"]; got != 1 {
+		t.Fatalf("termination_class_wa = %d, want 1", got)
+	}
+}
+
+// A diverging theory stays in bounded chase mode: no certificate, no
+// budget-free serving.
+func TestUncertifiedStaysBounded(t *testing.T) {
+	// A shallow default depth keeps the diverging chase cheap.
+	s := NewStore(Config{DefaultChaseDepth: 2})
+	// Nulls feed straight back into the minting rule's frontier, and the
+	// composition rule keeps the theory outside the translatable
+	// fragments — so the KB really serves by bounded chase.
+	ckb := mustRegister(t, s, `
+		S(Y,Z), S(Z,W) -> S(Y,W).
+		S(Y,Z) -> exists W. S(Z,W).
+	`)
+	if ckb.Mode != ModeChase {
+		t.Fatalf("diverging theory must stay in chase mode, got %v", ckb.Mode)
+	}
+	if ckb.Termination.Class.Terminating() {
+		t.Fatalf("diverging theory certified as %v", ckb.Termination.Class)
+	}
+	d := database.New()
+	d.Add(core.NewAtom("S", core.Const("a"), core.Const("b")))
+	res, err := ckb.AnswerCQ(mustCQ(t, "S(X,Y) -> Ans(X,Y)."), d, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("a depth-bounded run over a diverging theory must not claim exactness")
+	}
+	if got := s.Metrics().CertifiedRuns.Load(); got != 0 {
+		t.Fatalf("certified runs = %d, want 0", got)
+	}
+	if got := s.Metrics().Snapshot()["termination_class_unknown"]; got != 1 {
+		t.Fatalf("termination_class_unknown = %d, want 1", got)
+	}
+}

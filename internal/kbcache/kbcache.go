@@ -34,6 +34,7 @@ import (
 	"guardedrules/internal/parser"
 	"guardedrules/internal/rewrite"
 	"guardedrules/internal/saturate"
+	"guardedrules/internal/termination"
 )
 
 // Mode says how a compiled KB answers queries.
@@ -53,6 +54,11 @@ const (
 	// queries run a bounded chase per call — sound always, exact exactly
 	// when the chase saturates.
 	ModeChase
+	// ModeCertified: like ModeChase, but a termination certificate
+	// (internal/termination) proves the chase finite, so default queries
+	// run it to saturation with no fact ceiling and every answer is
+	// exact.
+	ModeCertified
 )
 
 func (m Mode) String() string {
@@ -63,6 +69,8 @@ func (m Mode) String() string {
 		return "translated"
 	case ModeChase:
 		return "chase"
+	case ModeCertified:
+		return "certified"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -210,6 +218,10 @@ type CompiledKB struct {
 	Lint []lint.Diagnostic
 	// Class is the fragment classification (Figure 1).
 	Class *classify.Report
+	// Termination is the chase-termination report: acyclicity hierarchy
+	// verdict, certificate, and (for weakly acyclic theories) the
+	// fact-bound coefficients. Shared with the lint pass — computed once.
+	Termination *termination.Report
 	// Mode says how queries are answered.
 	Mode Mode
 	// Chain documents the compilation chain, one step per line.
@@ -239,15 +251,19 @@ func (s *Store) compile(id, src string) (*CompiledKB, error) {
 	if len(th.Rules) == 0 {
 		return nil, fmt.Errorf("kbcache: theory has no rules")
 	}
+	lctx := &lint.Context{Theory: th}
 	kb := &CompiledKB{
 		ID:      id,
 		Source:  src,
 		Theory:  th,
-		Lint:    lint.Run(th),
+		Lint:    lint.RunWithContext(lctx, lint.Registry()),
 		Class:   classify.Classify(th),
 		cfg:     s.cfg,
 		metrics: s.metrics,
 	}
+	// The lint termination pass already ran the full analysis; reuse it.
+	kb.Termination = lctx.Termination()
+	s.metrics.countTermination(kb.Termination.Class)
 	kb.plans = lru.New[*plan](s.cfg.maxPlans())
 
 	bud := s.compileBudget()
@@ -301,6 +317,13 @@ func (s *Store) compile(id, src string) (*CompiledKB, error) {
 	default:
 		kb.Mode = ModeChase
 		kb.Chain = []string{"no complete Datalog translation for this fragment; per-query bounded chase (Section 7)"}
+	}
+	// A termination certificate upgrades any chase-mode KB (fragment
+	// default or translation fallback) to budget-free certified serving.
+	if kb.Mode == ModeChase && kb.Termination.Class.Terminating() {
+		kb.Mode = ModeCertified
+		kb.Chain = append(kb.Chain, fmt.Sprintf(
+			"termination certificate (class %s): per-query chase runs to saturation, budget-free", kb.Termination.Class))
 	}
 	return kb, nil
 }

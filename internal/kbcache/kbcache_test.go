@@ -13,6 +13,7 @@ import (
 	"guardedrules/internal/gen"
 	"guardedrules/internal/kb"
 	"guardedrules/internal/parser"
+	"guardedrules/internal/termination"
 )
 
 // e5Source is the Experiment 5 theory: a nearly guarded mix of guarded
@@ -84,9 +85,14 @@ func TestRegisterModesAndCaching(t *testing.T) {
 	if ng.Program() == nil || len(ng.Chain) == 0 {
 		t.Fatal("translated KB must carry dat(Σ) and its chain")
 	}
+	// wgSource has no Datalog translation, but it is weakly acyclic, so
+	// the termination certificate upgrades it to budget-free serving.
 	wg := mustRegister(t, s, wgSource)
-	if wg.Mode != ModeChase {
-		t.Fatalf("weakly guarded source compiled in mode %v", wg.Mode)
+	if wg.Mode != ModeCertified {
+		t.Fatalf("weakly guarded acyclic source compiled in mode %v, want certified", wg.Mode)
+	}
+	if wg.Termination == nil || wg.Termination.Class != termination.ClassWA || wg.Termination.Certificate == nil {
+		t.Fatalf("certified KB must carry the wa report, got %+v", wg.Termination)
 	}
 
 	again, cached, err := s.Register(e5Source)

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"guardedrules/internal/datalog"
+	"guardedrules/internal/termination"
 )
 
 // Metrics counts the cache and query activity of a Store. All counters
@@ -26,6 +27,14 @@ type Metrics struct {
 	Queries         atomic.Int64 // answer requests served
 	QueryErrors     atomic.Int64 // requests that failed outright
 	BudgetExhausted atomic.Int64 // requests truncated by a budget ceiling
+	CertifiedRuns   atomic.Int64 // budget-free chases under a termination certificate
+
+	// Termination-class counters: compiled KBs by the tightest class the
+	// analyzer certified at registration.
+	TerminationWA      atomic.Int64
+	TerminationJA      atomic.Int64
+	TerminationSWA     atomic.Int64
+	TerminationUnknown atomic.Int64
 
 	// Join holds the Datalog engine's join-planner counters (plans
 	// computed per round, hash tables built, probe steps planned) for
@@ -33,24 +42,43 @@ type Metrics struct {
 	Join datalog.JoinStats
 }
 
+// countTermination buckets a freshly compiled KB by certified class.
+func (m *Metrics) countTermination(c termination.Class) {
+	switch c {
+	case termination.ClassWA:
+		m.TerminationWA.Add(1)
+	case termination.ClassJA:
+		m.TerminationJA.Add(1)
+	case termination.ClassSWA:
+		m.TerminationSWA.Add(1)
+	default:
+		m.TerminationUnknown.Add(1)
+	}
+}
+
 // Snapshot renders the counters as a flat map, for /metrics endpoints
 // and tests.
 func (m *Metrics) Snapshot() map[string]int64 {
 	return map[string]int64{
-		"compile_hits":     m.CompileHits.Load(),
-		"compile_misses":   m.CompileMisses.Load(),
-		"compile_dedup":    m.CompileDedup.Load(),
-		"compile_errors":   m.CompileErrors.Load(),
-		"kb_evictions":     m.KBEvictions.Load(),
-		"plan_hits":        m.PlanHits.Load(),
-		"plan_misses":      m.PlanMisses.Load(),
-		"plan_evictions":   m.PlanEvictions.Load(),
-		"translations":     m.Translations.Load(),
-		"queries":          m.Queries.Load(),
-		"query_errors":     m.QueryErrors.Load(),
-		"budget_exhausted": m.BudgetExhausted.Load(),
-		"join_round_plans": m.Join.RoundPlans.Load(),
-		"join_hash_tables": m.Join.HashTables.Load(),
-		"join_probe_steps": m.Join.ProbeSteps.Load(),
+		"compile_hits":              m.CompileHits.Load(),
+		"compile_misses":            m.CompileMisses.Load(),
+		"compile_dedup":             m.CompileDedup.Load(),
+		"compile_errors":            m.CompileErrors.Load(),
+		"kb_evictions":              m.KBEvictions.Load(),
+		"plan_hits":                 m.PlanHits.Load(),
+		"plan_misses":               m.PlanMisses.Load(),
+		"plan_evictions":            m.PlanEvictions.Load(),
+		"translations":              m.Translations.Load(),
+		"queries":                   m.Queries.Load(),
+		"query_errors":              m.QueryErrors.Load(),
+		"budget_exhausted":          m.BudgetExhausted.Load(),
+		"certified_runs":            m.CertifiedRuns.Load(),
+		"termination_class_wa":      m.TerminationWA.Load(),
+		"termination_class_ja":      m.TerminationJA.Load(),
+		"termination_class_swa":     m.TerminationSWA.Load(),
+		"termination_class_unknown": m.TerminationUnknown.Load(),
+		"join_round_plans":          m.Join.RoundPlans.Load(),
+		"join_hash_tables":          m.Join.HashTables.Load(),
+		"join_probe_steps":          m.Join.ProbeSteps.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package kbcache
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -15,6 +16,7 @@ import (
 	"guardedrules/internal/parser"
 	"guardedrules/internal/rewrite"
 	"guardedrules/internal/saturate"
+	"guardedrules/internal/termination"
 )
 
 // planKind says how a cached plan evaluates.
@@ -44,6 +46,15 @@ type plan struct {
 	queryRel string           // relation whose tuples are the answers
 	attached *core.Theory     // planChase: Σ ∪ {query rule}
 	chain    []string         // how the plan was built, for diagnostics
+
+	// Certified-termination routing (planChase only): when the attached
+	// theory carries a termination certificate, default queries run the
+	// chase to saturation with no fact ceiling. class is the certified
+	// class; bound prices the ceiling for weakly acyclic theories (nil
+	// when the certificate proves finiteness without pricing it).
+	certified bool
+	class     termination.Class
+	bound     *termination.Bound
 }
 
 // QueryOptions governs one answer call.
@@ -213,13 +224,32 @@ func (ckb *CompiledKB) buildCQPlan(q kb.CQ) (*plan, error) {
 	case ModeTranslated:
 		return ckb.buildTranslatedCQPlan(attached)
 	default:
-		return &plan{
-			kind:     planChase,
-			attached: attached,
-			queryRel: kb.QueryRel,
-			chain:    []string{"query rule attached; bounded chase per call"},
-		}, nil
+		return ckb.buildChasePlan(attached, "query rule attached; bounded chase per call"), nil
 	}
+}
+
+// buildChasePlan builds a per-call chase plan over the attached theory,
+// promoting it to certified (budget-free) serving when the attached
+// theory carries a termination certificate. The analysis runs on Σ ∪
+// {query rule}, not Σ: the query rule's QAns positions are pure sinks,
+// so a certified Σ stays certified, but re-deriving the certificate on
+// the theory that is actually chased keeps the routing honest.
+func (ckb *CompiledKB) buildChasePlan(attached *core.Theory, why string) *plan {
+	p := &plan{
+		kind:     planChase,
+		attached: attached,
+		queryRel: kb.QueryRel,
+		chain:    []string{why},
+	}
+	rep := termination.Analyze(attached)
+	if rep.Class.Terminating() {
+		p.certified = true
+		p.class = rep.Class
+		p.bound = rep.Bound
+		p.chain = append(p.chain, fmt.Sprintf(
+			"termination certificate (class %s): default calls chase to saturation, budget-free", rep.Class))
+	}
+	return p
 }
 
 // buildTranslatedCQPlan translates the attached theory to Datalog when
@@ -246,20 +276,10 @@ func (ckb *CompiledKB) buildTranslatedCQPlan(attached *core.Theory) (*plan, erro
 		}
 		chain = []string{"query rule attached (stays nearly frontier-guarded)", "rew(Σ∪q) (Theorem 1)", "dat(rew(Σ∪q)) saturated (Proposition 6)"}
 	default:
-		return &plan{
-			kind:     planChase,
-			attached: attached,
-			queryRel: kb.QueryRel,
-			chain:    []string{"query rule leaves the translatable fragments; bounded chase per call"},
-		}, nil
+		return ckb.buildChasePlan(attached, "query rule leaves the translatable fragments; bounded chase per call"), nil
 	}
 	if err != nil {
-		return &plan{
-			kind:     planChase,
-			attached: attached,
-			queryRel: kb.QueryRel,
-			chain:    []string{"translation aborted (" + err.Error() + "); bounded chase per call"},
-		}, nil
+		return ckb.buildChasePlan(attached, "translation aborted ("+err.Error()+"); bounded chase per call"), nil
 	}
 	ckb.metrics.Translations.Add(1)
 	prog, err := datalog.Compile(dat)
@@ -276,7 +296,7 @@ func (ckb *CompiledKB) buildTranslatedCQPlan(attached *core.Theory) (*plan, erro
 // base program is complete for atomic queries); chase-mode KBs delegate
 // to the CQ path.
 func (ckb *CompiledKB) AnswerAtom(query core.Atom, d *database.Database, opts QueryOptions) (*QueryResult, error) {
-	if ckb.Mode == ModeChase {
+	if ckb.Mode == ModeChase || ckb.Mode == ModeCertified {
 		return ckb.answerAtomByCQ(query, d, opts)
 	}
 	ckb.metrics.Queries.Add(1)
@@ -331,8 +351,16 @@ func (ckb *CompiledKB) evalPlan(p *plan, d *database.Database, opts QueryOptions
 			Workers:  opts.Workers,
 			Budget:   opts.Budget,
 		}
-		if copts.MaxDepth == 0 && copts.Budget == nil {
-			copts.MaxDepth = ckb.cfg.chaseDepth()
+		if copts.MaxDepth == 0 {
+			// Certified serving engages unless the caller asked for a real
+			// ceiling: a context or timeout is cancellation, not a bound,
+			// and RunCertified honors it.
+			if p.certified && !bounding(copts.Budget) {
+				return ckb.evalCertified(p, d, copts)
+			}
+			if copts.Budget == nil {
+				copts.MaxDepth = ckb.cfg.chaseDepth()
+			}
 		}
 		res, err := chase.Run(p.attached, d, copts)
 		if err != nil {
@@ -370,6 +398,56 @@ func (ckb *CompiledKB) evalPlan(p *plan, d *database.Database, opts QueryOptions
 			Chain:   p.chain,
 		}, nil
 	}
+}
+
+// evalCertified runs a certified chase plan to saturation with no fact
+// ceiling: the termination certificate proves the fixpoint finite, so
+// the answer is always exact. WA and JA certificates cover the
+// restricted variant only (the fresh-null oblivious chase can diverge on
+// them), so those runs are forced to chase.Restricted — sound and
+// complete regardless of the requested variant, because every saturated
+// chase is a universal model and QAns answers are ground. For weakly
+// acyclic theories the certificate also prices an exact fact bound,
+// which the run asserts; when the closed form overflows the run is
+// merely unpriced, not bounded.
+func (ckb *CompiledKB) evalCertified(p *plan, d *database.Database, copts chase.Options) (*QueryResult, error) {
+	if p.class != termination.ClassSWA {
+		copts.Variant = chase.Restricted
+	}
+	bound := 0
+	if p.bound != nil {
+		n0 := d.InternEpoch() + len(p.attached.Constants())
+		if b, ok := p.bound.Facts(n0, d.Len()); ok {
+			bound = b
+		}
+	}
+	ckb.metrics.CertifiedRuns.Add(1)
+	res, err := chase.RunCertified(p.attached, d, bound, copts)
+	if err != nil {
+		// Cancellation or timeout mid-run: the partial answers are sound,
+		// exactly as on the bounded path.
+		if budget.IsBudget(err) && res != nil {
+			ckb.metrics.BudgetExhausted.Add(1)
+			return &QueryResult{
+				Answers: datalog.CollectAnswers(res.DB, p.queryRel),
+				Chain:   p.chain,
+			}, err
+		}
+		ckb.metrics.QueryErrors.Add(1)
+		return nil, err
+	}
+	return &QueryResult{
+		Answers: datalog.CollectAnswers(res.DB, p.queryRel),
+		Exact:   true,
+		Chain:   p.chain,
+	}, nil
+}
+
+// bounding reports whether the budget imposes an actual work ceiling —
+// a context or timeout alone is cancellation and leaves certified
+// serving eligible.
+func bounding(b *budget.T) bool {
+	return b != nil && (b.MaxFacts > 0 || b.MaxRules > 0 || b.MaxRounds > 0 || b.MaxSteps > 0 || b.FailAtCheckpoint > 0)
 }
 
 // evalAtomPlan runs an atom plan: magic plans get a fresh seed from the

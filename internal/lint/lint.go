@@ -22,6 +22,7 @@ import (
 
 	"guardedrules/internal/classify"
 	"guardedrules/internal/core"
+	"guardedrules/internal/termination"
 )
 
 // Severity orders diagnostics: Info notes a property (e.g. a fragment the
@@ -93,9 +94,14 @@ type Detail struct {
 	Positions []string `json:"positions,omitempty"`
 	// Relations are the offending relation names.
 	Relations []string `json:"relations,omitempty"`
-	// Cycle is an offending cycle, through relations (stratification) or
-	// positions (weak acyclicity), with the first element repeated last.
+	// Cycle is an offending cycle, through relations (stratification),
+	// positions (weak acyclicity) or existential variables (joint
+	// acyclicity, critical-instance lineage), with the first element
+	// repeated last.
 	Cycle []string `json:"cycle,omitempty"`
+	// Certificate is the machine-checkable termination witness behind a
+	// TM002-TM004 verdict (termination.Certificate.Verify re-checks it).
+	Certificate *termination.Certificate `json:"certificate,omitempty"`
 }
 
 // Diagnostic is one finding of a pass.
@@ -137,6 +143,8 @@ type Context struct {
 
 	ap     classify.PosSet
 	apDone bool
+
+	term *termination.Report
 }
 
 // AP returns the affected positions of the theory (Definition 2),
@@ -149,6 +157,17 @@ func (c *Context) AP() classify.PosSet {
 	return c.ap
 }
 
+// Termination returns the full acyclicity-hierarchy report of the
+// theory, computed lazily and shared by all passes — and by callers
+// (internal/kbcache) that run lint via RunWithContext and then want the
+// verdict without re-analyzing.
+func (c *Context) Termination() *termination.Report {
+	if c.term == nil {
+		c.term = termination.Analyze(c.Theory)
+	}
+	return c.term
+}
+
 // Registry returns the built-in passes in their canonical order.
 func Registry() []Pass {
 	return []Pass{
@@ -157,7 +176,7 @@ func Registry() []Pass {
 		{Name: "variables", Doc: "singleton variables and near-miss variable names — VAR001, VAR002", Run: runVariables},
 		{Name: "predicates", Doc: "relation shape, case consistency, unused and negation-only relations — PRED001..PRED004", Run: runPredicates},
 		{Name: "stratify", Doc: "stratifiability of negation (Definition 22) — ST001", Run: runStratify},
-		{Name: "termination", Doc: "weak-acyclicity chase-termination risk — TM001", Run: runTermination},
+		{Name: "termination", Doc: "chase-termination hierarchy: weak/joint acyclicity and the critical-instance check, with certificates — TM001..TM005", Run: runTermination},
 	}
 }
 
@@ -180,7 +199,13 @@ func Run(th *core.Theory) []Diagnostic {
 
 // RunPasses analyzes the theory with the given passes.
 func RunPasses(th *core.Theory, passes []Pass) []Diagnostic {
-	ctx := &Context{Theory: th}
+	return RunWithContext(&Context{Theory: th}, passes)
+}
+
+// RunWithContext analyzes ctx.Theory with the given passes, letting the
+// caller keep the Context — and with it the shared analyses (AP,
+// Termination) the passes computed.
+func RunWithContext(ctx *Context, passes []Pass) []Diagnostic {
 	var out []Diagnostic
 	for _, p := range passes {
 		out = append(out, p.Run(ctx)...)

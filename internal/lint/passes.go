@@ -689,14 +689,60 @@ func cyclePath(from, to string, adj map[string][]string, comp map[string]int) []
 // termination — TM001
 
 func runTermination(ctx *Context) []Diagnostic {
-	rep := termination.Analyze(ctx.Theory)
-	if rep.WeaklyAcyclic {
-		return nil
+	rep := ctx.Termination()
+	switch rep.Class {
+	case termination.ClassWA:
+		// Datalog theories are trivially weakly acyclic; only report the
+		// certificate when the theory actually invents values.
+		var first *core.Rule
+		for _, r := range ctx.Theory.Rules {
+			if len(r.Exist) > 0 {
+				first = r
+				break
+			}
+		}
+		if first == nil {
+			return nil
+		}
+		return []Diagnostic{{
+			Code: "TM002", Severity: Info,
+			Message: fmt.Sprintf("chase terminates: the theory is weakly acyclic (max special-edge rank %d); a certified fact bound is available",
+				rep.Bound.MaxRank),
+			Rule: first.Label, Span: ruleSpan(first),
+			Detail: &Detail{Certificate: rep.Certificate},
+		}}
+	case termination.ClassJA:
+		cycle := posCycleNames(rep.WitnessCycle)
+		d := Diagnostic{
+			Code: "TM003", Severity: Info,
+			Message: fmt.Sprintf("chase terminates: the theory is jointly acyclic, though not weakly acyclic (position cycle: %s)",
+				strings.Join(cycle, " -> ")),
+			Detail: &Detail{Cycle: cycle, Certificate: rep.Certificate},
+		}
+		if rep.Witness.Rule != nil {
+			d.Rule = rep.Witness.Rule.Label
+			d.Span = ruleSpan(rep.Witness.Rule)
+		}
+		return []Diagnostic{d}
+	case termination.ClassSWA:
+		cycle := evarCycleNames(rep.JACycle)
+		d := Diagnostic{
+			Code: "TM004", Severity: Info,
+			Message: fmt.Sprintf("chase terminates on every instance (both variants): the critical-instance chase saturates in %d facts, though the theory is not jointly acyclic (dependency cycle: %s)",
+				rep.Critical.Facts, strings.Join(cycle, " -> ")),
+			Detail: &Detail{Cycle: cycle, Certificate: rep.Certificate},
+		}
+		if len(rep.JACycle) > 0 {
+			r := ctx.Theory.Rules[rep.JACycle[0].Rule]
+			d.Rule = r.Label
+			d.Span = ruleSpan(r)
+		}
+		return []Diagnostic{d}
 	}
-	cycle := make([]string, len(rep.WitnessCycle))
-	for i, p := range rep.WitnessCycle {
-		cycle[i] = p.String()
-	}
+	// No certificate. TM001 keeps its historical weak-acyclicity message;
+	// TM005 adds the critical-instance rejection witness when the chase of
+	// the all-star instance demonstrably loops on its own nulls.
+	cycle := posCycleNames(rep.WitnessCycle)
 	d := Diagnostic{
 		Code: "TM001", Severity: Warning,
 		Message: fmt.Sprintf("chase may not terminate: the theory is not weakly acyclic — value invention at %v feeds back into %v (cycle: %s)",
@@ -707,7 +753,39 @@ func runTermination(ctx *Context) []Diagnostic {
 		d.Rule = rep.Witness.Rule.Label
 		d.Span = ruleSpan(rep.Witness.Rule)
 	}
-	return []Diagnostic{d}
+	out := []Diagnostic{d}
+	if rep.Critical != nil && len(rep.Critical.LineageCycle) > 0 {
+		cyc := evarCycleNames(rep.Critical.LineageCycle)
+		d5 := Diagnostic{
+			Code: "TM005", Severity: Warning,
+			Message: fmt.Sprintf("critical-instance chase mints nulls along a cycle of existential variables (%s): the chase is infinite on the all-star instance",
+				strings.Join(cyc, " -> ")),
+			Detail: &Detail{Cycle: cyc},
+		}
+		r := ctx.Theory.Rules[rep.Critical.LineageCycle[0].Rule]
+		d5.Rule = r.Label
+		d5.Span = ruleSpan(r)
+		out = append(out, d5)
+	}
+	return out
+}
+
+// posCycleNames renders a position cycle deterministically.
+func posCycleNames(ps []classify.Position) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// evarCycleNames renders an existential-variable cycle.
+func evarCycleNames(vs []termination.EVar) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------

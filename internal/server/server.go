@@ -38,6 +38,7 @@ import (
 	"guardedrules/internal/lint"
 	"guardedrules/internal/lru"
 	"guardedrules/internal/parser"
+	"guardedrules/internal/termination"
 )
 
 // Config bounds a Server.
@@ -49,7 +50,10 @@ type Config struct {
 	// DefaultTimeout is the per-request engine budget; 0 means only the
 	// request context bounds the run.
 	DefaultTimeout time.Duration
-	// MaxFacts is the per-request derived-fact ceiling (0 = none).
+	// MaxFacts is the per-request derived-fact ceiling (0 = none). It
+	// guards uncertified evaluation only: theories compiled in
+	// ModeCertified carry a termination proof and run to saturation
+	// regardless (DefaultTimeout still applies).
 	MaxFacts int
 	// Workers is the per-round engine parallelism (0 = engine default).
 	Workers int
@@ -177,13 +181,24 @@ type theoryRequest struct {
 }
 
 type theoryResponse struct {
-	ID        string            `json:"id"`
-	Cached    bool              `json:"cached"`
-	Mode      string            `json:"mode"`
-	Fragments []string          `json:"fragments"`
-	Chain     []string          `json:"chain"`
-	Rules     int               `json:"rules"`
-	Lint      []lint.Diagnostic `json:"lint,omitempty"`
+	ID          string               `json:"id"`
+	Cached      bool                 `json:"cached"`
+	Mode        string               `json:"mode"`
+	Fragments   []string             `json:"fragments"`
+	Chain       []string             `json:"chain"`
+	Rules       int                  `json:"rules"`
+	Termination *terminationResponse `json:"termination,omitempty"`
+	Lint        []lint.Diagnostic    `json:"lint,omitempty"`
+}
+
+// terminationResponse reports the chase-termination verdict of a
+// registered theory: the tightest certified class, its machine-checkable
+// certificate, and (weakly acyclic theories) the fact-bound
+// coefficients.
+type terminationResponse struct {
+	Class       string                   `json:"class"`
+	Certificate *termination.Certificate `json:"certificate,omitempty"`
+	Bound       *termination.Bound       `json:"bound,omitempty"`
 }
 
 func (s *Server) handleTheories(w http.ResponseWriter, r *http.Request) {
@@ -208,6 +223,13 @@ func (s *Server) handleTheories(w http.ResponseWriter, r *http.Request) {
 		Chain:  ckb.Chain,
 		Rules:  len(ckb.Theory.Rules),
 		Lint:   ckb.Lint,
+	}
+	if tr := ckb.Termination; tr != nil {
+		resp.Termination = &terminationResponse{
+			Class:       tr.Class.String(),
+			Certificate: tr.Certificate,
+			Bound:       tr.Bound,
+		}
 	}
 	for _, f := range ckb.Class.Fragments() {
 		resp.Fragments = append(resp.Fragments, f.String())
@@ -305,6 +327,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Variant:  chase.Restricted,
 		MaxDepth: req.MaxDepth,
 		Budget:   s.requestBudget(r),
+	}
+	if ckb.Mode == kbcache.ModeCertified {
+		// The defensive fact ceiling guards against divergent chases; a
+		// termination certificate proves there is none, so certified
+		// theories run to saturation with only cancellation (request
+		// context, timeout) still in force.
+		opts.Budget.MaxFacts = 0
 	}
 	if req.Variant == "oblivious" {
 		opts.Variant = chase.Oblivious

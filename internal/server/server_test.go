@@ -260,3 +260,54 @@ func TestServerBudgetTruncation(t *testing.T) {
 		t.Fatal("budget exhaustion must surface in /metrics")
 	}
 }
+
+// Registering a certified-terminating theory reports its class and
+// machine-checkable certificate, serves exact answers with no explicit
+// budget, and moves the termination metrics.
+func TestServerTerminationReporting(t *testing.T) {
+	// Production default config: the defensive fact ceiling must NOT
+	// disqualify certified serving (the certificate replaces it).
+	srv := New(Config{DefaultTimeout: 10 * time.Second, MaxFacts: 1_000_000})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	var th theoryResponse
+	code := post(t, ts.URL+"/v1/theories", theoryRequest{Source: `
+		P(X) -> exists Y,Z. R(X,Y,Z).
+		R(X,Y,Z) -> S(Y,Z).
+		S(Y,Z), S(Z,W) -> S(Y,W).
+	`}, &th)
+	if code != 200 {
+		t.Fatalf("theories: status %d", code)
+	}
+	if th.Mode != "certified" {
+		t.Fatalf("mode = %q, want certified", th.Mode)
+	}
+	if th.Termination == nil || th.Termination.Class != "wa" {
+		t.Fatalf("termination report missing or wrong: %+v", th.Termination)
+	}
+	if th.Termination.Certificate == nil || len(th.Termination.Certificate.Ranks) == 0 {
+		t.Fatalf("wa registration must ship the rank certificate: %+v", th.Termination)
+	}
+	if th.Termination.Bound == nil {
+		t.Fatal("wa registration must ship the fact-bound coefficients")
+	}
+
+	var db dbResponse
+	post(t, ts.URL+"/v1/dbs", dbRequest{Facts: "P(a). P(b). R(a,u,v)."}, &db)
+	var r queryResponse
+	if code := post(t, ts.URL+"/v1/query", queryRequest{TheoryID: th.ID, DBID: db.ID, CQ: "S(Y,Z) -> Ans(Y,Z)."}, &r); code != 200 {
+		t.Fatalf("query: status %d", code)
+	}
+	if !r.Exact || r.Count == 0 {
+		t.Fatalf("certified query must be exact and nonempty: %+v", r)
+	}
+
+	var m map[string]int64
+	get(t, ts.URL+"/metrics", &m)
+	if m["termination_class_wa"] == 0 {
+		t.Fatal("termination_class_wa must surface in /metrics")
+	}
+	if m["certified_runs"] == 0 {
+		t.Fatal("certified_runs must surface in /metrics")
+	}
+}

@@ -1,0 +1,215 @@
+package termination
+
+import (
+	"math"
+
+	"guardedrules/internal/classify"
+	"guardedrules/internal/core"
+)
+
+// WA fact-bound derivation (after Fagin, Kolaitis, Miller, Popa,
+// Theorem 3.9, adapted to this engine). Under weak acyclicity every
+// position p has a finite rank: the maximum number of special edges on
+// any path of the dependency graph ending at p. A null minted at p via a
+// special edge q ⇒ p was created from frontier values at positions of
+// rank < rank(p), and the restricted chase mints at most one batch of
+// nulls per rule and frontier assignment (once the head is satisfied it
+// stays satisfied). Writing T_i for a bound on the distinct values of
+// rank ≤ i:
+//
+//	T_0     = n0 (distinct input terms plus the constants of Σ)
+//	T_{i+1} = T_i + Σ_σ |exist(σ)| · T_i^{|frontier(σ)|}
+//
+// and with r the maximum rank, every value of the chase is counted by
+// T_{r+1} — the extra wave absorbs rules with an empty frontier, whose
+// single firing mints nulls that can sit at rank-0 positions — so the
+// database can never exceed
+//
+//	inputFacts + Σ_R T_{r+1}^{width(R)} + T_{r+1}   (the last term is ACDom)
+//
+// facts. The bound certifies the Restricted variant only — the
+// fresh-null oblivious chase can mint one null per full trigger tuple,
+// not per frontier assignment, and may diverge on WA theories.
+
+// Bound carries the coefficients of the certified WA fact bound, so the
+// ceiling for a concrete database is a closed-form evaluation.
+type Bound struct {
+	// MaxRank is the maximum special-edge rank over all positions.
+	MaxRank int `json:"maxRank"`
+	// Rules holds the null-mint coefficients of each existential rule.
+	Rules []BoundRule `json:"rules,omitempty"`
+	// Widths holds the tuple width (arity + annotation arity) of every
+	// relation of the theory.
+	Widths []int `json:"widths"`
+}
+
+// BoundRule is one existential rule's contribution to the value
+// recurrence.
+type BoundRule struct {
+	// Exist is the number of nulls minted per trigger application.
+	Exist int `json:"exist"`
+	// Frontier is the number of frontier variables: the restricted chase
+	// fires the rule at most once per frontier assignment.
+	Frontier int `json:"frontier"`
+}
+
+// positionRanks computes the rank of every position occurring in the
+// graph: the maximum number of special edges on any path into it. The
+// edges must be weakly acyclic (special edges strictly increase rank, so
+// longest paths are well-defined via DFS with memoization).
+func positionRanks(edges []Edge) map[classify.Position]int {
+	type in struct {
+		from    classify.Position
+		special bool
+	}
+	preds := map[classify.Position][]in{}
+	nodes := map[classify.Position]bool{}
+	for _, e := range edges {
+		preds[e.To] = append(preds[e.To], in{e.From, e.Special})
+		nodes[e.From] = true
+		nodes[e.To] = true
+	}
+	rank := map[classify.Position]int{}
+	onStack := map[classify.Position]bool{}
+	var visit func(p classify.Position) int
+	visit = func(p classify.Position) int {
+		if r, ok := rank[p]; ok {
+			return r
+		}
+		if onStack[p] {
+			// A cycle: under WA it carries no special edge, so it cannot
+			// increase rank; break it at 0.
+			return 0
+		}
+		onStack[p] = true
+		r := 0
+		for _, e := range preds[p] {
+			pr := visit(e.from)
+			if e.special {
+				pr++
+			}
+			if pr > r {
+				r = pr
+			}
+		}
+		onStack[p] = false
+		rank[p] = r
+		return r
+	}
+	for p := range nodes {
+		visit(p)
+	}
+	return rank
+}
+
+// deriveBound assembles the fact-bound coefficients of a weakly acyclic
+// theory from its position ranks.
+func deriveBound(th *core.Theory, ranks map[classify.Position]int) *Bound {
+	b := &Bound{}
+	for _, r := range ranks {
+		if r > b.MaxRank {
+			b.MaxRank = r
+		}
+	}
+	for _, r := range th.Rules {
+		if len(r.Exist) == 0 {
+			continue
+		}
+		b.Rules = append(b.Rules, BoundRule{Exist: len(r.Exist), Frontier: len(r.FVars())})
+	}
+	for _, rk := range th.Relations() {
+		if rk.Name == core.ACDom {
+			continue
+		}
+		b.Widths = append(b.Widths, rk.Arity+rk.AnnArity)
+	}
+	return b
+}
+
+// Facts evaluates the certified ceiling for a database with n0 distinct
+// terms (input terms plus theory constants) and inputFacts input facts.
+// ok is false when the evaluation overflows — callers then fall back to
+// a default budget; a certificate that cannot be priced is not wrong,
+// merely not exact.
+func (b *Bound) Facts(n0, inputFacts int) (bound int, ok bool) {
+	if b == nil {
+		return 0, false
+	}
+	if n0 < 1 {
+		n0 = 1
+	}
+	t := n0
+	// MaxRank+1 waves: see the package comment (empty-frontier rules).
+	for i := 0; i <= b.MaxRank; i++ {
+		minted := 0
+		for _, r := range b.Rules {
+			p, ok := powChecked(t, r.Frontier)
+			if !ok {
+				return 0, false
+			}
+			m, ok := mulChecked(r.Exist, p)
+			if !ok {
+				return 0, false
+			}
+			minted, ok = addChecked(minted, m)
+			if !ok {
+				return 0, false
+			}
+		}
+		var okAdd bool
+		t, okAdd = addChecked(t, minted)
+		if !okAdd {
+			return 0, false
+		}
+	}
+	total := inputFacts
+	for _, w := range b.Widths {
+		p, ok := powChecked(t, w)
+		if !ok {
+			return 0, false
+		}
+		total, ok = addChecked(total, p)
+		if !ok {
+			return 0, false
+		}
+	}
+	// ACDom holds one fact per active-domain term.
+	total, ok = addChecked(total, t)
+	if !ok {
+		return 0, false
+	}
+	return total, true
+}
+
+const boundCeiling = math.MaxInt64 / 4
+
+func addChecked(a, b int) (int, bool) {
+	s := a + b
+	if s < a || s > boundCeiling {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulChecked(a, b int) (int, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/a != b || p > boundCeiling {
+		return 0, false
+	}
+	return p, true
+}
+
+func powChecked(base, exp int) (int, bool) {
+	p := 1
+	for i := 0; i < exp; i++ {
+		var ok bool
+		p, ok = mulChecked(p, base)
+		if !ok {
+			return 0, false
+		}
+	}
+	return p, true
+}

@@ -1,0 +1,154 @@
+package termination
+
+import (
+	"fmt"
+
+	"guardedrules/internal/budget"
+	"guardedrules/internal/classify"
+	"guardedrules/internal/core"
+)
+
+// Certificate is the machine-checkable witness behind a termination
+// verdict. It is self-contained modulo the theory: Verify re-derives the
+// relevant graph from the theory and checks the witness against it
+// without trusting the analyzer that produced it.
+//
+//   - wa: Ranks is a potential function over positions — regular edges
+//     are rank-non-decreasing and special edges rank-increasing, which
+//     is exactly the statement that no special edge lies on a cycle.
+//   - ja: Order is a topological order of the existential-variable
+//     dependency graph.
+//   - swa: CriticalFacts/Steps/Rounds snapshot the saturated
+//     critical-instance chase; Verify replays it under that ceiling.
+type Certificate struct {
+	Class string `json:"class"`
+
+	// Ranks (wa): every position of the dependency graph with its rank.
+	Ranks []PosRank `json:"ranks,omitempty"`
+
+	// Order (ja): all existential variables in dependency order.
+	Order []EVar `json:"order,omitempty"`
+
+	// Critical-instance snapshot (swa).
+	CriticalFacts  int `json:"criticalFacts,omitempty"`
+	CriticalSteps  int `json:"criticalSteps,omitempty"`
+	CriticalRounds int `json:"criticalRounds,omitempty"`
+}
+
+// PosRank assigns a rank to one position, in Position.String() form
+// ("(Rel,i)", 1-based).
+type PosRank struct {
+	Pos  string `json:"pos"`
+	Rank int    `json:"rank"`
+}
+
+// waCertificate renders the rank map deterministically.
+func waCertificate(ranks map[classify.Position]int) *Certificate {
+	ps := make([]classify.Position, 0, len(ranks))
+	for p := range ranks {
+		ps = append(ps, p)
+	}
+	sortPositions(ps)
+	c := &Certificate{Class: ClassWA.String()}
+	for _, p := range ps {
+		c.Ranks = append(c.Ranks, PosRank{Pos: p.String(), Rank: ranks[p]})
+	}
+	return c
+}
+
+func sortPositions(ps []classify.Position) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && lessPos(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// Verify checks the certificate against the theory. A nil error means
+// the witness proves the claimed class for th.
+func (c *Certificate) Verify(th *core.Theory) error {
+	if c == nil {
+		return fmt.Errorf("termination: nil certificate")
+	}
+	switch c.Class {
+	case ClassWA.String():
+		return c.verifyWA(th)
+	case ClassJA.String():
+		return c.verifyJA(th)
+	case ClassSWA.String():
+		return c.verifySWA(th)
+	}
+	return fmt.Errorf("termination: unknown certificate class %q", c.Class)
+}
+
+// verifyWA checks that Ranks is a valid potential function for the
+// theory's dependency graph.
+func (c *Certificate) verifyWA(th *core.Theory) error {
+	rank := make(map[string]int, len(c.Ranks))
+	for _, pr := range c.Ranks {
+		rank[pr.Pos] = pr.Rank
+	}
+	edges := AnalyzeOpts(th, Options{SkipCritical: true}).Edges
+	for _, e := range edges {
+		rf, okF := rank[e.From.String()]
+		rt, okT := rank[e.To.String()]
+		if !okF || !okT {
+			return fmt.Errorf("termination: wa certificate misses position %v or %v", e.From, e.To)
+		}
+		if e.Special {
+			if rt < rf+1 {
+				return fmt.Errorf("termination: wa certificate violated by special edge %v => %v (rank %d => %d)", e.From, e.To, rf, rt)
+			}
+		} else if rt < rf {
+			return fmt.Errorf("termination: wa certificate violated by edge %v -> %v (rank %d -> %d)", e.From, e.To, rf, rt)
+		}
+	}
+	return nil
+}
+
+// verifyJA checks that Order is a topological order of the recomputed
+// existential-variable dependency graph.
+func (c *Certificate) verifyJA(th *core.Theory) error {
+	pos := make(map[EVar]int, len(c.Order))
+	for i, v := range c.Order {
+		if _, dup := pos[v]; dup {
+			return fmt.Errorf("termination: ja certificate lists %v twice", v)
+		}
+		pos[v] = i
+	}
+	n := 0
+	for i, r := range th.Rules {
+		for _, y := range r.Exist {
+			n++
+			if _, ok := pos[EVar{Rule: i, Var: y.Name}]; !ok {
+				return fmt.Errorf("termination: ja certificate misses existential variable r%d.%s", i, y.Name)
+			}
+		}
+	}
+	if n != len(c.Order) {
+		return fmt.Errorf("termination: ja certificate lists %d variables, theory has %d", len(c.Order), n)
+	}
+	for _, d := range jaDependencies(th) {
+		if pos[d[0]] >= pos[d[1]] {
+			return fmt.Errorf("termination: ja certificate order violated by dependency %v => %v", d[0], d[1])
+		}
+	}
+	return nil
+}
+
+// verifySWA replays the critical-instance chase under the certified fact
+// ceiling (+1 of headroom, so the engine's pre-application cap check
+// never fires on already-memoized triggers) and requires saturation.
+func (c *Certificate) verifySWA(th *core.Theory) error {
+	if c.CriticalFacts <= 0 {
+		return fmt.Errorf("termination: swa certificate has no critical fact count")
+	}
+	rep := criticalCheck(th, &budget.T{MaxFacts: c.CriticalFacts + 1, MaxSteps: c.CriticalSteps + 1})
+	if !rep.Terminates {
+		return fmt.Errorf("termination: critical-instance chase did not saturate within the certified ceiling (%d facts)", c.CriticalFacts)
+	}
+	if rep.Facts > c.CriticalFacts {
+		return fmt.Errorf("termination: critical-instance chase used %d facts, certificate claims %d", rep.Facts, c.CriticalFacts)
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package termination
+
+import (
+	"context"
+
+	"guardedrules/internal/budget"
+	"guardedrules/internal/chase"
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+)
+
+// Default deterministic ceilings of the critical-instance chase. Fact
+// and step ceilings (not wall-clock) keep the verdict machine- and
+// load-independent.
+const (
+	defaultCriticalFacts = 20_000
+	defaultCriticalSteps = 200_000
+)
+
+// CriticalReport is the outcome of the MFA-style critical-instance
+// check: the engine's own oblivious chase run on the critical instance
+// (every relation of Σ filled with one fresh constant, plus the
+// constants of Σ) under a deterministic budget.
+type CriticalReport struct {
+	// Terminates reports that the critical chase saturated: the chase of
+	// every database is then finite (both variants; see the package
+	// comment for the homomorphism argument).
+	Terminates bool
+	// Facts is the final database size of the saturated critical chase
+	// (input facts included); Steps and Rounds are the engine counters.
+	// Meaningful when Terminates.
+	Facts, Steps, Rounds int
+	// Exhausted reports that the budget ran out before saturation and
+	// before any lineage cycle: the verdict is unknown.
+	Exhausted bool
+	// LineageCycle, when non-nil, is the rejection witness: a chain of
+	// existential-variable origins o_0 → … → o_k with o_0 = o_k, realized
+	// by nulls (CycleNulls) in which each null's creating trigger matched
+	// the previous null. The criterion is then definitively refuted (for
+	// negation-free theories the chase itself is infinite in all
+	// practical cases; with negation the cycle is still reported as the
+	// reason the check rejects).
+	LineageCycle []EVar
+	// CycleNulls are the null names realizing LineageCycle, outermost
+	// (the repeated origin's ancestor) first.
+	CycleNulls []string
+}
+
+// CriticalInstance builds the critical instance of the theory: every
+// non-ACDom relation of Σ filled with the fresh constant *, plus every
+// constant of Σ (as ACDom facts). The ACDom facts of * and the Σ
+// constants are derived by the database itself.
+func CriticalInstance(th *core.Theory) *database.Database {
+	d := database.New()
+	star := core.Const("*")
+	for _, c := range th.Constants().Sorted() {
+		d.Add(core.NewAtom(core.ACDom, c))
+	}
+	for _, rk := range th.Relations() {
+		if rk.Name == core.ACDom {
+			continue
+		}
+		a := core.Atom{Relation: rk.Name}
+		for i := 0; i < rk.Arity; i++ {
+			a.Args = append(a.Args, star)
+		}
+		for i := 0; i < rk.AnnArity; i++ {
+			a.Annotation = append(a.Annotation, star)
+		}
+		d.Add(a)
+	}
+	return d
+}
+
+// evKey identifies a null origin: the minting rule and the index of the
+// existential variable the null was created for.
+type evKey struct{ rule, exist int }
+
+// lineage records a minted null's origin and the origin set of its
+// ancestry (the nulls in its creating trigger, transitively).
+type lineage struct {
+	origin  evKey
+	parents []core.Term
+	anc     map[evKey]bool
+}
+
+// criticalCheck runs the critical-instance chase with lineage tracking.
+// Negated body literals are dropped first: negation only prunes
+// triggers, so a certificate for the positive part covers the full
+// theory, while the critical-instance homomorphism argument itself needs
+// monotonicity.
+func criticalCheck(th *core.Theory, bud *budget.T) *CriticalReport {
+	rep := &CriticalReport{}
+	pos := core.NewTheory()
+	ruleIdx := make(map[*core.Rule]int, len(th.Rules))
+	existIdx := make([]map[core.Term]int, len(th.Rules))
+	for i, r := range th.Rules {
+		nr := r
+		if r.HasNegation() {
+			nr = &core.Rule{Label: r.Label, Span: r.Span, Exist: r.Exist, Head: r.Head}
+			for _, l := range r.Body {
+				if !l.Negated {
+					nr.Body = append(nr.Body, l)
+				}
+			}
+		}
+		pos.Add(nr)
+		ruleIdx[nr] = i
+		existIdx[i] = make(map[core.Term]int, len(r.Exist))
+		for j, v := range r.Exist {
+			existIdx[i][v] = j
+		}
+	}
+	if err := pos.CheckSafe(); err != nil {
+		// An unsafe theory has no chase to certify.
+		rep.Exhausted = true
+		return rep
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if bud == nil {
+		bud = &budget.T{MaxFacts: defaultCriticalFacts, MaxSteps: defaultCriticalSteps}
+	}
+	b := *bud
+	b.Ctx = ctx
+
+	nulls := map[core.Term]*lineage{}
+	hook := func(r *core.Rule, sub core.Subst, atom core.Atom) {
+		if rep.LineageCycle != nil {
+			return
+		}
+		ri, ok := ruleIdx[r]
+		if !ok || len(r.Exist) == 0 {
+			return
+		}
+		// Identify which head atom this derivation instantiates, to read
+		// the fresh nulls off its existential positions.
+		for _, h := range r.Head {
+			if h.Key() != atom.Key() || !headMatches(h, atom, sub, existIdx[ri]) {
+				continue
+			}
+			for i, t := range h.Args {
+				ei, isExist := existIdx[ri][t]
+				if !isExist {
+					continue
+				}
+				n := atom.Args[i]
+				if !n.IsNull() || nulls[n] != nil {
+					continue
+				}
+				ln := &lineage{origin: evKey{ri, ei}, anc: map[evKey]bool{}}
+				for _, pv := range sub {
+					if !pv.IsNull() {
+						continue
+					}
+					pl := nulls[pv]
+					if pl == nil {
+						continue
+					}
+					ln.parents = append(ln.parents, pv)
+					ln.anc[pl.origin] = true
+					for k := range pl.anc {
+						ln.anc[k] = true
+					}
+				}
+				nulls[n] = ln
+				if ln.anc[ln.origin] {
+					name := func(o evKey) EVar {
+						return EVar{Rule: o.rule, Var: th.Rules[o.rule].Exist[o.exist].Name}
+					}
+					rep.LineageCycle, rep.CycleNulls = lineageCycle(nulls, n, ln.origin, name)
+					cancel()
+					return
+				}
+			}
+			break
+		}
+	}
+
+	res, err := chase.RunWithHook(pos, CriticalInstance(th), chase.Options{
+		Variant: chase.Oblivious,
+		Budget:  &b,
+	}, hook)
+	switch {
+	case rep.LineageCycle != nil:
+		// Canceled by the hook; the cycle is the verdict.
+	case err == nil && res.Saturated:
+		rep.Terminates = true
+		rep.Facts = res.DB.Len()
+		rep.Steps = res.Steps
+		rep.Rounds = res.Rounds
+	default:
+		rep.Exhausted = true
+	}
+	return rep
+}
+
+// headMatches checks that atom is the sub-instantiation of head atom h:
+// non-existential arguments must coincide under sub and existential
+// positions must hold nulls.
+func headMatches(h, atom core.Atom, sub core.Subst, exist map[core.Term]int) bool {
+	if len(h.Args) != len(atom.Args) || len(h.Annotation) != len(atom.Annotation) {
+		return false
+	}
+	for i, t := range h.Args {
+		if _, isExist := exist[t]; isExist {
+			if !atom.Args[i].IsNull() {
+				return false
+			}
+			continue
+		}
+		if sub.Apply(t) != atom.Args[i] {
+			return false
+		}
+	}
+	for i, t := range h.Annotation {
+		if sub.Apply(t) != atom.Annotation[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lineageCycle extracts the witness chain for a null n whose ancestry
+// contains its own origin: the shortest parent path from n to an
+// ancestor null minted by the same origin, reported outermost first (so
+// the first and last origins of the chain coincide).
+func lineageCycle(nulls map[core.Term]*lineage, n core.Term, origin evKey, name func(evKey) EVar) ([]EVar, []string) {
+	type qe struct {
+		t    core.Term
+		prev int
+	}
+	queue := []qe{{t: n, prev: -1}}
+	seen := map[core.Term]bool{n: true}
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		ln := nulls[cur.t]
+		for _, p := range ln.parents {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			queue = append(queue, qe{t: p, prev: qi})
+			if nulls[p].origin == origin {
+				// Walk back: p (the ancestor) ... n.
+				var chain []core.Term
+				for i := len(queue) - 1; i != -1; i = queue[i].prev {
+					chain = append(chain, queue[i].t)
+				}
+				evs := make([]EVar, len(chain))
+				names := make([]string, len(chain))
+				for i, t := range chain {
+					evs[i] = name(nulls[t].origin)
+					names[i] = t.Name
+				}
+				return evs, names
+			}
+		}
+	}
+	// Unreachable: anc[origin] held, so some ancestor has the origin.
+	v := name(origin)
+	return []EVar{v, v}, []string{n.Name, n.Name}
+}

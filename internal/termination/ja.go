@@ -1,0 +1,248 @@
+package termination
+
+import (
+	"sort"
+
+	"guardedrules/internal/classify"
+	"guardedrules/internal/core"
+)
+
+// Joint acyclicity (Krötzsch & Rudolph). For an existential variable y
+// of rule σ, Move(y) is the least set of positions that contains the
+// head positions of y and is closed under propagation: whenever a
+// universal variable z of some rule ρ has a non-empty set of positive
+// body positions all inside Move(y), z's head positions join Move(y).
+// y ⇝ y′ (y′ existential in rule ρ′) holds when some frontier variable
+// x′ of ρ′ has a non-empty set of body positions all inside Move(y): a
+// null minted for y can then reach every position x′ feeds, so firing
+// ρ′ on it mints a null for y′ from y's null. The theory is jointly
+// acyclic iff ⇝ is acyclic; the skolem chase of a JA theory terminates,
+// and with it this engine's restricted chase.
+
+// ruleVarPos holds one rule's per-variable position sets, precomputed
+// once per analysis.
+type ruleVarPos struct {
+	rule *core.Rule
+	// bodyPos/headPos map each universal variable to its positive-body /
+	// head positions.
+	bodyPos map[core.Term][]classify.Position
+	headPos map[core.Term][]classify.Position
+	// frontier is the rule's frontier variable set.
+	frontier core.TermSet
+	// evars are the rule's existential variables in declaration order,
+	// with their head positions.
+	evars []core.Term
+	evPos map[core.Term][]classify.Position
+}
+
+func varPositions(th *core.Theory) []ruleVarPos {
+	out := make([]ruleVarPos, len(th.Rules))
+	for i, r := range th.Rules {
+		rv := ruleVarPos{
+			rule:     r,
+			bodyPos:  map[core.Term][]classify.Position{},
+			headPos:  map[core.Term][]classify.Position{},
+			frontier: r.FVars(),
+			evPos:    map[core.Term][]classify.Position{},
+		}
+		ev := r.EVarSet()
+		for _, a := range r.PositiveBody() {
+			for j, t := range a.Args {
+				if t.IsVar() {
+					rv.bodyPos[t] = append(rv.bodyPos[t], classify.Position{Rel: a.Key(), Index: j})
+				}
+			}
+		}
+		for _, h := range r.Head {
+			for j, t := range h.Args {
+				if !t.IsVar() {
+					continue
+				}
+				p := classify.Position{Rel: h.Key(), Index: j}
+				if ev.Has(t) {
+					rv.evPos[t] = append(rv.evPos[t], p)
+				} else {
+					rv.headPos[t] = append(rv.headPos[t], p)
+				}
+			}
+		}
+		rv.evars = append(rv.evars, r.Exist...)
+		out[i] = rv
+	}
+	return out
+}
+
+// moveSet computes Move(y) for the existential variable y of rule ri.
+func moveSet(rvs []ruleVarPos, ri int, y core.Term) classify.PosSet {
+	mv := classify.PosSet{}
+	for _, p := range rvs[ri].evPos[y] {
+		mv[p] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range rvs {
+			for z, bps := range rvs[i].bodyPos {
+				if len(bps) == 0 || !allIn(bps, mv) {
+					continue
+				}
+				for _, q := range rvs[i].headPos[z] {
+					if !mv[q] {
+						mv[q] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return mv
+}
+
+func allIn(ps []classify.Position, s classify.PosSet) bool {
+	for _, p := range ps {
+		if !s[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// jointAcyclicity checks the JA criterion. When the dependency graph is
+// acyclic it returns a topological order of every existential variable
+// (the certificate witness) and a nil cycle; otherwise it returns a
+// dependency cycle with the first variable repeated last.
+func jointAcyclicity(th *core.Theory) (order []EVar, cycle []EVar) {
+	rvs := varPositions(th)
+	var nodes []EVar
+	for i := range rvs {
+		for _, y := range rvs[i].evars {
+			nodes = append(nodes, EVar{Rule: i, Var: y.Name})
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	idx := make(map[EVar]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	adj := make([][]int, len(nodes))
+	for i := range rvs {
+		for _, y := range rvs[i].evars {
+			from := idx[EVar{Rule: i, Var: y.Name}]
+			mv := moveSet(rvs, i, y)
+			for j := range rvs {
+				if len(rvs[j].evars) == 0 {
+					continue
+				}
+				// ρj consumes y's nulls when some frontier variable of ρj
+				// reads only positions a y-null can reach.
+				consumes := false
+				for x := range rvs[j].frontier {
+					bps := rvs[j].bodyPos[x]
+					if len(bps) > 0 && allIn(bps, mv) {
+						consumes = true
+						break
+					}
+				}
+				if !consumes {
+					continue
+				}
+				for _, y2 := range rvs[j].evars {
+					adj[from] = append(adj[from], idx[EVar{Rule: j, Var: y2.Name}])
+				}
+			}
+		}
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+	}
+	// Iterative DFS with colors; a back edge yields the cycle witness.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(nodes))
+	parent := make([]int, len(nodes))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var topo []int
+	var dfs func(u int) []int
+	dfs = func(u int) []int {
+		color[u] = gray
+		for _, v := range adj[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if c := dfs(v); c != nil {
+					return c
+				}
+			case gray:
+				// Back edge u→v closes a cycle v → … → u → v.
+				var rev []int
+				for cur := u; cur != v; cur = parent[cur] {
+					rev = append(rev, cur)
+				}
+				rev = append(rev, v)
+				c := make([]int, 0, len(rev)+1)
+				for i := len(rev) - 1; i >= 0; i-- {
+					c = append(c, rev[i])
+				}
+				return append(c, v)
+			}
+		}
+		color[u] = black
+		topo = append(topo, u)
+		return nil
+	}
+	for u := range nodes {
+		if color[u] == white {
+			if c := dfs(u); c != nil {
+				cyc := make([]EVar, len(c))
+				for i, n := range c {
+					cyc[i] = nodes[n]
+				}
+				return nil, cyc
+			}
+		}
+	}
+	// topo holds nodes in reverse topological order.
+	order = make([]EVar, len(topo))
+	for i := range topo {
+		order[i] = nodes[topo[len(topo)-1-i]]
+	}
+	return order, nil
+}
+
+// jaDependencies recomputes the dependency edges (from, to) of the JA
+// graph, for certificate verification.
+func jaDependencies(th *core.Theory) [][2]EVar {
+	rvs := varPositions(th)
+	var deps [][2]EVar
+	for i := range rvs {
+		for _, y := range rvs[i].evars {
+			mv := moveSet(rvs, i, y)
+			for j := range rvs {
+				if len(rvs[j].evars) == 0 {
+					continue
+				}
+				consumes := false
+				for x := range rvs[j].frontier {
+					bps := rvs[j].bodyPos[x]
+					if len(bps) > 0 && allIn(bps, mv) {
+						consumes = true
+						break
+					}
+				}
+				if !consumes {
+					continue
+				}
+				for _, y2 := range rvs[j].evars {
+					deps = append(deps, [2]EVar{{Rule: i, Var: y.Name}, {Rule: j, Var: y2.Name}})
+				}
+			}
+		}
+	}
+	return deps
+}

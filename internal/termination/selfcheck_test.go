@@ -1,0 +1,74 @@
+package termination
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"guardedrules/internal/parser"
+)
+
+var updateClasses = flag.Bool("update-classes", false, "rewrite testdata/termination_classes.golden")
+
+// TestSelfcheckGoldenClasses runs the analyzer over every shipped
+// testdata theory and compares the certified class per file against
+// testdata/termination_classes.golden — the CI termination-selfcheck
+// job fails on any verdict regression. Regenerate with:
+//
+//	go test ./internal/termination -run Selfcheck -update-classes
+func TestSelfcheckGoldenClasses(t *testing.T) {
+	paths, err := filepath.Glob("../../testdata/*.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := filepath.Glob("../../testdata/*/*.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, nested...)
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		t.Fatal("no fixtures found under testdata/")
+	}
+	var buf bytes.Buffer
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := parser.ParseLenient(string(src))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", path, err)
+		}
+		rep := Analyze(prog.Theory)
+		if rep.Certificate != nil {
+			if err := rep.Certificate.Verify(prog.Theory); err != nil {
+				t.Errorf("%s: shipped certificate fails verification: %v", path, err)
+			}
+		}
+		rel, err := filepath.Rel("../../testdata", path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&buf, "%s: %s\n", filepath.ToSlash(rel), rep.Class)
+	}
+	golden := "../../testdata/termination_classes.golden"
+	if *updateClasses {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden class file (run with -update-classes): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("termination classes drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

@@ -1,22 +1,94 @@
-// Package termination implements chase-termination analysis for
-// existential theories via weak acyclicity of the position dependency
-// graph (Fagin, Kolaitis, Miller, Popa; cited in the paper's related work
-// on acyclicity-based fragments [23]).
+// Package termination implements a layered chase-termination analysis
+// for existential theories. Three criteria are checked, from tightest to
+// loosest:
 //
-// The chase of a weakly acyclic theory terminates on every database in
-// polynomially many steps. Guardedness and weak acyclicity are orthogonal
-// — the paper's running example Σp is both frontier-guarded and weakly
-// acyclic, while Person(x) → ∃y hasParent(x,y); hasParent(x,y) →
-// Person(y) is guarded but not weakly acyclic (its chase is infinite).
+//   - Weak acyclicity (WA; Fagin, Kolaitis, Miller, Popa — cited in the
+//     paper's related work on acyclicity-based fragments [23]): no
+//     special edge of the position dependency graph lies on a cycle.
+//     WA additionally yields a polynomial fact-count bound (see Bound).
+//   - Joint acyclicity (JA; Krötzsch & Rudolph): the existential-variable
+//     dependency graph over Move sets is acyclic. JA strictly subsumes
+//     WA.
+//   - An MFA-style critical-instance check (the repository's stand-in
+//     for the super-weak tier of the finite-chase hierarchy of
+//     arXiv:1411.5220, reported as "swa"): the engine's own chase is run
+//     on the critical instance under a deterministic budget, with
+//     cycle detection on null-generation lineage.
+//
+// Each certified verdict carries a machine-checkable Certificate that
+// Verify can re-validate against the theory without trusting the
+// analyzer.
+//
+// Scope of the certificates with respect to this repository's engine
+// (internal/chase), which mints a fresh null per applied trigger (plain
+// oblivious chase, not the skolem chase):
+//
+//   - WA and JA certify the Restricted variant. They do NOT certify the
+//     fresh-null Oblivious variant: R(x,y) → ∃z R(x,z) is weakly acyclic
+//     yet its oblivious chase re-fires on every fresh null at the
+//     non-frontier position y and diverges.
+//   - A critical-instance certificate certifies both variants: the
+//     oblivious chase of any database maps homomorphically into the
+//     critical-instance chase with non-decreasing null depth, so a
+//     finite critical chase bounds every chase; the restricted chase
+//     applies a subset of the oblivious triggers.
+//
+// Guardedness and termination are orthogonal — the paper's running
+// example Σp is both frontier-guarded and weakly acyclic, while
+// Person(x) → ∃y hasParent(x,y); hasParent(x,y) → Person(y) is guarded
+// but admits no termination certificate (its chase is infinite).
 package termination
 
 import (
-	"fmt"
 	"sort"
 
+	"guardedrules/internal/budget"
 	"guardedrules/internal/classify"
 	"guardedrules/internal/core"
 )
+
+// Class is a chase-termination class, ordered loosest to tightest:
+// a higher class is a stronger (more informative) certificate. WA ⊂ JA ⊂
+// critical-instance-terminating as criteria; the analysis reports the
+// tightest class that holds.
+type Class int
+
+const (
+	// ClassUnknown: no termination certificate was found. The chase may
+	// be infinite (it provably is when the critical check found a
+	// lineage cycle and the theory has no negation).
+	ClassUnknown Class = iota
+	// ClassSWA: the critical-instance chase saturates (MFA-style check,
+	// the analysis' super-weak tier). Certifies both chase variants.
+	ClassSWA
+	// ClassJA: jointly acyclic. Certifies the restricted chase, with the
+	// existential-variable dependency order as witness.
+	ClassJA
+	// ClassWA: weakly acyclic. Certifies the restricted chase and yields
+	// a polynomial fact bound.
+	ClassWA
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassWA:
+		return "wa"
+	case ClassJA:
+		return "ja"
+	case ClassSWA:
+		return "swa"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminating reports whether the class certifies chase termination on
+// every database (for at least the restricted variant; see the package
+// comment for the variant each class covers).
+func (c Class) Terminating() bool { return c != ClassUnknown }
+
+// MarshalJSON renders the class as its name.
+func (c Class) MarshalJSON() ([]byte, error) { return []byte(`"` + c.String() + `"`), nil }
 
 // Edge is an edge of the position dependency graph; special edges track
 // value invention (an existential variable created from a value at the
@@ -29,8 +101,40 @@ type Edge struct {
 	Rule *core.Rule
 }
 
+// edgeID is the comparable identity of an edge: the inducing rule is
+// deliberately excluded (the first rule to contribute an edge keeps it).
+type edgeID struct {
+	from, to classify.Position
+	special  bool
+}
+
+// EVar names an existential variable by its rule's index in the theory
+// and its name — the nodes of the joint-acyclicity dependency graph.
+type EVar struct {
+	Rule int    `json:"rule"`
+	Var  string `json:"var"`
+}
+
+func (v EVar) String() string { return "r" + itoa(v.Rule) + "." + v.Var }
+
+// Options configures AnalyzeOpts.
+type Options struct {
+	// CriticalBudget governs the critical-instance chase; nil means the
+	// deterministic default (defaultCriticalFacts facts,
+	// defaultCriticalSteps steps). Wall-clock fields make the verdict
+	// machine-dependent; prefer fact/step ceilings.
+	CriticalBudget *budget.T
+	// SkipCritical disables the critical-instance layer: theories that
+	// are neither WA nor JA report ClassUnknown without running a chase.
+	SkipCritical bool
+}
+
 // Report is the outcome of the analysis.
 type Report struct {
+	// Class is the tightest termination class certified; ClassUnknown
+	// means no certificate (not a proof of non-termination).
+	Class Class
+
 	WeaklyAcyclic bool
 	// Witness is a special edge lying on a cycle when not weakly acyclic.
 	Witness *Edge
@@ -39,20 +143,41 @@ type Report struct {
 	// acyclic.
 	WitnessCycle []classify.Position
 	Edges        []Edge
+
+	// JointlyAcyclic reports the JA criterion. WA implies JA; the JA
+	// layer is only computed explicitly when WA fails.
+	JointlyAcyclic bool
+	// JACycle is a cycle of the existential-variable dependency graph
+	// (first element repeated last) when the theory is not JA.
+	JACycle []EVar
+
+	// Critical is the critical-instance check outcome; nil when the
+	// layer did not run (the theory is WA or JA, or it was skipped).
+	Critical *CriticalReport
+
+	// Certificate is the machine-checkable witness of Class; nil when
+	// ClassUnknown.
+	Certificate *Certificate
+
+	// Bound carries the WA fact-bound coefficients; nil unless ClassWA.
+	Bound *Bound
 }
 
-// Analyze builds the position dependency graph of the theory: for every
-// rule σ, every frontier variable x at body position p contributes a
-// regular edge p→q for each head position q of x, and a special edge
-// p⇒q' for each position q' holding an existential variable of σ.
-func Analyze(th *core.Theory) *Report {
+// Analyze runs the full pipeline under the default critical-instance
+// budget.
+func Analyze(th *core.Theory) *Report { return AnalyzeOpts(th, Options{}) }
+
+// AnalyzeOpts builds the position dependency graph of the theory and
+// checks the termination criteria tightest-first, stopping at the first
+// that holds: for every rule σ, every frontier variable x at body
+// position p contributes a regular edge p→q for each head position q of
+// x, and a special edge p⇒q' for each position q' holding an existential
+// variable of σ.
+func AnalyzeOpts(th *core.Theory, opts Options) *Report {
 	var edges []Edge
-	// Edge identity excludes the inducing rule: the first rule to
-	// contribute an edge keeps it.
-	edgeKey := func(e Edge) string { return fmt.Sprint(e.From, e.To, e.Special) }
-	seen := map[string]bool{}
+	seen := map[edgeID]bool{}
 	add := func(e Edge) {
-		k := edgeKey(e)
+		k := edgeID{e.From, e.To, e.Special}
 		if !seen[k] {
 			seen[k] = true
 			edges = append(edges, e)
@@ -97,7 +222,16 @@ func Analyze(th *core.Theory) *Report {
 			}
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool { return edgeKey(edges[i]) < edgeKey(edges[j]) })
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From != b.From {
+			return lessPos(a.From, b.From)
+		}
+		if a.To != b.To {
+			return lessPos(a.To, b.To)
+		}
+		return !a.Special && b.Special
+	})
 	rep := &Report{WeaklyAcyclic: true, Edges: edges}
 	// Weak acyclicity fails iff some special edge lies on a cycle:
 	// its target reaches its source.
@@ -116,7 +250,49 @@ func Analyze(th *core.Theory) *Report {
 			break
 		}
 	}
+	if rep.WeaklyAcyclic {
+		rep.Class = ClassWA
+		rep.JointlyAcyclic = true // WA ⊆ JA
+		ranks := positionRanks(edges)
+		rep.Bound = deriveBound(th, ranks)
+		rep.Certificate = waCertificate(ranks)
+		return rep
+	}
+	order, cycle := jointAcyclicity(th)
+	if cycle == nil {
+		rep.Class = ClassJA
+		rep.JointlyAcyclic = true
+		rep.Certificate = &Certificate{Class: ClassJA.String(), Order: order}
+		return rep
+	}
+	rep.JACycle = cycle
+	if opts.SkipCritical {
+		return rep
+	}
+	rep.Critical = criticalCheck(th, opts.CriticalBudget)
+	if rep.Critical.Terminates {
+		rep.Class = ClassSWA
+		rep.Certificate = &Certificate{
+			Class:          ClassSWA.String(),
+			CriticalFacts:  rep.Critical.Facts,
+			CriticalSteps:  rep.Critical.Steps,
+			CriticalRounds: rep.Critical.Rounds,
+		}
+	}
 	return rep
+}
+
+func lessPos(a, b classify.Position) bool {
+	if a.Rel.Name != b.Rel.Name {
+		return a.Rel.Name < b.Rel.Name
+	}
+	if a.Rel.Arity != b.Rel.Arity {
+		return a.Rel.Arity < b.Rel.Arity
+	}
+	if a.Rel.AnnArity != b.Rel.AnnArity {
+		return a.Rel.AnnArity < b.Rel.AnnArity
+	}
+	return a.Index < b.Index
 }
 
 // pathBetween returns a shortest path from → ... → to in the graph, or
@@ -158,4 +334,29 @@ func pathBetween(adj map[classify.Position][]classify.Position, from, to classif
 
 // IsWeaklyAcyclic reports whether the chase of th terminates on every
 // database by the weak-acyclicity criterion.
-func IsWeaklyAcyclic(th *core.Theory) bool { return Analyze(th).WeaklyAcyclic }
+func IsWeaklyAcyclic(th *core.Theory) bool {
+	// WA needs no chase run; skip the deeper layers outright.
+	return AnalyzeOpts(th, Options{SkipCritical: true}).WeaklyAcyclic
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
