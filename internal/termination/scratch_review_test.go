@@ -1,0 +1,39 @@
+package termination
+
+import (
+	"testing"
+
+	"guardedrules/internal/parser"
+)
+
+func TestScratchRankBug(t *testing.T) {
+	src := `
+R0(X) -> exists Z. S(X,Z).
+S(X,Y) -> T(Y).
+T(X) -> T2(X).
+T2(X) -> T(X).
+T(X) -> exists W. U(X,W).
+`
+	th, err := parser.ParseTheory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failVerify, failRank := 0, 0
+	var firstErr error
+	for i := 0; i < 300; i++ {
+		rep := Analyze(th)
+		if !rep.WeaklyAcyclic {
+			t.Fatalf("iter %d: expected WA", i)
+		}
+		if rep.Bound.MaxRank != 2 {
+			failRank++
+		}
+		if err := rep.Certificate.Verify(th); err != nil {
+			failVerify++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	t.Fatalf("verify failures: %d/300, rank failures: %d/300, first: %v", failVerify, failRank, firstErr)
+}
