@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// A short chaotic run against an in-process server must finish with
+// zero invariant violations: the process survives panics, disconnects,
+// slow-loris and malformed payloads; truncated answers stay sound;
+// counters stay monotone; goroutines return to baseline.
+func TestHarnessChaosRunCleans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness run")
+	}
+	rep, err := runHarness(harnessConfig{
+		Duration: 4 * time.Second,
+		Levels:   []int{2, 8},
+		Chaos:    true,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("invariant violations:\n%v", rep.Violations)
+	}
+	if len(rep.Runs) == 0 {
+		t.Fatal("no workload stats recorded")
+	}
+	var total, panics, sheds int
+	byName := map[string]bool{}
+	for _, r := range rep.Runs {
+		total += r.Count
+		byName[r.Workload] = true
+		if r.Workload == "chaos_panic_handler" || r.Workload == "chaos_panic_engine" {
+			panics += r.Count
+		}
+		sheds += r.Shed
+	}
+	if total < 50 {
+		t.Fatalf("suspiciously few operations: %d", total)
+	}
+	for _, want := range []string{"query_hot", "theories_miss", "chaos_malformed"} {
+		if !byName[want] {
+			t.Fatalf("workload %s never ran (runs: %v)", want, byName)
+		}
+	}
+	if panics == 0 {
+		t.Fatal("chaos run never injected a panic")
+	}
+	if rep.Final["panics_recovered"]+rep.Final["engine_panics"] == 0 {
+		t.Fatalf("no contained panics in final metrics: %v", rep.Final)
+	}
+	t.Logf("ops=%d sheds=%d contained_panics=%d+%d", total, sheds,
+		rep.Final["panics_recovered"], rep.Final["engine_panics"])
+}

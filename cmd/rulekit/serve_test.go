@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bootServe starts runServe on a free port with a cancelable lifetime
+// standing in for the SIGTERM path, returning the base URL and the
+// runServe exit channel.
+func bootServe(t *testing.T, extra func(*serveOptions)) (base string, cancel context.CancelFunc, exit chan error) {
+	t.Helper()
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	opts := serveOptions{
+		addr:              "127.0.0.1:0",
+		lameDuck:          500 * time.Millisecond,
+		drainTimeout:      10 * time.Second,
+		readHeaderTimeout: 5 * time.Second,
+		readTimeout:       60 * time.Second,
+		idleTimeout:       time.Minute,
+	}
+	opts.cfg.DefaultTimeout = 10 * time.Second
+	if extra != nil {
+		extra(&opts)
+	}
+	var stdout lockedBuffer
+	exit = make(chan error, 1)
+	go func() { exit <- runServe(ctx, opts, &stdout, &stdout) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	re := regexp.MustCompile(`listening on (http://[\d.:]+)`)
+	for {
+		if m := re.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address: %q", stdout.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Cleanup(cancelCtx)
+	return base, cancelCtx, exit
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// A signal-driven drain flips readiness before the listener closes,
+// lets an in-flight slow query finish, and exits clean (the process's
+// exit-0 path).
+func TestServeGracefulDrain(t *testing.T) {
+	base, cancel, exit := bootServe(t, func(o *serveOptions) { o.cfg.Chaos = true })
+
+	var th struct {
+		ID string `json:"id"`
+	}
+	if code := postJSON(t, base+"/v1/theories", map[string]string{
+		"source": "E(X,Y) -> T(X,Y). T(X,Y), T(Y,Z) -> T(X,Z).",
+	}, &th); code != 200 {
+		t.Fatalf("register: status %d", code)
+	}
+	var db struct {
+		ID string `json:"id"`
+	}
+	if code := postJSON(t, base+"/v1/dbs", map[string]string{
+		"facts": "E(a,b). E(b,c).",
+	}, &db); code != 200 {
+		t.Fatalf("dbs: status %d", code)
+	}
+
+	// Launch a slow in-flight query, then "SIGTERM" mid-flight.
+	slow := make(chan int, 1)
+	go func() {
+		slow <- postJSON(t, base+"/v1/query", map[string]any{
+			"theory_id": th.ID, "db_id": db.ID,
+			"cq": "T(X,Y) -> Ans(X,Y).", "delay_ms": 500,
+		}, nil)
+	}()
+	// Wait until the slow query is inside the handler.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var m map[string]int64
+		postCode := func() int {
+			resp, err := http.Get(base + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			json.NewDecoder(resp.Body).Decode(&m)
+			return resp.StatusCode
+		}()
+		if postCode == 200 && m["in_flight"] >= 2 { // slow query + this /metrics request
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never went in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel() // stands in for SIGTERM via signal.NotifyContext
+
+	// Readiness must flip promptly while the drain is still in progress.
+	readyDown := false
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			break // listener already closed: drain finished
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			readyDown = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !readyDown {
+		t.Fatal("readyz never flipped to 503 during drain")
+	}
+
+	if code := <-slow; code != 200 {
+		t.Fatalf("in-flight query across drain: status %d, want 200", code)
+	}
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("drain exit: %v, want nil (exit 0)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runServe never returned after drain")
+	}
+}
+
+// The serve flags configure real http.Server timeouts: a connection
+// that sends no headers is reaped by ReadHeaderTimeout instead of
+// holding a socket forever.
+func TestServeSlowLorisReaped(t *testing.T) {
+	base, _, _ := bootServe(t, func(o *serveOptions) {
+		o.readHeaderTimeout = 100 * time.Millisecond
+	})
+	addr := strings.TrimPrefix(base, "http://")
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Dribble a partial request line and stall.
+	if _, err := conn.Write([]byte("POST /v1/query HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	n, _ := conn.Read(buf)
+	// The server must close the connection (possibly after a 408); what
+	// it must NOT do is leave us hanging until our own deadline with the
+	// socket open. A zero-byte read with a closed conn is the reap.
+	if n > 0 && !bytes.Contains(buf[:n], []byte("408")) {
+		t.Fatalf("unexpected response to stalled request: %q", buf[:n])
+	}
+	// Server still healthy afterwards.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz after slow-loris: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz after slow-loris: %d", resp.StatusCode)
+	}
+}

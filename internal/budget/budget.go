@@ -152,12 +152,33 @@ type T struct {
 	// counter reaches this value (0 = off). Deterministic fault
 	// injection for shutdown tests; see FailAt.
 	FailAtCheckpoint int64
+	// PanicAtCheckpoint injects a panic (an InjectedPanic value) at
+	// exactly the nth checkpoint (0 = off). Deterministic fault injection
+	// for the panic-containment layers: checkpoints polled on engine
+	// worker goroutines exercise par.RunUnits recovery, checkpoints on
+	// the request goroutine exercise the HTTP recovery middleware.
+	PanicAtCheckpoint int64
 }
 
 // FailAt returns a budget that cancels itself at the nth checkpoint of
 // the run. Tests iterate n over 1..total-checkpoints to exercise clean
 // shutdown at every interleaving point.
 func FailAt(n int) *T { return &T{FailAtCheckpoint: int64(n)} }
+
+// PanicAt returns a budget that panics at exactly the nth checkpoint of
+// the run, for driving the panic-containment layers deterministically.
+func PanicAt(n int) *T { return &T{PanicAtCheckpoint: int64(n)} }
+
+// InjectedPanic is the value thrown by a PanicAt budget, distinctive so
+// containment tests can assert the recovered panic is the injected one.
+type InjectedPanic struct {
+	// Checkpoint is the checkpoint counter value that fired the panic.
+	Checkpoint int64
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("budget: injected panic at checkpoint %d", p.Checkpoint)
+}
 
 // WithFailAt returns a copy of b that additionally cancels at the nth
 // checkpoint.
@@ -239,6 +260,11 @@ func (tr *Tracker) Check() error {
 		return nil
 	}
 	n := tr.checkpoints.Add(1)
+	// The == makes the injection one-shot: exactly one goroutine observes
+	// the matching counter value, so exactly one panic fires per run.
+	if pa := tr.spec.PanicAtCheckpoint; pa > 0 && n == pa {
+		panic(InjectedPanic{Checkpoint: n})
+	}
 	if tr.ctx == nil {
 		return nil
 	}

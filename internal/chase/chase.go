@@ -23,6 +23,7 @@ package chase
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strconv"
 
 	"guardedrules/internal/budget"
@@ -297,7 +298,18 @@ func newEngine(th *core.Theory, d0 *database.Database, opts Options, hook hookFn
 	return e
 }
 
-func run(th *core.Theory, d0 *database.Database, opts Options, hook hookFn) (*Result, error) {
+func run(th *core.Theory, d0 *database.Database, opts Options, hook hookFn) (res *Result, err error) {
+	// Engine boundary: a panic anywhere in the run — worker panics are
+	// already converted by par.RunUnits, this seam catches the
+	// coordinator's own — surfaces as one failed request, never a dead
+	// process. No partial result: a mid-application panic may leave the
+	// working database half-updated, unlike the discarded-buffer
+	// cancellation path.
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, fmt.Errorf("chase: %w", &par.PanicError{Unit: -1, Value: v, Stack: debug.Stack()})
+		}
+	}()
 	if err := th.CheckSafe(); err != nil {
 		return nil, fmt.Errorf("chase: %w", err)
 	}
@@ -319,7 +331,7 @@ func run(th *core.Theory, d0 *database.Database, opts Options, hook hookFn) (*Re
 		budRounds = bud.MaxRounds > 0
 	}
 
-	res := &Result{Depth: e.depth}
+	res = &Result{Depth: e.depth}
 	finish := func(err error) (*Result, error) {
 		res.DB = e.db
 		res.Steps = e.steps
@@ -348,7 +360,12 @@ func run(th *core.Theory, d0 *database.Database, opts Options, hook hookFn) (*Re
 			}
 			break
 		}
-		trs := e.collect(first, tk)
+		trs, cerr := e.collect(first, tk)
+		if cerr != nil {
+			// A contained worker panic: nothing from this round was merged;
+			// the database still holds exactly the completed rounds.
+			return finish(fmt.Errorf("chase: %w", cerr))
+		}
 		if len(trs) == 0 {
 			break
 		}
@@ -431,8 +448,10 @@ type unit struct {
 // evaluated over a fixed worker pool (the database is only read), each
 // buffering packed trigger tuples; a single-threaded merge in work-item
 // order then deduplicates and filters for admissibility, so the outcome
-// is byte-identical for every worker count.
-func (e *engine) collect(first bool, tk *budget.Tracker) []trig {
+// is byte-identical for every worker count. A panic contained by the
+// pool aborts the round before any merge: the error is returned and the
+// buffers are dropped.
+func (e *engine) collect(first bool, tk *budget.Tracker) ([]trig, error) {
 	workers := e.opts.workers()
 	var units []unit
 	if first {
@@ -482,9 +501,11 @@ func (e *engine) collect(first bool, tk *budget.Tracker) []trig {
 	}
 	bufs := make([][]uint32, len(units))
 	counts := make([]int, len(units))
-	par.RunUnits(len(units), workers, tk.Canceled, func(u int) {
+	if err := par.RunUnits(len(units), workers, tk.Canceled, func(u int) {
 		bufs[u], counts[u] = e.runUnit(units[u], first, tk.Canceled)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	// Merge in unit order: global dedup (the per-round seen set, marked
 	// before admissibility like the trigger memo) then admissibility.
 	seen := newTriggerSet()
@@ -503,7 +524,7 @@ func (e *engine) collect(first bool, tk *budget.Tracker) []trig {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // runUnit enumerates one work item's candidate triggers into a packed

@@ -1,0 +1,51 @@
+package chase
+
+import (
+	"errors"
+	"testing"
+
+	"guardedrules/internal/budget"
+	"guardedrules/internal/database"
+	"guardedrules/internal/par"
+	"guardedrules/internal/parser"
+)
+
+// A panic injected at a chase checkpoint is contained at the engine
+// boundary: Run returns a typed *par.PanicError instead of crashing the
+// caller, and a clean re-run still saturates.
+func TestChasePanicContained(t *testing.T) {
+	th := parser.MustParseTheory(`
+		A(X) -> exists Y. R(X,Y).
+		R(X,Y) -> B(Y).
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+	`)
+	facts := parser.MustParseFacts("A(a). E(a,b). E(b,c). E(c,d).")
+
+	sawPanic := false
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		res, err := Run(th, database.FromAtoms(facts), Options{Workers: 4, Budget: budget.PanicAt(n)})
+		if err == nil {
+			continue // injection point beyond the run's checkpoints
+		}
+		sawPanic = true
+		var pe *par.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("n=%d: err = %v, want contained *par.PanicError", n, err)
+		}
+		if _, ok := pe.Value.(budget.InjectedPanic); !ok {
+			t.Fatalf("n=%d: recovered value %v, want budget.InjectedPanic", n, pe.Value)
+		}
+		if res != nil {
+			t.Fatalf("n=%d: panicked chase must not return a result (the working db may be half-applied)", n)
+		}
+	}
+	if !sawPanic {
+		t.Fatal("sweep never triggered an injected panic")
+	}
+
+	res, err := Run(th, database.FromAtoms(facts), Options{Workers: 4})
+	if err != nil || !res.Saturated {
+		t.Fatalf("clean re-run after panic sweep: res=%+v err=%v", res, err)
+	}
+}

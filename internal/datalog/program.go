@@ -1,11 +1,14 @@
 package datalog
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"guardedrules/internal/budget"
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
+	"guardedrules/internal/par"
 )
 
 // Program is a Datalog program compiled once and evaluated many times:
@@ -82,13 +85,29 @@ func (p *Program) Rules() int { return len(p.th.Rules) }
 // The input database is not modified. On budget exhaustion the partial
 // database — every fully merged round — is returned together with a
 // typed *budget.Error, exactly like EvalSemiNaiveOpts.
-func (p *Program) Eval(d *database.Database, opts Options) (*database.Database, error) {
+func (p *Program) Eval(d *database.Database, opts Options) (res *database.Database, err error) {
 	tk := budget.Start(opts.Budget)
 	defer tk.Stop()
 	out := d.Clone()
+	// The engine boundary never panics: worker panics are already
+	// converted by par.RunUnits, and this seam catches the coordinator's
+	// own (merge loop, checkpoint injection), so a fault anywhere in an
+	// evaluation surfaces as one failed request, not a dead process. The
+	// partial database stays attached — completed merges only, a sound
+	// under-approximation.
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = out, fmt.Errorf("datalog: %w", &par.PanicError{Unit: -1, Value: v, Stack: debug.Stack()})
+		}
+	}()
 	for i := range p.strata {
 		if err := evalStratum(&p.strata[i], out, opts, tk); err != nil {
-			if budget.IsBudget(err) {
+			// Budget exhaustion and contained worker panics both leave the
+			// database a well-formed partial fixpoint (the failing round's
+			// buffers were discarded before any merge), so the partial
+			// result rides along with the typed error.
+			var pe *par.PanicError
+			if budget.IsBudget(err) || errors.As(err, &pe) {
 				return out, fmt.Errorf("datalog: stratum %d: %w", i, err)
 			}
 			return nil, fmt.Errorf("datalog: stratum %d: %w", i, err)

@@ -369,14 +369,18 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 	}
 	noteBuilds()
 	bufs := make([][]core.Atom, len(r0))
-	par.RunUnits(len(r0), workers, tk.Canceled, func(u int) {
+	if err := par.RunUnits(len(r0), workers, tk.Canceled, func(u int) {
 		_ = tk.Check() // checkpoint: counts toward FailAt injection
 		c := &r0[u]
 		em := &emitter{c: c, st: hom.NewState(db, c.t.nvars), db: db, tk: tk,
 			scratch: make([]uint32, 0, 16)}
 		em.st.SearchPlan(c.rest, &c.plan, jc, em.leaf)
 		bufs[u] = em.out
-	})
+	}); err != nil {
+		// A contained worker panic fails the run before any merge: the
+		// database is untouched by this round.
+		return fmt.Errorf("datalog: %w", err)
+	}
 
 	items := instantiate(cs.items)
 	itemsEpoch := -1
@@ -464,7 +468,7 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 		}
 		noteBuilds()
 		bufs = make([][]core.Atom, len(units))
-		par.RunUnits(len(units), workers, tk.Canceled, func(u int) {
+		if err := par.RunUnits(len(units), workers, tk.Canceled, func(u int) {
 			_ = tk.Check() // checkpoint: counts toward FailAt injection
 			c := units[u].c
 			g := groups[c.pattern.RK]
@@ -485,7 +489,9 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 				st.Unwind(mark)
 			}
 			bufs[u] = em.out
-		})
+		}); err != nil {
+			return fmt.Errorf("datalog: %w", err)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package kbcache
 
 import (
+	"context"
 	"testing"
 
 	"guardedrules/internal/gen"
@@ -26,11 +27,11 @@ func BenchmarkColdQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := NewStore(Config{})
-		ckb, _, err := s.Register(tcSource)
+		ckb, _, err := s.Register(context.Background(), tcSource)
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := ckb.AnswerCQ(q, d, QueryOptions{})
+		res, err := ckb.AnswerCQ(context.Background(), q, d, QueryOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,16 +50,16 @@ func BenchmarkWarmQuery(b *testing.B) {
 		b.Fatal(err)
 	}
 	s := NewStore(Config{})
-	ckb, _, err := s.Register(tcSource)
+	ckb, _, err := s.Register(context.Background(), tcSource)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := ckb.AnswerCQ(q, d, QueryOptions{}); err != nil {
+	if _, err := ckb.AnswerCQ(context.Background(), q, d, QueryOptions{}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := ckb.AnswerCQ(q, d, QueryOptions{})
+		res, err := ckb.AnswerCQ(context.Background(), q, d, QueryOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,11 +81,11 @@ func BenchmarkColdQueryTranslated(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := NewStore(Config{})
-		ckb, _, err := s.Register(e5Source)
+		ckb, _, err := s.Register(context.Background(), e5Source)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := ckb.AnswerCQ(q, d, QueryOptions{}); err != nil {
+		if _, err := ckb.AnswerCQ(context.Background(), q, d, QueryOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -97,16 +98,16 @@ func BenchmarkWarmQueryTranslated(b *testing.B) {
 		b.Fatal(err)
 	}
 	s := NewStore(Config{})
-	ckb, _, err := s.Register(e5Source)
+	ckb, _, err := s.Register(context.Background(), e5Source)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := ckb.AnswerCQ(q, d, QueryOptions{}); err != nil {
+	if _, err := ckb.AnswerCQ(context.Background(), q, d, QueryOptions{}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := ckb.AnswerCQ(q, d, QueryOptions{})
+		res, err := ckb.AnswerCQ(context.Background(), q, d, QueryOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}

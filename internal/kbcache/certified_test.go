@@ -1,6 +1,7 @@
 package kbcache
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -54,7 +55,7 @@ func TestCertifiedRoutingAndDifferentialAnswers(t *testing.T) {
 
 	d := jaFacts(8)
 	q := mustCQ(t, "P(X) -> Ans(X).")
-	certified, err := ckb.AnswerCQ(q, d, QueryOptions{})
+	certified, err := ckb.AnswerCQ(context.Background(), q, d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestCertifiedRoutingAndDifferentialAnswers(t *testing.T) {
 
 	// The bounded fallback: an explicit budget generous enough to
 	// saturate routes around the certified path.
-	bounded, err := ckb.AnswerCQ(q, d, QueryOptions{
+	bounded, err := ckb.AnswerCQ(context.Background(), q, d, QueryOptions{
 		Budget: &budget.T{Timeout: 30 * time.Second, MaxFacts: 100_000},
 	})
 	if err != nil {
@@ -84,7 +85,7 @@ func TestCertifiedRoutingAndDifferentialAnswers(t *testing.T) {
 	}
 
 	// Atomic queries route through the same certified CQ path.
-	atomRes, err := ckb.AnswerAtom(core.NewAtom("P", core.Var("X")), d, QueryOptions{})
+	atomRes, err := ckb.AnswerAtom(context.Background(), core.NewAtom("P", core.Var("X")), d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestCertifiedWABoundAsserted(t *testing.T) {
 	// Ground R facts give S ground certain answers (null-valued S tuples
 	// are correctly excluded by the ACDom guard of the query rule).
 	d.Add(core.NewAtom("R", core.Const("p0"), core.Const("u"), core.Const("v")))
-	res, err := ckb.AnswerCQ(mustCQ(t, "S(Y,Z) -> Ans(Y,Z)."), d, QueryOptions{})
+	res, err := ckb.AnswerCQ(context.Background(), mustCQ(t, "S(Y,Z) -> Ans(Y,Z)."), d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestUncertifiedStaysBounded(t *testing.T) {
 	}
 	d := database.New()
 	d.Add(core.NewAtom("S", core.Const("a"), core.Const("b")))
-	res, err := ckb.AnswerCQ(mustCQ(t, "S(X,Y) -> Ans(X,Y)."), d, QueryOptions{})
+	res, err := ckb.AnswerCQ(context.Background(), mustCQ(t, "S(X,Y) -> Ans(X,Y)."), d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

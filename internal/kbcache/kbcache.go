@@ -18,8 +18,10 @@
 package kbcache
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -148,9 +150,14 @@ func HashSource(src string) string {
 
 // Register compiles the source (or returns the cached artifact) and
 // interns it under its hash. Concurrent registrations of the same source
-// share one compilation. cached reports whether this call reused an
-// existing or in-flight compilation instead of running its own.
-func (s *Store) Register(src string) (kb *CompiledKB, cached bool, err error) {
+// share one compilation; ctx is this caller's interest in it — when
+// every interested caller's context dies the in-flight compilation is
+// canceled, but one disconnecting client (even the one that started the
+// compile) never cancels work other clients are still waiting on, and a
+// canceled compilation is not cached, so the next request recompiles
+// cleanly. cached reports whether this call reused an existing or
+// in-flight compilation instead of running its own.
+func (s *Store) Register(ctx context.Context, src string) (kb *CompiledKB, cached bool, err error) {
 	id := HashSource(src)
 	s.mu.Lock()
 	if kb, ok := s.kbs.Get(id); ok {
@@ -160,8 +167,8 @@ func (s *Store) Register(src string) (kb *CompiledKB, cached bool, err error) {
 	}
 	s.mu.Unlock()
 
-	kb, shared, err := s.flight.Do(id, func() (*CompiledKB, error) {
-		kb, err := s.compile(id, src)
+	kb, shared, err := s.flight.Do(ctx, id, func(cctx context.Context) (*CompiledKB, error) {
+		kb, err := s.compile(cctx, id, src)
 		if err != nil {
 			s.metrics.CompileErrors.Add(1)
 			return nil, err
@@ -194,12 +201,12 @@ func (s *Store) Len() int {
 	return s.kbs.Len()
 }
 
-// compileBudget is the translation budget of one compilation.
-func (s *Store) compileBudget() *budget.T {
-	if s.cfg.CompileTimeout == 0 && s.cfg.MaxRules == 0 {
-		return nil
-	}
-	return &budget.T{Timeout: s.cfg.CompileTimeout, MaxRules: s.cfg.MaxRules}
+// compileBudget is the translation budget of one compilation: the
+// store's static ceilings plus the flight's interest context, so a
+// compile whose every waiter has disconnected stops at its next
+// checkpoint instead of running to completion for nobody.
+func (s *Store) compileBudget(ctx context.Context) *budget.T {
+	return &budget.T{Ctx: ctx, Timeout: s.cfg.CompileTimeout, MaxRules: s.cfg.MaxRules}
 }
 
 // CompiledKB is the immutable pay-once artifact of a theory: parse
@@ -242,8 +249,11 @@ type CompiledKB struct {
 }
 
 // compile runs the pay-once pipeline: parse, lint, classify, translate
-// per fragment, and compile the base program.
-func (s *Store) compile(id, src string) (*CompiledKB, error) {
+// per fragment, and compile the base program. ctx is the flight's
+// interest context: its cancellation aborts the compile outright (the
+// artifact is never cached half-translated), unlike a translation
+// ceiling, which falls back to chase mode.
+func (s *Store) compile(ctx context.Context, id, src string) (*CompiledKB, error) {
 	th, err := parser.ParseTheory(src)
 	if err != nil {
 		return nil, fmt.Errorf("kbcache: parse: %w", err)
@@ -266,7 +276,7 @@ func (s *Store) compile(id, src string) (*CompiledKB, error) {
 	s.metrics.countTermination(kb.Termination.Class)
 	kb.plans = lru.New[*plan](s.cfg.maxPlans())
 
-	bud := s.compileBudget()
+	bud := s.compileBudget(ctx)
 	switch {
 	case kb.Class.Member[classify.Datalog]:
 		prog, err := datalog.Compile(th)
@@ -279,6 +289,9 @@ func (s *Store) compile(id, src string) (*CompiledKB, error) {
 	case !th.HasNegation() && kb.Class.Member[classify.NearlyGuarded]:
 		dat, _, err := saturate.NearlyGuardedToDatalog(th, saturate.Options{Budget: bud})
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return nil, fmt.Errorf("kbcache: compile canceled: %w", err)
+			}
 			kb.fallBackToChase("dat(Σ)", err)
 			break
 		}
@@ -295,11 +308,17 @@ func (s *Store) compile(id, src string) (*CompiledKB, error) {
 	case !th.HasNegation() && kb.Class.Member[classify.NearlyFrontierGuarded]:
 		ng, _, err := rewrite.Rewrite(normalize.Normalize(th), rewrite.Options{Budget: bud})
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return nil, fmt.Errorf("kbcache: compile canceled: %w", err)
+			}
 			kb.fallBackToChase("rew(Σ)", err)
 			break
 		}
 		dat, _, err := saturate.NearlyGuardedToDatalog(ng, saturate.Options{Budget: bud})
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return nil, fmt.Errorf("kbcache: compile canceled: %w", err)
+			}
 			kb.fallBackToChase("dat(rew(Σ))", err)
 			break
 		}

@@ -1,6 +1,7 @@
 package kbcache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -51,7 +52,7 @@ func e5Facts(n int) *database.Database {
 
 func mustRegister(t *testing.T, s *Store, src string) *CompiledKB {
 	t.Helper()
-	ckb, _, err := s.Register(src)
+	ckb, _, err := s.Register(context.Background(), src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestRegisterModesAndCaching(t *testing.T) {
 		t.Fatalf("certified KB must carry the wa report, got %+v", wg.Termination)
 	}
 
-	again, cached, err := s.Register(e5Source)
+	again, cached, err := s.Register(context.Background(), e5Source)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestRegisterSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ckb, _, err := s.Register(e5Source)
+			ckb, _, err := s.Register(context.Background(), e5Source)
 			if err != nil {
 				t.Error(err)
 				return
@@ -176,7 +177,7 @@ func TestAnswerCQTranslatedMatchesChaseAndCachesPlan(t *testing.T) {
 		t.Fatal("ground truth is empty; the fixture is broken")
 	}
 
-	res, err := ckb.AnswerCQ(q, d, QueryOptions{})
+	res, err := ckb.AnswerCQ(context.Background(), q, d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestAnswerCQTranslatedMatchesChaseAndCachesPlan(t *testing.T) {
 
 	misses := s.Metrics().PlanMisses.Load()
 	translations := s.Metrics().Translations.Load()
-	res2, err := ckb.AnswerCQ(q, d, QueryOptions{})
+	res2, err := ckb.AnswerCQ(context.Background(), q, d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestAnswerCQDatalog(t *testing.T) {
 	d := gen.Path(6)
 	d.Add(parser.MustParseFacts("Node(v0). Node(v3).")[0])
 	d.Add(parser.MustParseFacts("Node(v3).")[0])
-	res, err := ckb.AnswerCQ(mustCQ(t, "Acyclic(X) -> Ans(X)."), d, QueryOptions{})
+	res, err := ckb.AnswerCQ(context.Background(), mustCQ(t, "Acyclic(X) -> Ans(X)."), d, QueryOptions{})
 	if err != nil || !res.Exact {
 		t.Fatalf("exact=%v err=%v", res.Exact, err)
 	}
@@ -243,7 +244,7 @@ func TestAnswerCQChaseMode(t *testing.T) {
 	s := NewStore(Config{})
 	ckb := mustRegister(t, s, wgSource)
 	d := database.FromAtoms(parser.MustParseFacts("P(a). P(b)."))
-	res, err := ckb.AnswerCQ(mustCQ(t, "S(Y,Z) -> Ans(Y,Z)."), d, QueryOptions{})
+	res, err := ckb.AnswerCQ(context.Background(), mustCQ(t, "S(Y,Z) -> Ans(Y,Z)."), d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,19 +270,19 @@ func TestPlanEvictionAndRebuild(t *testing.T) {
 		"T(v0,Y) -> Ans(Y).",
 		"T(X,v4) -> Ans(X).",
 	}
-	first, err := ckb.AnswerCQ(mustCQ(t, queries[0]), d, QueryOptions{})
+	first, err := ckb.AnswerCQ(context.Background(), mustCQ(t, queries[0]), d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, q := range queries[1:] {
-		if _, err := ckb.AnswerCQ(mustCQ(t, q), d, QueryOptions{}); err != nil {
+		if _, err := ckb.AnswerCQ(context.Background(), mustCQ(t, q), d, QueryOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if got := s.Metrics().PlanEvictions.Load(); got == 0 {
 		t.Fatal("three plans in a 2-slot cache must evict")
 	}
-	again, err := ckb.AnswerCQ(mustCQ(t, queries[0]), d, QueryOptions{})
+	again, err := ckb.AnswerCQ(context.Background(), mustCQ(t, queries[0]), d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,14 +303,14 @@ func TestAnswerAtomMagicPlanSharing(t *testing.T) {
 	q1 := core.NewAtom("T", core.Const("v0"), core.Var("Y"))
 	q2 := core.NewAtom("T", core.Const("v3"), core.Var("Y"))
 
-	res1, err := ckb.AnswerAtom(q1, d, QueryOptions{})
+	res1, err := ckb.AnswerAtom(context.Background(), q1, d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res1.PlanHit {
 		t.Fatal("first atom query must build the plan")
 	}
-	res2, err := ckb.AnswerAtom(q2, d, QueryOptions{})
+	res2, err := ckb.AnswerAtom(context.Background(), q2, d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +333,7 @@ func TestAnswerAtomMagicPlanSharing(t *testing.T) {
 	}
 	// A free-free query gets its own plan (full evaluation fallback is
 	// fine too, but the key must differ).
-	res3, err := ckb.AnswerAtom(core.NewAtom("T", core.Var("X"), core.Var("Y")), d, QueryOptions{})
+	res3, err := ckb.AnswerAtom(context.Background(), core.NewAtom("T", core.Var("X"), core.Var("Y")), d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +347,7 @@ func TestAnswerAtomEDBFallback(t *testing.T) {
 	s := NewStore(Config{})
 	ckb := mustRegister(t, s, tcSource)
 	d := gen.Path(3)
-	res, err := ckb.AnswerAtom(core.NewAtom("E", core.Const("v0"), core.Var("Y")), d, QueryOptions{})
+	res, err := ckb.AnswerAtom(context.Background(), core.NewAtom("E", core.Const("v0"), core.Var("Y")), d, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestConcurrentSharedKBStress(t *testing.T) {
 	}
 	want := make([]string, len(queries))
 	for i, q := range queries {
-		res, err := ckb.AnswerCQ(q, d, QueryOptions{})
+		res, err := ckb.AnswerCQ(context.Background(), q, d, QueryOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -382,7 +383,7 @@ func TestConcurrentSharedKBStress(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 3*len(queries); i++ {
 				j := (seed + i) % len(queries)
-				res, err := ckb.AnswerCQ(queries[j], d, QueryOptions{Workers: 1 + seed%3})
+				res, err := ckb.AnswerCQ(context.Background(), queries[j], d, QueryOptions{Workers: 1 + seed%3})
 				if err != nil {
 					t.Error(err)
 					return
@@ -403,7 +404,7 @@ func TestQueryBudgetExhaustion(t *testing.T) {
 	s := NewStore(Config{})
 	ckb := mustRegister(t, s, tcSource)
 	d := gen.Path(40)
-	res, err := ckb.AnswerCQ(mustCQ(t, "T(X,Y) -> Ans(X,Y)."), d,
+	res, err := ckb.AnswerCQ(context.Background(), mustCQ(t, "T(X,Y) -> Ans(X,Y)."), d,
 		QueryOptions{Budget: &budget.T{MaxFacts: 50}})
 	if err == nil {
 		t.Fatal("a 50-fact ceiling on a 40-path closure must exhaust")
@@ -414,7 +415,7 @@ func TestQueryBudgetExhaustion(t *testing.T) {
 	if res == nil || res.Exact {
 		t.Fatal("partial answers must be returned inexact")
 	}
-	full, err2 := ckb.AnswerCQ(mustCQ(t, "T(X,Y) -> Ans(X,Y)."), d, QueryOptions{})
+	full, err2 := ckb.AnswerCQ(context.Background(), mustCQ(t, "T(X,Y) -> Ans(X,Y)."), d, QueryOptions{})
 	if err2 != nil {
 		t.Fatal(err2)
 	}

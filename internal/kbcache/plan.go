@@ -1,6 +1,8 @@
 package kbcache
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -142,17 +144,19 @@ func adornmentOf(query core.Atom) string {
 	return string(b)
 }
 
-// translateBudget bounds plan-time translations like compile-time ones.
-func (ckb *CompiledKB) translateBudget() *budget.T {
-	if ckb.cfg.CompileTimeout == 0 && ckb.cfg.MaxRules == 0 {
-		return nil
-	}
-	return &budget.T{Timeout: ckb.cfg.CompileTimeout, MaxRules: ckb.cfg.MaxRules}
+// translateBudget bounds plan-time translations like compile-time ones;
+// ctx is the plan flight's interest context, so a cold-plan build whose
+// every waiter has disconnected stops at its next checkpoint.
+func (ckb *CompiledKB) translateBudget(ctx context.Context) *budget.T {
+	return &budget.T{Ctx: ctx, Timeout: ckb.cfg.CompileTimeout, MaxRules: ckb.cfg.MaxRules}
 }
 
 // getPlan returns the cached plan under key, building and interning it
-// on first use. Concurrent first uses share one build.
-func (ckb *CompiledKB) getPlan(key string, build func() (*plan, error)) (*plan, bool, error) {
+// on first use. Concurrent first uses share one build, governed by the
+// same interest-tracking flight as compilations: the build is canceled
+// only when every waiting request has disconnected, and a canceled
+// build is never cached, so the next request rebuilds cleanly.
+func (ckb *CompiledKB) getPlan(ctx context.Context, key string, build func(ctx context.Context) (*plan, error)) (*plan, bool, error) {
 	ckb.planMu.Lock()
 	if p, ok := ckb.plans.Get(key); ok {
 		ckb.planMu.Unlock()
@@ -160,8 +164,8 @@ func (ckb *CompiledKB) getPlan(key string, build func() (*plan, error)) (*plan, 
 		return p, true, nil
 	}
 	ckb.planMu.Unlock()
-	p, shared, err := ckb.planFlight.Do(key, func() (*plan, error) {
-		p, err := build()
+	p, shared, err := ckb.planFlight.Do(ctx, key, func(cctx context.Context) (*plan, error) {
+		p, err := build(cctx)
 		if err != nil {
 			return nil, err
 		}
@@ -179,6 +183,22 @@ func (ckb *CompiledKB) getPlan(key string, build func() (*plan, error)) (*plan, 
 	return p, shared, err
 }
 
+// PlanInfo probes the plan cache under key for admission control:
+// cached reports whether a plan is interned (a miss means the next
+// query pays combined-complexity build work), and chasePerCall whether
+// the cached plan re-chases the theory on every evaluation (expensive
+// even on a hit). The probe touches LRU recency, which is harmless: a
+// probed plan is about to be used.
+func (ckb *CompiledKB) PlanInfo(key string) (cached, chasePerCall bool) {
+	ckb.planMu.Lock()
+	defer ckb.planMu.Unlock()
+	p, ok := ckb.plans.Get(key)
+	if !ok {
+		return false, false
+	}
+	return true, p.kind == planChase
+}
+
 // AnswerCQ answers the conjunctive query over the database with the
 // KB's cached plan for the query's shape, building it on first use:
 // attach the query rule (Section 7), translate the attached theory along
@@ -186,10 +206,10 @@ func (ckb *CompiledKB) getPlan(key string, build func() (*plan, error)) (*plan, 
 // a bounded chase where no complete translation exists. On budget
 // exhaustion the sound partial answers are returned alongside the typed
 // *budget.Error.
-func (ckb *CompiledKB) AnswerCQ(q kb.CQ, d *database.Database, opts QueryOptions) (*QueryResult, error) {
+func (ckb *CompiledKB) AnswerCQ(ctx context.Context, q kb.CQ, d *database.Database, opts QueryOptions) (*QueryResult, error) {
 	ckb.metrics.Queries.Add(1)
 	key := CQKey(q)
-	p, hit, err := ckb.getPlan(key, func() (*plan, error) { return ckb.buildCQPlan(q) })
+	p, hit, err := ckb.getPlan(ctx, key, func(cctx context.Context) (*plan, error) { return ckb.buildCQPlan(cctx, q) })
 	if err != nil {
 		ckb.metrics.QueryErrors.Add(1)
 		return nil, err
@@ -204,7 +224,7 @@ func (ckb *CompiledKB) AnswerCQ(q kb.CQ, d *database.Database, opts QueryOptions
 
 // buildCQPlan is the pay-once part of a CQ: Σ ∪ {α ∧ ACDom(~x) → QAns(~x)}
 // translated and compiled per the KB's mode.
-func (ckb *CompiledKB) buildCQPlan(q kb.CQ) (*plan, error) {
+func (ckb *CompiledKB) buildCQPlan(ctx context.Context, q kb.CQ) (*plan, error) {
 	attached, err := kb.Attach(ckb.Theory, q)
 	if err != nil {
 		return nil, err
@@ -222,7 +242,7 @@ func (ckb *CompiledKB) buildCQPlan(q kb.CQ) (*plan, error) {
 			chain:    []string{"query rule attached; stratified and compiled with the source program"},
 		}, nil
 	case ModeTranslated:
-		return ckb.buildTranslatedCQPlan(attached)
+		return ckb.buildTranslatedCQPlan(ctx, attached)
 	default:
 		return ckb.buildChasePlan(attached, "query rule attached; bounded chase per call"), nil
 	}
@@ -256,8 +276,8 @@ func (ckb *CompiledKB) buildChasePlan(attached *core.Theory, why string) *plan {
 // the query rule keeps it inside a translatable fragment, and falls back
 // to a per-call chase when it does not (or when the translation budget
 // aborts): the fallback is sound, merely not compiled.
-func (ckb *CompiledKB) buildTranslatedCQPlan(attached *core.Theory) (*plan, error) {
-	bud := ckb.translateBudget()
+func (ckb *CompiledKB) buildTranslatedCQPlan(ctx context.Context, attached *core.Theory) (*plan, error) {
+	bud := ckb.translateBudget(ctx)
 	rep := classify.Classify(attached)
 	var (
 		dat   *core.Theory
@@ -279,6 +299,11 @@ func (ckb *CompiledKB) buildTranslatedCQPlan(attached *core.Theory) (*plan, erro
 		return ckb.buildChasePlan(attached, "query rule leaves the translatable fragments; bounded chase per call"), nil
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Cancellation is not a verdict on the plan: nothing is cached,
+			// the next request rebuilds with live interest.
+			return nil, fmt.Errorf("kbcache: plan build canceled: %w", err)
+		}
 		return ckb.buildChasePlan(attached, "translation aborted ("+err.Error()+"); bounded chase per call"), nil
 	}
 	ckb.metrics.Translations.Add(1)
@@ -295,13 +320,13 @@ func (ckb *CompiledKB) buildTranslatedCQPlan(attached *core.Theory) (*plan, erro
 // binding pattern (dat(Σ) preserves ground atomic consequences, so the
 // base program is complete for atomic queries); chase-mode KBs delegate
 // to the CQ path.
-func (ckb *CompiledKB) AnswerAtom(query core.Atom, d *database.Database, opts QueryOptions) (*QueryResult, error) {
+func (ckb *CompiledKB) AnswerAtom(ctx context.Context, query core.Atom, d *database.Database, opts QueryOptions) (*QueryResult, error) {
 	if ckb.Mode == ModeChase || ckb.Mode == ModeCertified {
-		return ckb.answerAtomByCQ(query, d, opts)
+		return ckb.answerAtomByCQ(ctx, query, d, opts)
 	}
 	ckb.metrics.Queries.Add(1)
 	key := AtomKey(query)
-	p, hit, err := ckb.getPlan(key, func() (*plan, error) { return ckb.buildAtomPlan(query) })
+	p, hit, err := ckb.getPlan(ctx, key, func(context.Context) (*plan, error) { return ckb.buildAtomPlan(query) })
 	if err != nil {
 		ckb.metrics.QueryErrors.Add(1)
 		return nil, err
@@ -486,7 +511,7 @@ func (ckb *CompiledKB) evalAtomPlan(p *plan, query core.Atom, d *database.Databa
 
 // answerAtomByCQ routes an atomic query through the CQ path (chase-mode
 // KBs), reconstructing full argument tuples from the answer bindings.
-func (ckb *CompiledKB) answerAtomByCQ(query core.Atom, d *database.Database, opts QueryOptions) (*QueryResult, error) {
+func (ckb *CompiledKB) answerAtomByCQ(ctx context.Context, query core.Atom, d *database.Database, opts QueryOptions) (*QueryResult, error) {
 	var vars []core.Term
 	seen := map[core.Term]bool{}
 	for _, t := range query.Args {
@@ -495,7 +520,7 @@ func (ckb *CompiledKB) answerAtomByCQ(query core.Atom, d *database.Database, opt
 			vars = append(vars, t)
 		}
 	}
-	res, err := ckb.AnswerCQ(kb.CQ{Answer: vars, Atoms: []core.Atom{query}}, d, opts)
+	res, err := ckb.AnswerCQ(ctx, kb.CQ{Answer: vars, Atoms: []core.Atom{query}}, d, opts)
 	if res == nil {
 		return nil, err
 	}

@@ -1,0 +1,216 @@
+package kbcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Concurrent duplicates share one run; distinct keys run independently.
+func TestFlightDedup(t *testing.T) {
+	var f flight[int]
+	var runs atomic.Int32
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := f.Do(context.Background(), "k", func(context.Context) (int, error) {
+				runs.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d", i, v)
+		}
+	}
+}
+
+// A waiter whose own context dies stops waiting immediately with its ctx
+// error; the in-flight call keeps running for the remaining waiter and
+// completes normally.
+func TestFlightWaiterDisconnectDoesNotCancelCall(t *testing.T) {
+	var f flight[string]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var sawCancel atomic.Bool
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(context.Background(), "k", func(ctx context.Context) (string, error) {
+			close(started)
+			<-release
+			if ctx.Err() != nil {
+				sawCancel.Store(true)
+			}
+			return "v", nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, shared, err := f.Do(ctx, "k", func(context.Context) (string, error) {
+		t.Error("follower must join the in-flight call, not start its own")
+		return "", nil
+	})
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Fatalf("disconnected follower: shared=%v err=%v", shared, err)
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if sawCancel.Load() {
+		t.Fatal("one follower's disconnect canceled a call the leader still wanted")
+	}
+}
+
+// When every interested caller disconnects, the running fn's context is
+// canceled — abandoned compiles stop consuming the machine.
+func TestFlightAllWaitersGoneCancelsCall(t *testing.T) {
+	var f flight[string]
+	started := make(chan struct{})
+	canceled := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(ctx, "k", func(cctx context.Context) (string, error) {
+			close(started)
+			select {
+			case <-cctx.Done():
+				close(canceled)
+				return "", cctx.Err()
+			case <-time.After(5 * time.Second):
+				return "", errors.New("call context never canceled")
+			}
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case <-canceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sole waiter's disconnect did not cancel the call context")
+	}
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v", err)
+	}
+}
+
+// A call that dies of cancellation does not poison followers: a waiter
+// that shared the doomed run observes the cancellation, sees its own
+// context alive, and retries as the new leader instead of inheriting the
+// corpse's error.
+func TestFlightCanceledLeaderDoesNotPoisonFollower(t *testing.T) {
+	var f flight[string]
+	firstStarted := make(chan struct{})
+	release := make(chan struct{})
+	var runs atomic.Int32
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(context.Background(), "k", func(context.Context) (string, error) {
+			if runs.Add(1) == 1 {
+				close(firstStarted)
+				<-release
+				// Simulate a compile abandoned by cancellation.
+				return "", fmt.Errorf("compile: %w", context.Canceled)
+			}
+			return "fresh", nil
+		})
+		leaderDone <- err
+	}()
+	<-firstStarted
+
+	// The follower joins the doomed run (or, if it loses the race and the
+	// run already finished, starts fresh) — both paths must end with the
+	// real value, never the canceled run's error.
+	followerDone := make(chan struct{})
+	var followerVal string
+	var followerErr error
+	go func() {
+		defer close(followerDone)
+		followerVal, _, followerErr = f.Do(context.Background(), "k", func(context.Context) (string, error) {
+			runs.Add(1)
+			return "fresh", nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the follower join the in-flight run
+	close(release)
+
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want canceled", err)
+	}
+	select {
+	case <-followerDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower hung after canceled run")
+	}
+	if followerErr != nil || followerVal != "fresh" {
+		t.Fatalf("follower poisoned by canceled run: val=%q err=%v", followerVal, followerErr)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("fn ran %d times, want 2 (doomed run + follower retry)", got)
+	}
+}
+
+// Hammering one key with disconnecting and surviving waiters never
+// deadlocks, leaks, or returns a wrong value. Run under -race in CI.
+func TestFlightStress(t *testing.T) {
+	var f flight[int]
+	var wg sync.WaitGroup
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ctx := context.Background()
+				if i%3 == 0 {
+					c, cancel := context.WithTimeout(ctx, time.Duration(i)*time.Millisecond)
+					defer cancel()
+					ctx = c
+				}
+				v, _, err := f.Do(ctx, "k", func(cctx context.Context) (int, error) {
+					select {
+					case <-time.After(2 * time.Millisecond):
+						return 7, nil
+					case <-cctx.Done():
+						return 0, cctx.Err()
+					}
+				})
+				if err == nil && v != 7 {
+					t.Errorf("got %d", v)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+}

@@ -4,9 +4,31 @@
 package par
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a worker panic converted into a value: the engines run
+// untrusted-adjacent work (user theories through compiled join plans) on
+// pool goroutines, where a raw panic would kill the whole process rather
+// than the one request that triggered it. RunUnits recovers the panic on
+// the worker, and the caller surfaces it as a per-request failure.
+type PanicError struct {
+	// Unit is the work-item index whose run panicked; -1 when the panic
+	// was caught at an engine boundary outside the pool (coordinator
+	// goroutine).
+	Unit int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recover.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: panic in worker unit %d: %v", e.Unit, e.Value)
+}
 
 // RunUnits executes run(0..n-1) across a pool of workers. Units are
 // claimed from a shared counter; determinism is preserved because each
@@ -16,15 +38,37 @@ import (
 // goroutine. Units already started finish their (possibly
 // canceled-short) run; the caller discards all buffers of a canceled
 // round, so partial units never leak into the result.
-func RunUnits(n, workers int, canceled func() bool, run func(u int)) {
+//
+// A panic inside run is contained to its worker: the first one is
+// captured as a *PanicError and returned after the pool drains (the
+// remaining workers stop claiming units, exactly as on cancellation).
+// The caller must treat a non-nil error like a canceled round — discard
+// the buffers and fail the request — so one poisoned unit can never
+// kill the process or corrupt the merged result.
+func RunUnits(n, workers int, canceled func() bool, run func(u int)) (err error) {
+	var panicked atomic.Pointer[PanicError]
+	runSafe := func(u int) {
+		defer func() {
+			if v := recover(); v != nil {
+				panicked.CompareAndSwap(nil, &PanicError{Unit: u, Value: v, Stack: debug.Stack()})
+			}
+		}()
+		run(u)
+	}
 	if workers <= 1 || n <= 1 {
 		for u := 0; u < n; u++ {
 			if canceled() {
-				return
+				break
 			}
-			run(u)
+			runSafe(u)
+			if pe := panicked.Load(); pe != nil {
+				return pe
+			}
 		}
-		return
+		if pe := panicked.Load(); pe != nil {
+			return pe
+		}
+		return nil
 	}
 	if workers > n {
 		workers = n
@@ -36,16 +80,20 @@ func RunUnits(n, workers int, canceled func() bool, run func(u int)) {
 		go func() {
 			defer wg.Done()
 			for {
-				if canceled() {
+				if canceled() || panicked.Load() != nil {
 					return
 				}
 				u := int(next.Add(1)) - 1
 				if u >= n {
 					return
 				}
-				run(u)
+				runSafe(u)
 			}
 		}()
 	}
 	wg.Wait()
+	if pe := panicked.Load(); pe != nil {
+		return pe
+	}
+	return nil
 }

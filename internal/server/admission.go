@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Two-tier admission control. The paper's complexity split is the
+// routing rule: work whose cost scales with the theory (combined
+// complexity — compile misses, cold-plan builds, chase-per-call
+// evaluation) goes through the narrow heavy tier; work whose cost
+// scales only with the data (plan-hit evaluation over a compiled
+// program, fact parsing) goes through the wide light tier. Each tier
+// couples a concurrency limit with a bounded wait queue: a request
+// beyond limit+queue is shed immediately with 429 rather than piling
+// onto a saturated server, and a queued request that outwaits
+// MaxQueueWait (or whose client disconnects) is shed too.
+
+// tier is one admission class: a slot semaphore plus a bounded queue.
+type tier struct {
+	slots    chan struct{}
+	queueCap int64
+	maxWait  time.Duration
+
+	waiting  atomic.Int64
+	inFlight atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+func newTier(limit, queue int, maxWait time.Duration) *tier {
+	return &tier{
+		slots:    make(chan struct{}, limit),
+		queueCap: int64(queue),
+		maxWait:  maxWait,
+	}
+}
+
+// acquire claims a slot, waiting in the bounded queue while the tier is
+// saturated. On admission it returns the release func; on shedding
+// (queue full, wait exhausted, or caller gone) it returns ok=false.
+func (t *tier) acquire(ctx context.Context) (release func(), ok bool) {
+	select {
+	case t.slots <- struct{}{}:
+	default:
+		if t.waiting.Add(1) > t.queueCap {
+			t.waiting.Add(-1)
+			t.shed.Add(1)
+			return nil, false
+		}
+		timer := time.NewTimer(t.maxWait)
+		defer timer.Stop()
+		select {
+		case t.slots <- struct{}{}:
+			t.waiting.Add(-1)
+		case <-timer.C:
+			t.waiting.Add(-1)
+			t.shed.Add(1)
+			return nil, false
+		case <-ctx.Done():
+			t.waiting.Add(-1)
+			t.shed.Add(1)
+			return nil, false
+		}
+	}
+	t.admitted.Add(1)
+	t.inFlight.Add(1)
+	return func() {
+		t.inFlight.Add(-1)
+		<-t.slots
+	}, true
+}
+
+// retryAfterSeconds is the Retry-After hint on a shed response: the
+// queue-wait ceiling rounded up, i.e. how long a fresh arrival could
+// have waited before the server gave up on it.
+func (t *tier) retryAfterSeconds() int {
+	s := int((t.maxWait + time.Second - 1) / time.Second)
+	if s < 1 {
+		return 1
+	}
+	return s
+}

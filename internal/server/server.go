@@ -12,19 +12,34 @@
 //	POST /v1/query     {"theory_id", "db_id", …}  → answers
 //	GET  /metrics                                 → flat counter JSON
 //	GET  /healthz                                 → liveness
+//	GET  /readyz                                  → readiness (drain-aware)
 //
 // Every query runs under a request budget: the request context is the
 // cancellation source (a disconnecting client aborts the engines) and
 // the server's default timeout and fact ceiling bound the run. Budget
 // exhaustion is not an HTTP error: the response carries the sound
 // partial answers with "truncated": true and the typed reason.
+//
+// The server is hardened for sustained overload: POST bodies are
+// size-capped (413), requests are routed through two-tier admission
+// control (combined-complexity work — compile misses, cold plans,
+// per-call chases — through a narrow gate; data-complexity plan-hit
+// evaluation through a wide one) and shed with 429 + Retry-After when
+// both the tier's slots and its bounded wait queue are full, handler
+// panics are contained to a 500 on the one request, and BeginDrain
+// flips /readyz to 503 so load balancers stop routing while in-flight
+// requests finish.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +52,7 @@ import (
 	"guardedrules/internal/kbcache"
 	"guardedrules/internal/lint"
 	"guardedrules/internal/lru"
+	"guardedrules/internal/par"
 	"guardedrules/internal/parser"
 	"guardedrules/internal/termination"
 )
@@ -57,6 +73,27 @@ type Config struct {
 	MaxFacts int
 	// Workers is the per-round engine parallelism (0 = engine default).
 	Workers int
+
+	// HeavyLimit caps concurrent combined-complexity requests: compile
+	// misses, cold-plan builds, and chase-per-call evaluation (0 = 4).
+	HeavyLimit int
+	// HeavyQueue bounds how many heavy requests may wait for a slot
+	// before new arrivals are shed with 429 (0 = 2×HeavyLimit).
+	HeavyQueue int
+	// LightLimit caps concurrent data-complexity requests: plan-hit
+	// evaluation and fact parsing (0 = 64).
+	LightLimit int
+	// LightQueue bounds the light wait queue (0 = 2×LightLimit).
+	LightQueue int
+	// MaxQueueWait bounds how long an admitted-but-queued request waits
+	// for a slot before it is shed (0 = 1s).
+	MaxQueueWait time.Duration
+	// MaxBodyBytes caps POST request bodies; oversized bodies get 413
+	// (0 = 4 MiB).
+	MaxBodyBytes int64
+	// Chaos enables the fault-injection fields on query requests (used
+	// by the load harness); without it those fields are rejected.
+	Chaos bool
 }
 
 func (c Config) maxDBs() int {
@@ -64,6 +101,48 @@ func (c Config) maxDBs() int {
 		return 32
 	}
 	return c.MaxDBs
+}
+
+func (c Config) heavyLimit() int {
+	if c.HeavyLimit <= 0 {
+		return 4
+	}
+	return c.HeavyLimit
+}
+
+func (c Config) heavyQueue() int {
+	if c.HeavyQueue <= 0 {
+		return 2 * c.heavyLimit()
+	}
+	return c.HeavyQueue
+}
+
+func (c Config) lightLimit() int {
+	if c.LightLimit <= 0 {
+		return 64
+	}
+	return c.LightLimit
+}
+
+func (c Config) lightQueue() int {
+	if c.LightQueue <= 0 {
+		return 2 * c.lightLimit()
+	}
+	return c.LightQueue
+}
+
+func (c Config) maxQueueWait() time.Duration {
+	if c.MaxQueueWait <= 0 {
+		return time.Second
+	}
+	return c.MaxQueueWait
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes <= 0 {
+		return 4 << 20
+	}
+	return c.MaxBodyBytes
 }
 
 // endpointStats counts one endpoint's traffic.
@@ -88,6 +167,15 @@ type Server struct {
 	dbs         *lru.Cache[*dbEntry]
 	dbEvictions atomic.Int64
 
+	heavy *tier
+	light *tier
+
+	ready           atomic.Bool // false once draining
+	inFlight        atomic.Int64
+	panicsRecovered atomic.Int64
+	enginePanics    atomic.Int64
+	encodeErrors    atomic.Int64
+
 	endpoints map[string]*endpointStats
 	mux       *http.ServeMux
 }
@@ -98,14 +186,18 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		store:     kbcache.NewStore(cfg.Store),
 		dbs:       lru.New[*dbEntry](cfg.maxDBs()),
+		heavy:     newTier(cfg.heavyLimit(), cfg.heavyQueue(), cfg.maxQueueWait()),
+		light:     newTier(cfg.lightLimit(), cfg.lightQueue(), cfg.maxQueueWait()),
 		endpoints: make(map[string]*endpointStats),
 		mux:       http.NewServeMux(),
 	}
+	s.ready.Store(true)
 	s.mux.HandleFunc("POST /v1/theories", s.instrument("theories", s.handleTheories))
 	s.mux.HandleFunc("POST /v1/dbs", s.instrument("dbs", s.handleDBs))
 	s.mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	return s
 }
 
@@ -115,40 +207,76 @@ func (s *Server) Store() *kbcache.Store { return s.store }
 // Handler is the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// statusRecorder captures the response status for error counting.
+// BeginDrain flips /readyz to 503 so load balancers stop routing new
+// traffic. In-flight requests are unaffected; pair with
+// http.Server.Shutdown, which waits for them.
+func (s *Server) BeginDrain() { s.ready.Store(false) }
+
+// InFlight reports the requests currently inside handlers.
+func (s *Server) InFlight() int64 { return s.inFlight.Load() }
+
+// statusRecorder captures the response status for error counting and
+// whether a header went out (a panicking handler may or may not have
+// started its response).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
 // instrument wraps a handler with per-endpoint request, error and
-// latency counters.
+// latency counters, the server-wide in-flight gauge, and panic
+// containment: a panicking handler costs that request a 500, never the
+// process.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	st := &endpointStats{}
 	s.endpoints[name] = st
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		s.inFlight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if v := recover(); v != nil {
+				s.panicsRecovered.Add(1)
+				log.Printf("server: panic in %s handler (contained): %v\n%s", name, v, debug.Stack())
+				rec.status = http.StatusInternalServerError
+				if !rec.wrote {
+					s.writeError(rec, http.StatusInternalServerError,
+						fmt.Errorf("internal error: handler panicked: %v", v))
+				}
+			}
+			s.inFlight.Add(-1)
+			st.requests.Add(1)
+			if rec.status >= 400 {
+				st.errors.Add(1)
+			}
+			st.latencyUS.Add(time.Since(start).Microseconds())
+		}()
 		h(rec, r)
-		st.requests.Add(1)
-		if rec.status >= 400 {
-			st.errors.Add(1)
-		}
-		st.latencyUS.Add(time.Since(start).Microseconds())
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is already out; all we can do is count the
+		// failure so operators see responses dying mid-encode.
+		s.encodeErrors.Add(1)
+	}
 }
 
 type errorResponse struct {
@@ -159,7 +287,7 @@ type errorResponse struct {
 // writeError maps an error onto an HTTP status: typed budget errors name
 // their ceiling; deadlines are 504, cancellations 503, other budget
 // ceilings 422 (the artifact is too large for the configured bounds).
-func writeError(w http.ResponseWriter, status int, err error) {
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	resp := errorResponse{Error: err.Error()}
 	var be *budget.Error
 	if errors.As(err, &be) {
@@ -173,7 +301,39 @@ func writeError(w http.ResponseWriter, status int, err error) {
 			status = http.StatusUnprocessableEntity
 		}
 	}
-	writeJSON(w, status, resp)
+	s.writeJSON(w, status, resp)
+}
+
+// decodeBody decodes the JSON request body under the configured size
+// cap. On failure it writes the error response itself — 413 for an
+// oversized body, 400 for malformed JSON — and returns false.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return false
+	}
+	return true
+}
+
+// admit routes the request through the named tier, shedding with 429 +
+// Retry-After when the tier's slots and bounded queue are both full (or
+// the wait times out). On admission the caller must call release.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, t *tier, tierName string) (release func(), ok bool) {
+	release, ok = t.acquire(r.Context())
+	if !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(t.retryAfterSeconds()))
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server saturated: %s admission queue full, retry later", tierName))
+		return nil, false
+	}
+	return release, true
 }
 
 type theoryRequest struct {
@@ -203,17 +363,30 @@ type terminationResponse struct {
 
 func (s *Server) handleTheories(w http.ResponseWriter, r *http.Request) {
 	var req theoryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Source == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing \"source\""))
+		s.writeError(w, http.StatusBadRequest, errors.New("missing \"source\""))
 		return
 	}
-	ckb, cached, err := s.store.Register(req.Source)
+	// A re-registration of a cached source is a map lookup (light); a
+	// novel source pays the full combined-complexity compile pipeline
+	// (heavy). Concurrent first registrations all classify heavy and
+	// share one compile through the store's flight — exactly the
+	// requests that should be holding heavy slots.
+	admitTier, tierName := s.heavy, "heavy"
+	if _, ok := s.store.Get(kbcache.HashSource(req.Source)); ok {
+		admitTier, tierName = s.light, "light"
+	}
+	release, ok := s.admit(w, r, admitTier, tierName)
+	if !ok {
+		return
+	}
+	defer release()
+	ckb, cached, err := s.store.Register(r.Context(), req.Source)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	resp := theoryResponse{
@@ -234,7 +407,7 @@ func (s *Server) handleTheories(w http.ResponseWriter, r *http.Request) {
 	for _, f := range ckb.Class.Fragments() {
 		resp.Fragments = append(resp.Fragments, f.String())
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 type dbRequest struct {
@@ -248,13 +421,18 @@ type dbResponse struct {
 
 func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 	var req dbRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	// Fact parsing is data-complexity work bounded by the body cap.
+	release, ok := s.admit(w, r, s.light, "light")
+	if !ok {
+		return
+	}
+	defer release()
 	atoms, err := parser.ParseFacts(req.Facts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	d := database.FromAtoms(atoms)
@@ -264,7 +442,7 @@ func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 		s.dbEvictions.Add(1)
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, dbResponse{ID: id, Facts: len(atoms)})
+	s.writeJSON(w, http.StatusOK, dbResponse{ID: id, Facts: len(atoms)})
 }
 
 type queryRequest struct {
@@ -281,6 +459,22 @@ type queryRequest struct {
 	Variant string `json:"variant,omitempty"`
 	// MaxDepth bounds chase-mode null depth (0 = server default).
 	MaxDepth int `json:"max_depth,omitempty"`
+
+	// Fault-injection fields, rejected unless the server was built with
+	// Config.Chaos (the load harness's levers). FailAt aborts the
+	// engine budget at its nth checkpoint; PanicAt panics there
+	// (exercising worker/engine containment); DelayMS sleeps before
+	// evaluation while holding the admission slot (driving shed paths
+	// deterministically); PanicHandler panics in the HTTP handler
+	// itself (exercising the recovery middleware).
+	FailAt       int64 `json:"fail_at,omitempty"`
+	PanicAt      int64 `json:"panic_at,omitempty"`
+	DelayMS      int   `json:"delay_ms,omitempty"`
+	PanicHandler bool  `json:"panic_handler,omitempty"`
+}
+
+func (q queryRequest) wantsChaos() bool {
+	return q.FailAt > 0 || q.PanicAt > 0 || q.DelayMS > 0 || q.PanicHandler
 }
 
 type queryResponse struct {
@@ -304,30 +498,92 @@ func (s *Server) requestBudget(r *http.Request) *budget.T {
 	}
 }
 
+// classifyQuery picks the admission tier of a query: light exactly when
+// the KB already holds a compiled (non-chase) plan for the query's
+// shape, so the request pays only data-complexity evaluation. Plan
+// misses, chase-fallback plans, and chase-mode KBs (which re-chase per
+// call, atom queries included via the CQ path) are heavy.
+func (s *Server) classifyQuery(ckb *kbcache.CompiledKB, key string) (t *tier, name string) {
+	if cached, chasePerCall := ckb.PlanInfo(key); cached && !chasePerCall {
+		return s.light, "light"
+	}
+	return s.heavy, "heavy"
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.wantsChaos() && !s.cfg.Chaos {
+		s.writeError(w, http.StatusBadRequest,
+			errors.New("fault-injection fields require a server started with chaos enabled"))
 		return
 	}
 	ckb, ok := s.store.Get(req.TheoryID)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown theory_id %q (evicted or never registered)", req.TheoryID))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown theory_id %q (evicted or never registered)", req.TheoryID))
 		return
 	}
 	s.mu.Lock()
 	ent, ok := s.dbs.Get(req.DBID)
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown db_id %q (evicted or never loaded)", req.DBID))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown db_id %q (evicted or never loaded)", req.DBID))
 		return
 	}
+
+	// Parse the query before admission: both the tier classification and
+	// the rejection of malformed requests should not cost a slot.
+	var (
+		q        kb.CQ
+		query    core.Atom
+		isCQ     bool
+		parseErr error
+	)
+	switch {
+	case req.CQ != "" && req.Atom == "":
+		isCQ = true
+		q, parseErr = kb.ParseCQ(req.CQ)
+	case req.Atom != "" && req.CQ == "":
+		query, parseErr = parseQueryAtom(req.Atom)
+	default:
+		s.writeError(w, http.StatusBadRequest, errors.New("exactly one of \"cq\" and \"atom\" must be set"))
+		return
+	}
+	if parseErr != nil {
+		s.writeError(w, http.StatusBadRequest, parseErr)
+		return
+	}
+	planKey := kbcache.AtomKey(query)
+	if isCQ {
+		planKey = kbcache.CQKey(q)
+	}
+	admitTier, tierName := s.classifyQuery(ckb, planKey)
+	release, ok := s.admit(w, r, admitTier, tierName)
+	if !ok {
+		return
+	}
+	defer release()
+
+	if req.DelayMS > 0 {
+		select {
+		case <-time.After(time.Duration(req.DelayMS) * time.Millisecond):
+		case <-r.Context().Done():
+		}
+	}
+	if req.PanicHandler {
+		panic("chaos: injected handler panic")
+	}
+
 	opts := kbcache.QueryOptions{
 		Workers:  s.cfg.Workers,
 		Variant:  chase.Restricted,
 		MaxDepth: req.MaxDepth,
 		Budget:   s.requestBudget(r),
 	}
+	opts.Budget.FailAtCheckpoint = req.FailAt
+	opts.Budget.PanicAtCheckpoint = req.PanicAt
 	if ckb.Mode == kbcache.ModeCertified {
 		// The defensive fact ceiling guards against divergent chases; a
 		// termination certificate proves there is none, so certified
@@ -343,29 +599,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res *kbcache.QueryResult
 		err error
 	)
-	switch {
-	case req.CQ != "" && req.Atom == "":
-		var q kb.CQ
-		q, err = kb.ParseCQ(req.CQ)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		res, err = ckb.AnswerCQ(q, ent.db, opts)
-	case req.Atom != "" && req.CQ == "":
-		var query core.Atom
-		query, err = parseQueryAtom(req.Atom)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		res, err = ckb.AnswerAtom(query, ent.db, opts)
-	default:
-		writeError(w, http.StatusBadRequest, errors.New("exactly one of \"cq\" and \"atom\" must be set"))
-		return
+	if isCQ {
+		res, err = ckb.AnswerCQ(r.Context(), q, ent.db, opts)
+	} else {
+		res, err = ckb.AnswerAtom(r.Context(), query, ent.db, opts)
 	}
 	if err != nil && (res == nil || !budget.IsBudget(err)) {
-		writeError(w, http.StatusInternalServerError, err)
+		var pe *par.PanicError
+		if errors.As(err, &pe) {
+			// An engine worker panicked; the engines contained it to this
+			// request and the evaluation state was discarded.
+			s.enginePanics.Add(1)
+		}
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	resp := queryResponse{
@@ -390,7 +636,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Truncated = true
 		resp.Reason = err.Error()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // parseQueryAtom parses an atomic query, allowing variables.
@@ -406,6 +652,10 @@ func parseQueryAtom(src string) (core.Atom, error) {
 	return body[0], nil
 }
 
+// Gauge keys in /metrics (free to move in both directions): "dbs",
+// "kbs", "ready", "in_flight", "in_flight_heavy", "in_flight_light",
+// "queued_heavy", "queued_light", "goroutines". Everything else is a
+// monotone counter — the load harness checks that invariant.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out := s.store.Metrics().Snapshot()
 	s.mu.Lock()
@@ -413,14 +663,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	out["db_evictions"] = s.dbEvictions.Load()
 	out["kbs"] = int64(s.store.Len())
+	out["ready"] = 0
+	if s.ready.Load() {
+		out["ready"] = 1
+	}
+	out["in_flight"] = s.inFlight.Load()
+	out["goroutines"] = int64(runtime.NumGoroutine())
+	out["panics_recovered"] = s.panicsRecovered.Load()
+	out["engine_panics"] = s.enginePanics.Load()
+	out["encode_errors"] = s.encodeErrors.Load()
+	for name, t := range map[string]*tier{"heavy": s.heavy, "light": s.light} {
+		out["shed_"+name] = t.shed.Load()
+		out["admitted_"+name] = t.admitted.Load()
+		out["in_flight_"+name] = t.inFlight.Load()
+		out["queued_"+name] = t.waiting.Load()
+	}
 	for name, st := range s.endpoints {
 		out["http_"+name+"_requests"] = st.requests.Load()
 		out["http_"+name+"_errors"] = st.errors.Load()
 		out["http_"+name+"_latency_us"] = st.latencyUS.Load()
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleReadyz reports routability: 200 while serving, 503 once
+// draining. Liveness (/healthz) stays 200 throughout a drain — the
+// process is healthy, it just wants no new work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
 }

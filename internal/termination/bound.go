@@ -54,50 +54,37 @@ type BoundRule struct {
 }
 
 // positionRanks computes the rank of every position occurring in the
-// graph: the maximum number of special edges on any path into it. The
-// edges must be weakly acyclic (special edges strictly increase rank, so
-// longest paths are well-defined via DFS with memoization).
+// graph: the maximum number of special edges on any path into it,
+// by fixpoint relaxation (rank(to) ≥ rank(from) + special for every
+// edge, iterated to stability). Relaxation handles the benign cycles a
+// weakly acyclic graph may contain — every position on a non-special
+// cycle converges to the same rank — where a memoized DFS would have to
+// break the cycle at an iteration-order-dependent point and could
+// publish ranks that violate the certificate inequality. Under WA the
+// fixpoint is reached within one pass per distinct rank value; the pass
+// cap makes a non-WA input (which the callers never produce) terminate
+// with partially relaxed ranks instead of looping.
 func positionRanks(edges []Edge) map[classify.Position]int {
-	type in struct {
-		from    classify.Position
-		special bool
-	}
-	preds := map[classify.Position][]in{}
-	nodes := map[classify.Position]bool{}
-	for _, e := range edges {
-		preds[e.To] = append(preds[e.To], in{e.From, e.Special})
-		nodes[e.From] = true
-		nodes[e.To] = true
-	}
 	rank := map[classify.Position]int{}
-	onStack := map[classify.Position]bool{}
-	var visit func(p classify.Position) int
-	visit = func(p classify.Position) int {
-		if r, ok := rank[p]; ok {
-			return r
-		}
-		if onStack[p] {
-			// A cycle: under WA it carries no special edge, so it cannot
-			// increase rank; break it at 0.
-			return 0
-		}
-		onStack[p] = true
-		r := 0
-		for _, e := range preds[p] {
-			pr := visit(e.from)
-			if e.special {
-				pr++
-			}
-			if pr > r {
-				r = pr
-			}
-		}
-		onStack[p] = false
-		rank[p] = r
-		return r
+	for _, e := range edges {
+		rank[e.From] = 0
+		rank[e.To] = 0
 	}
-	for p := range nodes {
-		visit(p)
+	for pass := 0; pass <= len(rank); pass++ {
+		changed := false
+		for _, e := range edges {
+			need := rank[e.From]
+			if e.Special {
+				need++
+			}
+			if rank[e.To] < need {
+				rank[e.To] = need
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
 	}
 	return rank
 }

@@ -1,0 +1,43 @@
+package termination
+
+import (
+	"testing"
+
+	"guardedrules/internal/parser"
+)
+
+// Regression: a weakly acyclic graph may contain benign (non-special)
+// cycles — here T ↔ T2 — and the rank computation must converge to the
+// true longest-special-path ranks deterministically. The memoized DFS
+// this replaced broke cycles at a map-iteration-order-dependent point
+// and intermittently published ranks violating the certificate
+// inequality (rank 1 -> 0 across a regular edge), so the certificate's
+// own Verify rejected it. 300 repetitions would fail with high
+// probability under the old implementation.
+func TestRankDeterministicOnBenignCycles(t *testing.T) {
+	src := `
+		R0(X) -> exists Z. S(X,Z).
+		S(X,Y) -> T(Y).
+		T(X) -> T2(X).
+		T2(X) -> T(X).
+		T(X) -> exists W. U(X,W).
+	`
+	th, err := parser.ParseTheory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		rep := Analyze(th)
+		if !rep.WeaklyAcyclic {
+			t.Fatalf("iter %d: expected WA", i)
+		}
+		// Longest special path: R0.0 => S.1 -> T.0 => U.1 has 2 special
+		// edges; the T ↔ T2 cycle must not perturb it.
+		if rep.Bound.MaxRank != 2 {
+			t.Fatalf("iter %d: MaxRank = %d, want 2", i, rep.Bound.MaxRank)
+		}
+		if err := rep.Certificate.Verify(th); err != nil {
+			t.Fatalf("iter %d: certificate self-verification failed: %v", i, err)
+		}
+	}
+}
