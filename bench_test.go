@@ -855,6 +855,154 @@ func TestEmitTerminationBenchJSON(t *testing.T) {
 	t.Logf("wrote BENCH_termination.json (%d entries)", len(report.Benchmarks))
 }
 
+// BenchmarkIncrementalMaintenance contrasts from-scratch re-evaluation
+// with delta-driven maintenance on the E11 transitive-closure workload:
+// each maintained op is one single-edge batch (an insert extending the
+// path by a fresh tail node, then the retract that undoes it, keeping
+// the handle in steady state across iterations).
+func BenchmarkIncrementalMaintenance(b *testing.B) {
+	th := parser.MustParseTheory(`
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+	`)
+	prog, err := datalog.Compile(th)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{16, 32, 64} {
+		d := gen.Path(n)
+		edge := parser.MustParseFacts(fmt.Sprintf("E(v%d,w).", n-1))
+		b.Run(fmt.Sprintf("from-scratch/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Eval(d, datalog.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("insert+retract/n=%d", n), func(b *testing.B) {
+			m, err := datalog.NewMaintained(prog, d, datalog.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.Apply(edge, nil, datalog.Options{}); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := m.Apply(nil, edge, datalog.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestEmitIncrementalBenchJSON times from-scratch evaluation against
+// single-fact incremental insert/retract on the E11 closure workload
+// (best of 5) and writes BENCH_incremental.json. It also enforces the
+// headline claim: at n=64 a single-fact insert must be at least 10x
+// faster than re-evaluating from scratch. Only runs when EMIT_BENCH=1
+// is set:
+//
+//	EMIT_BENCH=1 go test -run TestEmitIncrementalBenchJSON .
+func TestEmitIncrementalBenchJSON(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") != "1" {
+		t.Skip("set EMIT_BENCH=1 to refresh BENCH_incremental.json")
+	}
+	th := parser.MustParseTheory(`
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).
+	`)
+	prog, err := datalog.Compile(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type entry struct {
+		Name    string `json:"name"`
+		N       int    `json:"n"`
+		Mode    string `json:"mode"`
+		NsPerOp int64  `json:"ns_per_op"`
+		Facts   int    `json:"facts"`
+	}
+	report := struct {
+		GoMaxProcs      int     `json:"gomaxprocs"`
+		Benchmarks      []entry `json:"benchmarks"`
+		SpeedupInsert64 float64 `json:"speedup_insert_n64"`
+	}{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	const reps = 5
+	for _, n := range []int{16, 32, 64} {
+		d := gen.Path(n)
+		edge := parser.MustParseFacts(fmt.Sprintf("E(v%d,w).", n-1))
+
+		var scratch time.Duration
+		scratchFacts := 0
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			fix, err := prog.Eval(d, datalog.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if el := time.Since(t0); r == 0 || el < scratch {
+				scratch = el
+			}
+			scratchFacts = fix.Len()
+		}
+
+		m, err := datalog.NewMaintained(prog, d, datalog.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var insert, retract time.Duration
+		insertFacts := 0
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			if _, _, err := m.Apply(edge, nil, datalog.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			if el := time.Since(t0); r == 0 || el < insert {
+				insert = el
+			}
+			insertFacts = m.Current().Len()
+			t0 = time.Now()
+			if _, _, err := m.Apply(nil, edge, datalog.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			if el := time.Since(t0); r == 0 || el < retract {
+				retract = el
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks,
+			entry{Name: fmt.Sprintf("Incremental/n=%d/from-scratch", n), N: n, Mode: "from-scratch", NsPerOp: scratch.Nanoseconds(), Facts: scratchFacts},
+			entry{Name: fmt.Sprintf("Incremental/n=%d/insert", n), N: n, Mode: "insert", NsPerOp: insert.Nanoseconds(), Facts: insertFacts},
+			entry{Name: fmt.Sprintf("Incremental/n=%d/retract", n), N: n, Mode: "retract", NsPerOp: retract.Nanoseconds(), Facts: scratchFacts},
+		)
+	}
+	// Headline check: single-fact insert at n=64 must beat from-scratch
+	// by at least 10x.
+	var scratch64, insert64 int64
+	for _, e := range report.Benchmarks {
+		if e.N == 64 && e.Mode == "from-scratch" {
+			scratch64 = e.NsPerOp
+		}
+		if e.N == 64 && e.Mode == "insert" {
+			insert64 = e.NsPerOp
+		}
+	}
+	report.SpeedupInsert64 = float64(scratch64) / float64(insert64)
+	if report.SpeedupInsert64 < 10 {
+		t.Fatalf("n=64 single-fact insert speedup %.1fx, want >= 10x (scratch %dns, insert %dns)",
+			report.SpeedupInsert64, scratch64, insert64)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_incremental.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_incremental.json (speedup %.1fx)", report.SpeedupInsert64)
+}
+
 // BenchmarkA2ChaseVariants is the ablation: oblivious vs restricted chase
 // on the running example.
 func BenchmarkA2ChaseVariants(b *testing.B) {

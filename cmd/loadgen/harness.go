@@ -63,7 +63,7 @@ var gaugeKeys = map[string]bool{
 	"dbs": true, "kbs": true, "ready": true,
 	"in_flight": true, "in_flight_heavy": true, "in_flight_light": true,
 	"queued_heavy": true, "queued_light": true,
-	"goroutines": true,
+	"goroutines": true, "subscriptions": true,
 }
 
 const (
@@ -92,8 +92,12 @@ type harness struct {
 	cfg    harnessConfig
 	base   string
 	client *http.Client
+	// streamClient has no request timeout: it holds SSE subscriptions
+	// open for a whole level.
+	streamClient *http.Client
 
 	thID, dbID string
+	mutDBID    string // the mutable DB the mutation workload batches against
 	refHot     map[string]bool // full answer set of hotCQ
 	refFanout  map[string]bool // full answer set of fanoutCQ
 	novel      atomic.Int64    // novel-theory counter (compile-miss storm)
@@ -135,6 +139,7 @@ func runHarness(cfg harnessConfig) (*report, error) {
 			MaxIdleConnsPerHost: 256,
 		},
 	}
+	h.streamClient = &http.Client{Transport: h.client.Transport}
 
 	var shutdown func() error
 	if cfg.Addr == "" {
@@ -164,7 +169,11 @@ func runHarness(cfg harnessConfig) (*report, error) {
 		h.shed = map[string]int{}
 		h.mu.Unlock()
 
+		// One live query rides the whole level; after the workers stop,
+		// its accumulated deltas must equal an exact recompute.
+		sub := h.startSubscriber()
 		h.runLevel(workers, perLevel)
+		h.finishSubscriber(sub)
 
 		// Liveness after each level: a dead process fails every remaining
 		// check anyway, but name the level it died in.
@@ -241,6 +250,13 @@ func (h *harness) setup() error {
 		return fmt.Errorf("setup: load facts: code %d err %v", code, err)
 	}
 	h.dbID = db.ID
+	var mut struct {
+		ID string `json:"id"`
+	}
+	if code, err := h.post("/v1/dbs", map[string]string{"facts": mutFacts()}, &mut); err != nil || code != 200 {
+		return fmt.Errorf("setup: load mutable facts: code %d err %v", code, err)
+	}
+	h.mutDBID = mut.ID
 	var err error
 	if h.refHot, err = h.referenceAnswers(hotCQ); err != nil {
 		return fmt.Errorf("setup: hot reference: %w", err)
@@ -289,18 +305,20 @@ func (h *harness) runLevel(workers int, d time.Duration) {
 func (h *harness) step(rng *rand.Rand) {
 	n := rng.Intn(100)
 	switch {
-	case n < 35:
+	case n < 30:
 		h.opQuery(rng, "query_hot", hotCQ, h.refHot)
-	case n < 50:
+	case n < 44:
 		h.opQuery(rng, "query_fanout", fanoutCQ, h.refFanout)
-	case n < 60:
+	case n < 54:
 		h.opAtom(rng)
-	case n < 72:
+	case n < 64:
 		h.opCompileMiss(rng)
-	case n < 78:
+	case n < 70:
 		h.opRegisterHot(rng)
-	case n < 84:
+	case n < 75:
 		h.opLoadDB(rng)
+	case n < 84:
+		h.opMutate(rng)
 	default:
 		if !h.cfg.Chaos {
 			h.opQuery(rng, "query_hot", hotCQ, h.refHot)

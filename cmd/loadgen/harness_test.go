@@ -41,10 +41,23 @@ func TestHarnessChaosRunCleans(t *testing.T) {
 	if total < 50 {
 		t.Fatalf("suspiciously few operations: %d", total)
 	}
-	for _, want := range []string{"query_hot", "theories_miss", "chaos_malformed"} {
+	for _, want := range []string{"query_hot", "theories_miss", "chaos_malformed", "facts_batch"} {
 		if !byName[want] {
 			t.Fatalf("workload %s never ran (runs: %v)", want, byName)
 		}
+	}
+	// Each level held a live subscription whose accumulated deltas were
+	// checked against an exact recompute (a mismatch is a violation, so
+	// reaching here means the invariant held); the server must have
+	// delivered its events and dropped no subscriber.
+	if rep.Final["subs_events"] == 0 {
+		t.Fatalf("no subscription events delivered: %v", rep.Final)
+	}
+	if rep.Final["subs_dropped"] != 0 {
+		t.Fatalf("subscribers dropped during a clean workload: %v", rep.Final)
+	}
+	if rep.Final["fact_batches"] == 0 {
+		t.Fatal("no mutation batches committed")
 	}
 	if panics == 0 {
 		t.Fatal("chaos run never injected a panic")

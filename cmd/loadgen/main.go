@@ -1,12 +1,15 @@
 // Command loadgen replays mixed workloads against a rulekit serve
 // instance — compile-miss storms, hot plan-hit repeats, large CQ
-// fan-out — with optional fault injection (budget fail_at, injected
-// engine/handler panics, slow-loris connections, malformed payloads,
-// mid-request disconnects), while verifying the serving invariants:
+// fan-out, fact mutation batches against a live-subscribed DB — with
+// optional fault injection (budget fail_at, injected engine/handler
+// panics, slow-loris connections, malformed payloads, mid-request
+// disconnects), while verifying the serving invariants:
 //
 //   - the process never dies (healthz stays 200 throughout),
 //   - no goroutine leak (the goroutines gauge returns to baseline),
 //   - truncated answers are sound subsets of the full fixpoint,
+//   - a subscriber's snapshot plus accumulated SSE deltas equals an
+//     exact recompute after the level's mutation batches settle,
 //   - /metrics counters are monotone (gauges whitelisted),
 //   - every 429 carries Retry-After.
 //

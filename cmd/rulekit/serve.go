@@ -49,6 +49,7 @@ func cmdServe(args []string) error {
 	lightQueue := fs.Int("light-queue", 0, "light admission queue depth (0 = 2x limit)")
 	queueWait := fs.Duration("queue-wait", time.Second, "max time a request waits for an admission slot before 429")
 	maxBody := fs.Int64("max-body-bytes", 4<<20, "POST body size cap (413 beyond it)")
+	maxSubs := fs.Int("max-subs", 64, "concurrent live-query subscriptions (429 beyond it)")
 	chaos := fs.Bool("chaos", false, "enable fault-injection request fields (load harness only)")
 	lameDuck := fs.Duration("lame-duck", time.Second, "after SIGTERM, keep serving (readyz 503) this long so load balancers stop routing")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
@@ -77,6 +78,7 @@ func cmdServe(args []string) error {
 			LightQueue:     *lightQueue,
 			MaxQueueWait:   *queueWait,
 			MaxBodyBytes:   *maxBody,
+			MaxSubs:        *maxSubs,
 			Chaos:          *chaos,
 		},
 		addr:              *addr,

@@ -51,7 +51,16 @@ type Database struct {
 	intern *Interner
 	byRel  map[core.RelKey]*relation
 	size   int
-	acdom  map[core.Term]bool
+	// acdom counts, per constant, its occurrences across all non-ACDom
+	// facts (arguments and annotation, with multiplicity). A constant is
+	// in the active domain exactly while its count is positive; the count
+	// is what lets retraction drop ACDom(c) precisely when the last
+	// supporting occurrence dies.
+	acdom map[core.Term]int
+	// acdomX marks constants whose ACDom fact was added explicitly by a
+	// caller (rare, test-only): those facts survive even when no fact
+	// supports them.
+	acdomX map[core.Term]bool
 }
 
 // New returns an empty database.
@@ -59,7 +68,7 @@ func New() *Database {
 	return &Database{
 		intern: NewInterner(),
 		byRel:  make(map[core.RelKey]*relation),
-		acdom:  make(map[core.Term]bool),
+		acdom:  make(map[core.Term]int),
 	}
 }
 
@@ -109,15 +118,26 @@ func (d *Database) AddNotify(a core.Atom, notify func(core.Atom)) (bool, error) 
 		for _, t := range a.Annotation {
 			d.noteConstant(t, notify)
 		}
+	} else if len(a.Args) == 1 && len(a.Annotation) == 0 && a.Args[0].IsConst() {
+		// An explicitly added ACDom fact is pinned: it is not retracted
+		// when its constant loses its last supporting occurrence.
+		if d.acdomX == nil {
+			d.acdomX = make(map[core.Term]bool)
+		}
+		d.acdomX[a.Args[0]] = true
 	}
 	return true, nil
 }
 
 func (d *Database) noteConstant(t core.Term, notify func(core.Atom)) {
-	if !t.IsConst() || d.acdom[t] {
+	if !t.IsConst() {
 		return
 	}
-	d.acdom[t] = true
+	if n := d.acdom[t]; n > 0 {
+		d.acdom[t] = n + 1
+		return
+	}
+	d.acdom[t] = 1
 	ac := core.NewAtom(core.ACDom, t)
 	if d.insert(ac) && notify != nil {
 		notify(ac)
@@ -343,7 +363,7 @@ func (d *Database) AddCost(a core.Atom) int {
 	}
 	var fresh []core.Term
 	count := func(t core.Term) {
-		if !t.IsConst() || d.acdom[t] {
+		if !t.IsConst() || d.acdom[t] > 0 {
 			return
 		}
 		for _, u := range fresh {
@@ -496,20 +516,143 @@ func (d *Database) Nulls() []core.Term {
 	return s.Sorted()
 }
 
-// Clone returns a deep copy of the database.
+// Clone returns a deep copy of the database as an id-space copy: the
+// intern table, fact arrays, posting lists, seen-sets and ACDom counts
+// are copied directly, with no term re-hashing or re-interning. Interned
+// ids are preserved exactly — a term has the same id in the clone as in
+// the original, and InternEpoch carries over unchanged — so engines that
+// cache id resolutions against the original can keep them against the
+// clone. Stored atoms are shared (they are immutable by the package's
+// contract: the database never mutates a stored atom, and callers must
+// not either). This is the snapshot hot path of versioned mutable
+// databases: cost is proportional to the index footprint, not to
+// re-inserting every fact.
 func (d *Database) Clone() *Database {
-	out := New()
-	for _, a := range d.All() {
-		if a.Relation == core.ACDom {
-			continue // re-derived
-		}
-		out.Add(a.Clone())
+	out := &Database{
+		intern: d.intern.clone(),
+		byRel:  make(map[core.RelKey]*relation, len(d.byRel)),
+		size:   d.size,
+		acdom:  make(map[core.Term]int, len(d.acdom)),
 	}
-	// Preserve explicitly added ACDom facts (rare, but allowed).
-	for _, a := range d.Facts(core.RelKey{Name: core.ACDom, Arity: 1}) {
-		out.Add(a.Clone())
+	for rk, r := range d.byRel {
+		out.byRel[rk] = r.clone()
+	}
+	for t, n := range d.acdom {
+		out.acdom[t] = n
+	}
+	if len(d.acdomX) > 0 {
+		out.acdomX = make(map[core.Term]bool, len(d.acdomX))
+		for t := range d.acdomX {
+			out.acdomX[t] = true
+		}
 	}
 	return out
+}
+
+// Retract removes a ground atom and reports whether it was present; see
+// DeleteNotify for the maintained-ACDom side effects.
+func (d *Database) Retract(a core.Atom) bool {
+	removed, _ := d.DeleteNotify(a, nil)
+	return removed
+}
+
+// DeleteNotify removes a ground atom and reports whether it was present,
+// calling notify for every fact actually removed: the atom itself and
+// any derived ACDom facts whose last supporting occurrence died with it.
+// It is the delete counterpart of AddNotify: fixpoint maintenance uses
+// the notifications to propagate ACDom retractions into its deletion
+// frontier. Retracting a derived ACDom fact directly is a no-op while
+// any fact still supports the constant (the fact is derived, not owned
+// by the caller); retracting an explicitly added ACDom fact unpins it.
+// Non-ground atoms are rejected with an error wrapping ErrNotGround.
+func (d *Database) DeleteNotify(a core.Atom, notify func(core.Atom)) (bool, error) {
+	if !a.IsGround() {
+		return false, fmt.Errorf("%w: %s", ErrNotGround, a.String())
+	}
+	rk := a.Key()
+	r := d.byRel[rk]
+	if r == nil {
+		return false, nil
+	}
+	var buf [16]uint32
+	key, ok := d.lookupTuple(buf[:0], a)
+	if !ok {
+		return false, nil
+	}
+	if a.Relation == core.ACDom && rk.Arity == 1 && rk.AnnArity == 0 {
+		t := a.Args[0]
+		delete(d.acdomX, t)
+		if d.acdom[t] > 0 {
+			return false, nil // still derived from a supporting fact
+		}
+	}
+	if !r.remove(key) {
+		return false, nil
+	}
+	d.size--
+	if len(r.facts) == 0 {
+		delete(d.byRel, rk)
+	}
+	if notify != nil {
+		notify(a)
+	}
+	if a.Relation != core.ACDom {
+		for _, t := range a.Args {
+			d.dropConstant(t, notify)
+		}
+		for _, t := range a.Annotation {
+			d.dropConstant(t, notify)
+		}
+	}
+	return true, nil
+}
+
+// dropConstant decrements the occurrence count of a constant after a
+// supporting fact was removed, retracting the derived ACDom fact when
+// the count reaches zero (unless it was explicitly pinned).
+func (d *Database) dropConstant(t core.Term, notify func(core.Atom)) {
+	if !t.IsConst() {
+		return
+	}
+	n := d.acdom[t]
+	if n > 1 {
+		d.acdom[t] = n - 1
+		return
+	}
+	if n == 0 {
+		return
+	}
+	delete(d.acdom, t)
+	if d.acdomX[t] {
+		return // explicitly added ACDom fact survives its supports
+	}
+	ac := core.NewAtom(core.ACDom, t)
+	ark := ac.Key()
+	r := d.byRel[ark]
+	if r == nil {
+		return
+	}
+	var buf [4]uint32
+	key, ok := d.lookupTuple(buf[:0], ac)
+	if !ok || !r.remove(key) {
+		return
+	}
+	d.size--
+	if len(r.facts) == 0 {
+		delete(d.byRel, ark)
+	}
+	if notify != nil {
+		notify(ac)
+	}
+}
+
+// FactIDs appends the interned-id tuple of the ground atom a (arguments
+// first, then annotation) to dst; ok is false when some term of a has
+// never been interned, in which case a is not and never was in d.
+// Incremental maintenance uses it to carry deleted facts as id tuples:
+// retraction never un-interns terms, so a retracted fact still resolves.
+func (d *Database) FactIDs(dst []uint32, a core.Atom) ([]uint32, bool) {
+	return d.lookupTuple(dst, a)
 }
 
 // Restrict returns a new database with only the facts whose relation

@@ -33,6 +33,16 @@ func (in *Interner) Intern(t core.Term) uint32 {
 	return id
 }
 
+// clone returns a deep copy of the interner with identical id
+// assignments, so terms resolve to the same ids in the copy.
+func (in *Interner) clone() *Interner {
+	ids := make(map[core.Term]uint32, len(in.ids))
+	for t, id := range in.ids {
+		ids[t] = id
+	}
+	return &Interner{ids: ids, terms: append([]core.Term(nil), in.terms...)}
+}
+
 // Lookup returns the id of t without interning; ok is false when t has
 // never been interned.
 func (in *Interner) Lookup(t core.Term) (uint32, bool) {

@@ -27,6 +27,113 @@ func newRelation(rk core.RelKey) *relation {
 // tupleAt returns the packed id tuple of fact ordinal ix.
 func (r *relation) tupleAt(ix int) []uint32 { return r.ids[ix*r.w : ix*r.w+r.w] }
 
+// clone returns a deep copy of the relation. Atom values are shared
+// (stored atoms are immutable); the id arrays, posting lists and
+// seen-set table are copied, so the clone mutates independently.
+func (r *relation) clone() *relation {
+	out := &relation{
+		w:     r.w,
+		facts: append([]core.Atom(nil), r.facts...),
+		ids:   append([]uint32(nil), r.ids...),
+		index: make([]map[uint32][]int32, len(r.index)),
+		seen:  idSet{table: append([]int32(nil), r.seen.table...), n: r.seen.n},
+	}
+	for p, m := range r.index {
+		if m == nil {
+			continue
+		}
+		nm := make(map[uint32][]int32, len(m))
+		for id, list := range m {
+			nm[id] = append([]int32(nil), list...)
+		}
+		out.index[p] = nm
+	}
+	return out
+}
+
+// remove deletes the fact with the given id tuple, reporting whether it
+// was present. The relation's last fact is swapped into the freed
+// ordinal (facts/ids are kept dense), and the seen-set and per-position
+// posting lists are maintained: the removed ordinal leaves every list it
+// was on (empty lists are deleted, keeping DistinctAt exact), and the
+// moved fact's ordinal is rewritten in place, preserving each list's
+// ascending order.
+func (r *relation) remove(key []uint32) bool {
+	ix := r.seen.del(r, key)
+	if ix < 0 {
+		return false
+	}
+	last := len(r.facts) - 1
+	if ix != last {
+		// Re-point the seen-set entry of the fact about to move. The
+		// probe runs before ids are mutated, so every stored ordinal
+		// still resolves to its original tuple.
+		r.seen.repoint(r, r.tupleAt(last), last, ix)
+	}
+	var lastKey [16]uint32
+	lk := append(lastKey[:0], r.tupleAt(last)...)
+	for p := 0; p < r.w; p++ {
+		removeOrdinal(r.index[p], key[p], int32(ix))
+		if ix != last {
+			moveOrdinal(r.index[p], lk[p], int32(last), int32(ix))
+		}
+	}
+	if ix != last {
+		r.facts[ix] = r.facts[last]
+		copy(r.ids[ix*r.w:(ix+1)*r.w], r.ids[last*r.w:])
+	}
+	r.facts[last] = core.Atom{}
+	r.facts = r.facts[:last]
+	r.ids = r.ids[:last*r.w]
+	return true
+}
+
+// removeOrdinal deletes ord from the ascending posting list m[id],
+// dropping the map key when the list empties (len(m) is the planner's
+// DistinctAt, so empty lists must not linger).
+func removeOrdinal(m map[uint32][]int32, id uint32, ord int32) {
+	list := m[id]
+	i := searchOrdinal(list, ord)
+	if i >= len(list) || list[i] != ord {
+		return
+	}
+	if len(list) == 1 {
+		delete(m, id)
+		return
+	}
+	copy(list[i:], list[i+1:])
+	m[id] = list[:len(list)-1]
+}
+
+// moveOrdinal rewrites ordinal from as to in the ascending posting list
+// m[id]. from is the relation's maximal ordinal (the fact being swapped
+// down), so it sits at the end of the list; the rewritten value is
+// re-inserted at its sorted position.
+func moveOrdinal(m map[uint32][]int32, id uint32, from, to int32) {
+	list := m[id]
+	if len(list) == 0 || list[len(list)-1] != from {
+		return
+	}
+	i := searchOrdinal(list, to)
+	copy(list[i+1:], list[i:len(list)-1])
+	list[i] = to
+}
+
+// searchOrdinal returns the insertion point of ord in the ascending
+// list.
+func searchOrdinal(list []int32, ord int32) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < ord {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // idSet is an open-addressing hash set of fact ordinals keyed by their id
 // tuples (stored once, in the relation's flat ids array — the set holds
 // only 1-based ordinals). Zero value is ready to use.
@@ -89,6 +196,66 @@ func (s *idSet) add(r *relation, ix int) {
 	}
 	s.table[i] = int32(ix + 1)
 	s.n++
+}
+
+// del removes the entry with the given tuple key, returning its 0-based
+// fact ordinal, or -1 when absent. Deletion is by backshift: the probe
+// cluster after the hole is compacted so that lookups never need
+// tombstones and the load factor stays exact.
+func (s *idSet) del(r *relation, key []uint32) int {
+	if len(s.table) == 0 {
+		return -1
+	}
+	mask := uint64(len(s.table) - 1)
+	i := hashIDs(key) & mask
+	for {
+		e := s.table[i]
+		if e == 0 {
+			return -1
+		}
+		if equalIDs(r.tupleAt(int(e-1)), key) {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	ord := int(s.table[i] - 1)
+	// Walk the cluster after the hole; an entry moves back into the hole
+	// exactly when its home slot is cyclically outside (i, j], i.e. its
+	// probe path crosses the hole.
+	j := i
+	for {
+		j = (j + 1) & mask
+		e := s.table[j]
+		if e == 0 {
+			break
+		}
+		h := hashIDs(r.tupleAt(int(e-1))) & mask
+		if (j > i && (h <= i || h > j)) || (j < i && h <= i && h > j) {
+			s.table[i] = e
+			i = j
+		}
+	}
+	s.table[i] = 0
+	s.n--
+	return ord
+}
+
+// repoint rewrites the stored ordinal of the fact with tuple key from
+// `from` to `to` (the fact is being swapped to a new ordinal). The probe
+// must run while the relation's id array still holds every stored
+// ordinal's original tuple.
+func (s *idSet) repoint(r *relation, key []uint32, from, to int) {
+	mask := uint64(len(s.table) - 1)
+	for i := hashIDs(key) & mask; ; i = (i + 1) & mask {
+		e := s.table[i]
+		if e == 0 {
+			return
+		}
+		if int(e-1) == from {
+			s.table[i] = int32(to + 1)
+			return
+		}
+	}
 }
 
 func (s *idSet) grow(r *relation) {

@@ -32,6 +32,10 @@ import (
 type Program struct {
 	th     *core.Theory
 	strata []compiledStratum
+	// hasNeg reports whether any rule has a negated literal; programs
+	// without negation take the monotone fast path of incremental
+	// insertion (no block/unblock sweeps are ever needed).
+	hasNeg bool
 }
 
 // compiledStratum is one stratum's reusable compiled form.
@@ -42,6 +46,19 @@ type compiledStratum struct {
 	round0 []ctempl
 	// items holds one template per (rule, positive body position).
 	items []ctempl
+	// negItems holds one maintenance template per (rule, negated
+	// literal): the pattern is the negated atom, rest the full positive
+	// body, heads the rule heads. DRed matches added facts against it to
+	// over-delete newly blocked firings, and deleted facts to re-derive
+	// newly unblocked ones.
+	negItems []ctempl
+	// redItems holds one template per (rule, head position): the pattern
+	// is the head atom, rest the full positive body, no heads. DRed's
+	// rederivation phase matches an over-deleted fact against it to ask
+	// whether some surviving body instantiation still derives it.
+	redItems []ctempl
+	// headRels is the set of relations this stratum's rules can derive.
+	headRels map[core.RelKey]bool
 }
 
 // Compile validates the theory as stratified Datalog and builds its
@@ -62,10 +79,21 @@ func Compile(th *core.Theory) (*Program, error) {
 		cs := &p.strata[i]
 		cs.rules = rules
 		cs.round0 = make([]ctempl, len(rules))
+		cs.headRels = make(map[core.RelKey]bool)
 		for j, r := range rules {
 			cs.round0[j] = compileTemplate(r, -1)
 			for bi := range r.PositiveBody() {
 				cs.items = append(cs.items, compileTemplate(r, bi))
+			}
+			for _, l := range r.Body {
+				if l.Negated {
+					cs.negItems = append(cs.negItems, compileAuxTemplate(r, l.Atom, true))
+					p.hasNeg = true
+				}
+			}
+			for _, h := range r.Head {
+				cs.redItems = append(cs.redItems, compileAuxTemplate(r, h, false))
+				cs.headRels[h.Key()] = true
 			}
 		}
 	}

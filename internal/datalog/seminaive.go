@@ -146,6 +146,44 @@ func compileTemplate(r *core.Rule, pat int) ctempl {
 	return t
 }
 
+// compileAuxTemplate compiles a maintenance template for rule r with an
+// explicit pattern atom that is NOT a positive body position: a negated
+// literal (block/unblock sweeps match it against added or deleted facts)
+// or a head atom (rederivation matches it against a deleted fact and
+// asks whether any body instantiation still derives it). rest is the
+// FULL positive body; withHeads selects whether head atoms are compiled
+// (block/unblock sweeps materialize heads, rederivation needs none).
+func compileAuxTemplate(r *core.Rule, pat core.Atom, withHeads bool) ctempl {
+	body := r.PositiveBody()
+	slots := make(map[core.Term]int)
+	t := ctempl{rule: r, hasPat: true}
+	t.pattern = hom.Compile(pat, slots)
+	bound := make(core.TermSet)
+	bound.AddAll(pat.AllVars())
+	for _, a := range body {
+		t.rest = append(t.rest, hom.Compile(a, slots))
+	}
+	for _, l := range r.Body {
+		if l.Negated {
+			t.neg = append(t.neg, hom.Compile(l.Atom, slots))
+		}
+	}
+	if withHeads {
+		for _, h := range r.Head {
+			t.heads = append(t.heads, hom.Compile(h, slots))
+		}
+	}
+	t.nvars = len(slots)
+	t.patBound = make([]bool, t.nvars)
+	for _, p := range t.pattern.Pos {
+		if p.Slot >= 0 {
+			t.patBound[p.Slot] = true
+		}
+	}
+	t.greedy = greedyOrder(body, bound)
+	return t
+}
+
 // greedyOrder returns the legacy static join order as a permutation of
 // atoms: each next atom has the most already-bound variables (ties:
 // fewest unbound variables, then source position). bound is the variable
@@ -354,11 +392,6 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 		}
 		prevBuilds = jc.Builds()
 	}
-	maxRounds := budget.Cap(opts.Budget, func(b *budget.T) int { return b.MaxRounds }, opts.maxRounds())
-	maxFacts := 0
-	if opts.Budget != nil {
-		maxFacts = opts.Budget.MaxFacts
-	}
 
 	// Round 0: full evaluation, one work unit per rule, planned over the
 	// input statistics.
@@ -383,6 +416,58 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 	}
 
 	items := instantiate(cs.items)
+	return runDeltaRounds(items, db, opts, tk, jc, noteBuilds, bufs, nil, nil)
+}
+
+// runDeltaRounds is the merge-and-propagate loop of the semi-naive
+// engine, shared by evalStratum and the incremental maintenance paths.
+// bufs holds candidate head atoms to merge as the first delta (cross-unit
+// duplicates and facts already present are dropped by the merge); force
+// lists facts that are ALREADY in db but must additionally join the first
+// round's delta — incremental insertion resumes a finished fixpoint by
+// forcing the inserted facts, and DRed's insertion phase forces the
+// rederived and net-added facts. onAdd, when non-nil, observes every fact
+// the merge inserts (including derived ACDom facts), in merge order.
+//
+// The loop preserves the evalStratum contract: single-writer merges with
+// per-fact ceiling enforcement, per-round re-resolution gated on the
+// intern epoch, writer-side replanning from live statistics, and (item ×
+// shard) fan-out over read-only snapshots, with budget checkpoints at
+// every merge point and worker unit.
+func runDeltaRounds(items []citem, db *database.Database, opts Options, tk *budget.Tracker, jc *hom.JoinCache, noteBuilds func(), bufs [][]core.Atom, force []core.Atom, onAdd func(core.Atom)) error {
+	workers := opts.workers()
+	planner := opts.Planner
+	js := opts.Stats
+	if noteBuilds == nil {
+		noteBuilds = func() {}
+	}
+	maxRounds := budget.Cap(opts.Budget, func(b *budget.T) int { return b.MaxRounds }, opts.maxRounds())
+	maxFacts := 0
+	if opts.Budget != nil {
+		maxFacts = opts.Budget.MaxFacts
+	}
+
+	// Resolve the forced facts to id tuples up front: they are in db, and
+	// interning never un-assigns ids, so resolution cannot fail for a
+	// present fact (an unresolvable one was never in db and is skipped).
+	var forcedN map[core.RelKey]int
+	var forcedIDs map[core.RelKey][]uint32
+	nforced := 0
+	if len(force) > 0 {
+		forcedN = make(map[core.RelKey]int)
+		forcedIDs = make(map[core.RelKey][]uint32)
+		for _, a := range force {
+			ids, ok := db.FactIDs(nil, a)
+			if !ok || !db.SeenIDs(a.Key(), ids) {
+				continue
+			}
+			rk := a.Key()
+			forcedN[rk]++
+			forcedIDs[rk] = append(forcedIDs[rk], ids...)
+			nforced++
+		}
+	}
+
 	itemsEpoch := -1
 	for round := 0; ; round++ {
 		tk.SetRounds(round)
@@ -403,7 +488,13 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 		used := tk.Usage().Facts
 		deltaCount := make(map[core.RelKey]int)
 		ndelta := 0
-		note := func(a core.Atom) { deltaCount[a.Key()]++; ndelta++ }
+		note := func(a core.Atom) {
+			deltaCount[a.Key()]++
+			ndelta++
+			if onAdd != nil {
+				onAdd(a)
+			}
+		}
 		for _, buf := range bufs {
 			for _, a := range buf {
 				if maxFacts > 0 && used+ndelta+db.AddCost(a) > maxFacts {
@@ -416,13 +507,14 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 			}
 		}
 		tk.AddFacts(ndelta)
-		if ndelta == 0 {
+		if ndelta+nforced == 0 {
 			return nil
 		}
 		// Freeze the round: re-resolve compiled constants (skipped when no
 		// new term was interned — the intern epoch is unchanged, so every
 		// resolution would come out identical), then slice each relation's
-		// delta — the newly merged tail of its id-tuple array.
+		// delta — the newly merged tail of its id-tuple array, prefixed by
+		// any forced tuples (first round only).
 		if e := db.InternEpoch(); e != itemsEpoch {
 			for i := range items {
 				items[i].resolve(db)
@@ -433,17 +525,32 @@ func evalStratum(cs *compiledStratum, db *database.Database, opts Options, tk *b
 			n, w int
 			ids  []uint32
 		}
-		groups := make(map[core.RelKey]group, len(deltaCount))
+		groups := make(map[core.RelKey]group, len(deltaCount)+len(forcedN))
 		for rk, k := range deltaCount {
 			w := rk.Arity + rk.AnnArity
 			all := db.IDTuples(rk)
-			groups[rk] = group{n: k, w: w, ids: all[len(all)-k*w:]}
+			tail := all[len(all)-k*w:]
+			if fn := forcedN[rk]; fn > 0 {
+				comb := make([]uint32, 0, len(forcedIDs[rk])+len(tail))
+				comb = append(append(comb, forcedIDs[rk]...), tail...)
+				groups[rk] = group{n: k + fn, w: w, ids: comb}
+				continue
+			}
+			groups[rk] = group{n: k, w: w, ids: tail}
 		}
+		for rk, fn := range forcedN {
+			if _, dup := deltaCount[rk]; dup {
+				continue
+			}
+			groups[rk] = group{n: fn, w: rk.Arity + rk.AnnArity, ids: forcedIDs[rk]}
+		}
+		total := ndelta + nforced
+		forcedN, forcedIDs, nforced = nil, nil, 0
 		// Re-plan the live items against the post-merge statistics, then
 		// fan out (item × shard) units; shards stripe each item's delta
 		// facts so a round dominated by one rule still parallelizes.
 		shards := workers
-		if ndelta < seqThreshold {
+		if total < seqThreshold {
 			shards = 1
 		}
 		type unit struct {

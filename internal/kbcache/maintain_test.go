@@ -1,0 +1,95 @@
+package kbcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"guardedrules/internal/database"
+	"guardedrules/internal/gen"
+	"guardedrules/internal/parser"
+)
+
+// A maintained CQ tracks the exact answers of AnswerCQ across mutation
+// batches, and its deltas accumulate to the recomputed answer set.
+func TestMaintainCQTracksRecompute(t *testing.T) {
+	s := NewStore(Config{})
+	ckb := mustRegister(t, s, tcSource)
+	q := mustCQ(t, "T(X,Y) -> Ans(X,Y).")
+	base := gen.Path(5)
+
+	mq, err := ckb.MaintainCQ(context.Background(), q, base, QueryOptions{})
+	if err != nil {
+		t.Fatalf("MaintainCQ: %v", err)
+	}
+
+	// The shadow base mirrors every batch; after each Apply the handle's
+	// answers must equal a fresh AnswerCQ over the shadow.
+	shadow := database.New()
+	for _, f := range base.UserFacts() {
+		shadow.Add(f)
+	}
+	check := func() {
+		t.Helper()
+		want, err := ckb.AnswerCQ(context.Background(), q, shadow, QueryOptions{})
+		if err != nil {
+			t.Fatalf("AnswerCQ: %v", err)
+		}
+		got := mq.Answers()
+		if fmt.Sprint(got) != fmt.Sprint(want.Answers) {
+			t.Fatalf("maintained answers %v, recompute %v", got, want.Answers)
+		}
+	}
+	check()
+
+	add := parser.MustParseFacts(`E(v4, v0).`)
+	d, err := mq.Apply(add, nil, QueryOptions{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	for _, f := range add {
+		shadow.Add(f)
+	}
+	if len(d.Added) == 0 || len(d.Removed) != 0 {
+		t.Fatalf("cycle-closing insert: delta %+v", d)
+	}
+	check()
+
+	del := parser.MustParseFacts(`E(v2, v3).`)
+	d, err = mq.Apply(nil, del, QueryOptions{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	shadow.Retract(del[0])
+	if len(d.Removed) == 0 {
+		t.Fatalf("cut edge: delta %+v", d)
+	}
+	check()
+
+	if got := s.Metrics().Snapshot(); got["maintained_handles"] != 1 || got["maintain_batches"] != 2 {
+		t.Fatalf("maintenance counters: handles=%d batches=%d", got["maintained_handles"], got["maintain_batches"])
+	}
+}
+
+// A CQ whose plan falls back to a per-query bounded chase is rejected
+// at registration with the typed error — classified once, via the same
+// PlanInfo probe the admission tier uses.
+func TestMaintainCQRejectsChasePlan(t *testing.T) {
+	s := NewStore(Config{})
+	ckb := mustRegister(t, s, wgSource)
+	q := mustCQ(t, "S(Y,Z) -> Ans(Y,Z).")
+	base := database.FromAtoms(parser.MustParseFacts("P(a)."))
+
+	_, err := ckb.MaintainCQ(context.Background(), q, base, QueryOptions{})
+	if !errors.Is(err, ErrNotMaintainable) {
+		t.Fatalf("chase-plan registration: err = %v, want ErrNotMaintainable", err)
+	}
+	// The probe agrees: the plan is cached and chases per call.
+	if cached, chasePerCall := ckb.PlanInfo(CQKey(q)); !cached || !chasePerCall {
+		t.Fatalf("PlanInfo = (%v, %v), want cached chase plan", cached, chasePerCall)
+	}
+	if got := s.Metrics().Snapshot()["maintain_rejected"]; got != 1 {
+		t.Fatalf("maintain_rejected = %d, want 1", got)
+	}
+}

@@ -36,6 +36,11 @@ type Metrics struct {
 	TerminationSWA     atomic.Int64
 	TerminationUnknown atomic.Int64
 
+	// Maintenance counters (MaintainCQ / MaintainedQuery.Apply).
+	MaintainedHandles atomic.Int64 // live-query handles successfully registered
+	MaintainBatches   atomic.Int64 // mutation batches folded into maintained fixpoints
+	MaintainRejected  atomic.Int64 // registrations refused (unmaintainable plan or build error)
+
 	// Join holds the Datalog engine's join-planner counters (plans
 	// computed per round, hash tables built, probe steps planned) for
 	// every evaluation this store served.
@@ -77,6 +82,9 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"termination_class_ja":      m.TerminationJA.Load(),
 		"termination_class_swa":     m.TerminationSWA.Load(),
 		"termination_class_unknown": m.TerminationUnknown.Load(),
+		"maintained_handles":        m.MaintainedHandles.Load(),
+		"maintain_batches":          m.MaintainBatches.Load(),
+		"maintain_rejected":         m.MaintainRejected.Load(),
 		"join_round_plans":          m.Join.RoundPlans.Load(),
 		"join_hash_tables":          m.Join.HashTables.Load(),
 		"join_probe_steps":          m.Join.ProbeSteps.Load(),

@@ -1,0 +1,351 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"guardedrules/internal/core"
+	"guardedrules/internal/kb"
+	"guardedrules/internal/kbcache"
+	"guardedrules/internal/par"
+	"guardedrules/internal/parser"
+)
+
+// subscription is one live SSE stream over a maintained query. The
+// owning dbEntry's mutex is the only writer coordination: batches send
+// events (and close ch when dropping the subscriber) while holding it,
+// and the streaming goroutine unregisters under it, so a send can never
+// race a close.
+type subscription struct {
+	mq *kbcache.MaintainedQuery
+	ch chan subEvent
+}
+
+// subEvent is one pre-marshaled SSE frame.
+type subEvent struct {
+	event string
+	data  []byte
+}
+
+type factsRequest struct {
+	// Add and Retract are fact lists in theory syntax ("E(a,b). B(c).");
+	// retractions apply before additions, so a retract and an add of the
+	// same fact in one batch leave it present.
+	Add     string `json:"add,omitempty"`
+	Retract string `json:"retract,omitempty"`
+
+	// Chaos levers (rejected unless Config.Chaos): the injected budget
+	// governs subscription maintenance, so a failing subscriber is
+	// dropped with an error event while the batch still commits.
+	FailAt  int64 `json:"fail_at,omitempty"`
+	PanicAt int64 `json:"panic_at,omitempty"`
+}
+
+func (q factsRequest) wantsChaos() bool { return q.FailAt > 0 || q.PanicAt > 0 }
+
+type factsResponse struct {
+	Version     uint64 `json:"version"`
+	Added       int    `json:"added"`
+	Retracted   int    `json:"retracted"`
+	Facts       int    `json:"facts"`
+	Subscribers int    `json:"subscribers"`
+}
+
+// handleFacts applies one mutation batch to a mutable DB: clone the
+// current version in id-space, retract then add, fold the batch into
+// every live subscription, and atomically publish the new version.
+// In-flight queries keep the snapshot they started on; queries admitted
+// after the swap see the whole batch or none of it.
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	var req factsRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.wantsChaos() && !s.cfg.Chaos {
+		s.writeError(w, http.StatusBadRequest,
+			errors.New("fault-injection fields require a server started with chaos enabled"))
+		return
+	}
+	adds, err := parser.ParseFacts(req.Add)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("add: %w", err))
+		return
+	}
+	dels, err := parser.ParseFacts(req.Retract)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("retract: %w", err))
+		return
+	}
+	if len(adds) == 0 && len(dels) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("empty batch: set \"add\" and/or \"retract\""))
+		return
+	}
+	s.mu.Lock()
+	ent, ok := s.dbs.Get(r.PathValue("id"))
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown db id %q (evicted or never loaded)", r.PathValue("id")))
+		return
+	}
+	// A batch replays incremental maintenance for every subscriber —
+	// combined-complexity work, through the narrow gate.
+	release, ok := s.admit(w, r, s.heavy, "heavy")
+	if !ok {
+		return
+	}
+	defer release()
+
+	opts := kbcache.QueryOptions{Workers: s.cfg.Workers, Budget: s.requestBudget(r)}
+	opts.Budget.FailAtCheckpoint = req.FailAt
+	opts.Budget.PanicAtCheckpoint = req.PanicAt
+
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	cur := ent.cur.Load()
+	work := cur.db.Clone()
+	retracted := 0
+	for _, f := range dels {
+		if work.Retract(f) {
+			retracted++
+		}
+	}
+	added := 0
+	for _, f := range adds {
+		if work.Add(f) {
+			added++
+		}
+	}
+	next := &dbVersion{db: work, version: cur.version + 1, facts: cur.facts + added - retracted}
+	ent.cur.Store(next)
+	s.factBatches.Add(1)
+	s.factsAdded.Add(int64(added))
+	s.factsRetracted.Add(int64(retracted))
+
+	// Fold the batch into every subscription while still holding the
+	// entry lock, so subscribers see batches in commit order. A failing
+	// subscriber (budget, contained engine panic) is dropped with an
+	// error event; the committed batch is unaffected.
+	for sub := range ent.subs {
+		d, err := sub.mq.Apply(adds, dels, opts)
+		if err != nil {
+			var pe *par.PanicError
+			if errors.As(err, &pe) {
+				s.enginePanics.Add(1)
+			}
+			s.dropSubLocked(ent, sub, fmt.Errorf("maintenance failed at version %d: %w", next.version, err))
+			continue
+		}
+		ev, mErr := marshalEvent("delta", deltaEvent{
+			Version: next.version,
+			Added:   tupleRows(d.Added),
+			Removed: tupleRows(d.Removed),
+		})
+		if mErr != nil {
+			s.dropSubLocked(ent, sub, mErr)
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+			s.subsEvents.Add(1)
+		default:
+			// Slow consumer: its buffer is full, so its answer stream
+			// would silently skip a delta — drop it instead of lying.
+			s.dropSubLocked(ent, sub, nil)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, factsResponse{
+		Version:     next.version,
+		Added:       added,
+		Retracted:   retracted,
+		Facts:       next.facts,
+		Subscribers: len(ent.subs),
+	})
+}
+
+// dropSubLocked removes a subscription (caller holds ent.mu), sending a
+// best-effort error event first; closing ch ends the stream goroutine.
+func (s *Server) dropSubLocked(ent *dbEntry, sub *subscription, cause error) {
+	delete(ent.subs, sub)
+	s.subsDropped.Add(1)
+	if cause != nil {
+		if ev, err := marshalEvent("error", errorResponse{Error: cause.Error()}); err == nil {
+			select {
+			case sub.ch <- ev:
+			default:
+			}
+		}
+	}
+	close(sub.ch)
+}
+
+type subscribeRequest struct {
+	TheoryID string `json:"theory_id"`
+	// CQ is a conjunctive query written as a rule, e.g. "T(X,Y) -> Ans(X,Y).".
+	CQ string `json:"cq"`
+}
+
+// snapshotEvent is the first SSE frame of a stream: the subscribed
+// query's exact answers at the version the subscription registered on.
+type snapshotEvent struct {
+	Version uint64     `json:"version"`
+	Answers [][]string `json:"answers"`
+	PlanKey string     `json:"plan_key"`
+}
+
+// deltaEvent is one committed batch's net answer change.
+type deltaEvent struct {
+	Version uint64     `json:"version"`
+	Added   [][]string `json:"added"`
+	Removed [][]string `json:"removed"`
+}
+
+// handleSubscribe registers a live conjunctive query over a mutable DB
+// and streams it as SSE: one "snapshot" event with the current exact
+// answers, then one "delta" event per committed mutation batch. The
+// query reuses the per-shape plan cache; a CQ whose cached plan falls
+// back to a per-query bounded chase cannot be maintained incrementally
+// and is rejected with 422 and a typed error. Registration (initial
+// fixpoint) runs under heavy admission; the slot is released before
+// streaming. Streams end on client disconnect, slow consumption, a
+// failed maintenance batch, or server drain.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req subscribeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	ckb, ok := s.store.Get(req.TheoryID)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown theory_id %q (evicted or never registered)", req.TheoryID))
+		return
+	}
+	s.mu.Lock()
+	ent, ok := s.dbs.Get(r.PathValue("id"))
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown db id %q (evicted or never loaded)", r.PathValue("id")))
+		return
+	}
+	q, err := kb.ParseCQ(req.CQ)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		return
+	}
+	if n := s.subscriptions.Add(1); n > int64(s.cfg.maxSubs()) {
+		s.subscriptions.Add(-1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("subscription limit reached (%d)", s.cfg.maxSubs()))
+		return
+	}
+	defer s.subscriptions.Add(-1)
+
+	// Registration pays the initial fixpoint — combined-complexity work.
+	release, ok := s.admit(w, r, s.heavy, "heavy")
+	if !ok {
+		return
+	}
+	opts := kbcache.QueryOptions{Workers: s.cfg.Workers, Budget: s.requestBudget(r)}
+
+	// Register under the entry lock: the initial evaluation and the
+	// registry insert are atomic against batches, so the snapshot plus
+	// the delta stream misses nothing and duplicates nothing.
+	ent.mu.Lock()
+	cur := ent.cur.Load()
+	mq, err := ckb.MaintainCQ(r.Context(), q, cur.db, opts)
+	if err != nil {
+		ent.mu.Unlock()
+		release()
+		if errors.As(err, new(*par.PanicError)) {
+			s.enginePanics.Add(1)
+		}
+		if errors.Is(err, kbcache.ErrNotMaintainable) {
+			s.writeJSON(w, http.StatusUnprocessableEntity,
+				errorResponse{Error: err.Error(), Kind: "not_maintainable"})
+			return
+		}
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	sub := &subscription{mq: mq, ch: make(chan subEvent, 32)}
+	ent.subs[sub] = struct{}{}
+	snap := snapshotEvent{Version: cur.version, Answers: termRows(mq.Answers()), PlanKey: mq.PlanKey()}
+	ent.mu.Unlock()
+	release()
+
+	defer func() {
+		// Unregister unless a batch already dropped us (which closed ch).
+		ent.mu.Lock()
+		if _, live := ent.subs[sub]; live {
+			delete(ent.subs, sub)
+		}
+		ent.mu.Unlock()
+	}()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	first, err := marshalEvent("snapshot", snap)
+	if err != nil {
+		s.encodeErrors.Add(1)
+		return
+	}
+	if !writeSSE(w, flusher, first) {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-sub.ch:
+			if !ok {
+				return // dropped by a mutation batch
+			}
+			if !writeSSE(w, flusher, ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.draining:
+			return
+		}
+	}
+}
+
+// marshalEvent renders one SSE frame.
+func marshalEvent(event string, v any) (subEvent, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return subEvent{}, err
+	}
+	return subEvent{event: event, data: data}, nil
+}
+
+// writeSSE writes one frame and flushes; false means the client is gone.
+func writeSSE(w http.ResponseWriter, f http.Flusher, ev subEvent) bool {
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.event, ev.data); err != nil {
+		return false
+	}
+	f.Flush()
+	return true
+}
+
+// termRows renders answer tuples as string rows (JSON-friendly).
+func termRows(tuples [][]core.Term) [][]string {
+	out := make([][]string, 0, len(tuples))
+	for _, tuple := range tuples {
+		row := make([]string, len(tuple))
+		for i, t := range tuple {
+			row[i] = t.String()
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// tupleRows is termRows with nil kept non-nil for stable JSON shape.
+func tupleRows(tuples [][]core.Term) [][]string { return termRows(tuples) }

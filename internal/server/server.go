@@ -7,12 +7,24 @@
 //
 // Endpoints:
 //
-//	POST /v1/theories  {"source": "..."}          → compiled-KB summary
-//	POST /v1/dbs       {"facts": "..."}           → database id
-//	POST /v1/query     {"theory_id", "db_id", …}  → answers
-//	GET  /metrics                                 → flat counter JSON
-//	GET  /healthz                                 → liveness
-//	GET  /readyz                                  → readiness (drain-aware)
+//	POST /v1/theories            {"source": "..."}          → compiled-KB summary
+//	POST /v1/dbs                 {"facts": "..."}           → database id + version
+//	POST /v1/dbs/{id}/facts      {"add", "retract"}         → new version (atomic batch)
+//	POST /v1/dbs/{id}/subscribe  {"theory_id", "cq"}        → SSE answer-delta stream
+//	POST /v1/query               {"theory_id", "db_id", …}  → answers
+//	GET  /metrics                                           → flat counter JSON
+//	GET  /healthz                                           → liveness
+//	GET  /readyz                                            → readiness (drain-aware)
+//
+// Fact DBs are mutable: a batch clones the current version in id-space,
+// applies retractions then additions, folds the delta into every live
+// subscription, and atomically swaps the entry's version pointer —
+// in-flight queries keep reading the snapshot they started on and never
+// see a half-applied batch. Subscriptions are conjunctive queries
+// maintained incrementally (semi-naive resumption for inserts, DRed for
+// deletes); a CQ whose cached plan falls back to a per-query bounded
+// chase is rejected at registration with 422 rather than degrading to
+// re-chasing on every batch.
 //
 // Every query runs under a request budget: the request context is the
 // cancellation source (a disconnecting client aborts the engines) and
@@ -91,6 +103,9 @@ type Config struct {
 	// MaxBodyBytes caps POST request bodies; oversized bodies get 413
 	// (0 = 4 MiB).
 	MaxBodyBytes int64
+	// MaxSubs caps concurrent live-query subscriptions server-wide;
+	// registrations beyond it are shed with 429 (0 = 64).
+	MaxSubs int
 	// Chaos enables the fault-injection fields on query requests (used
 	// by the load harness); without it those fields are rejected.
 	Chaos bool
@@ -145,6 +160,13 @@ func (c Config) maxBodyBytes() int64 {
 	return c.MaxBodyBytes
 }
 
+func (c Config) maxSubs() int {
+	if c.MaxSubs <= 0 {
+		return 64
+	}
+	return c.MaxSubs
+}
+
 // endpointStats counts one endpoint's traffic.
 type endpointStats struct {
 	requests  atomic.Int64
@@ -152,10 +174,25 @@ type endpointStats struct {
 	latencyUS atomic.Int64
 }
 
+// dbVersion is one immutable snapshot of a mutable fact DB: queries
+// read whichever version is current when they start and are never
+// exposed to a half-applied batch; version numbers are per-DB and
+// increase by one per committed batch.
+type dbVersion struct {
+	db      *database.Database
+	version uint64
+	facts   int
+}
+
+// dbEntry is a mutable fact DB: an atomically swappable current version
+// plus the live subscriptions fed by its mutation batches. mu serializes
+// writers (fact batches, subscription registration); readers load cur
+// without locking.
 type dbEntry struct {
-	id    string
-	db    *database.Database
-	facts int
+	id   string
+	mu   sync.Mutex
+	cur  atomic.Pointer[dbVersion]
+	subs map[*subscription]struct{}
 }
 
 // Server serves a compiled-KB store over HTTP.
@@ -171,10 +208,20 @@ type Server struct {
 	light *tier
 
 	ready           atomic.Bool // false once draining
+	draining        chan struct{}
+	drainOnce       sync.Once
 	inFlight        atomic.Int64
 	panicsRecovered atomic.Int64
 	enginePanics    atomic.Int64
 	encodeErrors    atomic.Int64
+
+	// Mutation and subscription traffic.
+	subscriptions  atomic.Int64 // live SSE streams (gauge)
+	subsEvents     atomic.Int64 // delta events delivered
+	subsDropped    atomic.Int64 // subscriptions dropped (slow consumer or failed batch)
+	factBatches    atomic.Int64 // committed mutation batches
+	factsAdded     atomic.Int64 // base facts added across batches
+	factsRetracted atomic.Int64 // base facts retracted across batches
 
 	endpoints map[string]*endpointStats
 	mux       *http.ServeMux
@@ -190,10 +237,13 @@ func New(cfg Config) *Server {
 		light:     newTier(cfg.lightLimit(), cfg.lightQueue(), cfg.maxQueueWait()),
 		endpoints: make(map[string]*endpointStats),
 		mux:       http.NewServeMux(),
+		draining:  make(chan struct{}),
 	}
 	s.ready.Store(true)
 	s.mux.HandleFunc("POST /v1/theories", s.instrument("theories", s.handleTheories))
 	s.mux.HandleFunc("POST /v1/dbs", s.instrument("dbs", s.handleDBs))
+	s.mux.HandleFunc("POST /v1/dbs/{id}/facts", s.instrument("facts", s.handleFacts))
+	s.mux.HandleFunc("POST /v1/dbs/{id}/subscribe", s.instrument("subscribe", s.handleSubscribe))
 	s.mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -208,9 +258,14 @@ func (s *Server) Store() *kbcache.Store { return s.store }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // BeginDrain flips /readyz to 503 so load balancers stop routing new
-// traffic. In-flight requests are unaffected; pair with
-// http.Server.Shutdown, which waits for them.
-func (s *Server) BeginDrain() { s.ready.Store(false) }
+// traffic and closes every live subscription stream (an SSE stream
+// would otherwise hold http.Server.Shutdown open forever). In-flight
+// requests are unaffected; pair with http.Server.Shutdown, which waits
+// for them.
+func (s *Server) BeginDrain() {
+	s.ready.Store(false)
+	s.drainOnce.Do(func() { close(s.draining) })
+}
 
 // InFlight reports the requests currently inside handlers.
 func (s *Server) InFlight() int64 { return s.inFlight.Load() }
@@ -233,6 +288,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 func (r *statusRecorder) Write(b []byte) (int, error) {
 	r.wrote = true
 	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so SSE streams work through
+// the instrumentation wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with per-endpoint request, error and
@@ -415,8 +478,9 @@ type dbRequest struct {
 }
 
 type dbResponse struct {
-	ID    string `json:"id"`
-	Facts int    `json:"facts"`
+	ID      string `json:"id"`
+	Facts   int    `json:"facts"`
+	Version uint64 `json:"version"`
 }
 
 func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
@@ -437,12 +501,20 @@ func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 	}
 	d := database.FromAtoms(atoms)
 	id := kbcache.HashSource(req.Facts)
+	ent := &dbEntry{id: id, subs: make(map[*subscription]struct{})}
+	ent.cur.Store(&dbVersion{db: d, version: 1, facts: len(atoms)})
 	s.mu.Lock()
-	if _, evicted := s.dbs.Add(id, &dbEntry{id: id, db: d, facts: len(atoms)}); evicted {
+	if old, ok := s.dbs.Get(id); ok {
+		// Reloading the same source must not reset a mutated DB to its
+		// initial facts (the id hashes the original source): keep the
+		// existing entry, its version history and subscribers intact.
+		ent = old
+	} else if _, evicted := s.dbs.Add(id, ent); evicted {
 		s.dbEvictions.Add(1)
 	}
 	s.mu.Unlock()
-	s.writeJSON(w, http.StatusOK, dbResponse{ID: id, Facts: len(atoms)})
+	cur := ent.cur.Load()
+	s.writeJSON(w, http.StatusOK, dbResponse{ID: id, Facts: cur.facts, Version: cur.version})
 }
 
 type queryRequest struct {
@@ -486,6 +558,7 @@ type queryResponse struct {
 	Truncated bool       `json:"truncated,omitempty"`
 	Reason    string     `json:"reason,omitempty"`
 	Chain     []string   `json:"chain,omitempty"`
+	DBVersion uint64     `json:"db_version"`
 }
 
 // requestBudget builds the engine budget of one request: the request
@@ -595,14 +668,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		opts.Variant = chase.Oblivious
 	}
 
+	// Pin the DB version for the whole evaluation: a mutation batch
+	// committing mid-query swaps the entry's pointer to a fresh clone, so
+	// this snapshot is immutable and never shows a half-applied batch.
+	snap := ent.cur.Load()
 	var (
 		res *kbcache.QueryResult
 		err error
 	)
 	if isCQ {
-		res, err = ckb.AnswerCQ(r.Context(), q, ent.db, opts)
+		res, err = ckb.AnswerCQ(r.Context(), q, snap.db, opts)
 	} else {
-		res, err = ckb.AnswerAtom(r.Context(), query, ent.db, opts)
+		res, err = ckb.AnswerAtom(r.Context(), query, snap.db, opts)
 	}
 	if err != nil && (res == nil || !budget.IsBudget(err)) {
 		var pe *par.PanicError
@@ -615,12 +692,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := queryResponse{
-		Answers: make([][]string, 0, len(res.Answers)),
-		Count:   len(res.Answers),
-		Exact:   res.Exact,
-		PlanKey: res.PlanKey,
-		PlanHit: res.PlanHit,
-		Chain:   res.Chain,
+		Answers:   make([][]string, 0, len(res.Answers)),
+		Count:     len(res.Answers),
+		Exact:     res.Exact,
+		PlanKey:   res.PlanKey,
+		PlanHit:   res.PlanHit,
+		Chain:     res.Chain,
+		DBVersion: snap.version,
 	}
 	for _, tuple := range res.Answers {
 		row := make([]string, len(tuple))
@@ -654,8 +732,9 @@ func parseQueryAtom(src string) (core.Atom, error) {
 
 // Gauge keys in /metrics (free to move in both directions): "dbs",
 // "kbs", "ready", "in_flight", "in_flight_heavy", "in_flight_light",
-// "queued_heavy", "queued_light", "goroutines". Everything else is a
-// monotone counter — the load harness checks that invariant.
+// "queued_heavy", "queued_light", "goroutines", "subscriptions".
+// Everything else is a monotone counter — the load harness checks that
+// invariant.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out := s.store.Metrics().Snapshot()
 	s.mu.Lock()
@@ -672,6 +751,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out["panics_recovered"] = s.panicsRecovered.Load()
 	out["engine_panics"] = s.enginePanics.Load()
 	out["encode_errors"] = s.encodeErrors.Load()
+	out["subscriptions"] = s.subscriptions.Load()
+	out["subs_events"] = s.subsEvents.Load()
+	out["subs_dropped"] = s.subsDropped.Load()
+	out["fact_batches"] = s.factBatches.Load()
+	out["facts_added"] = s.factsAdded.Load()
+	out["facts_retracted"] = s.factsRetracted.Load()
 	for name, t := range map[string]*tier{"heavy": s.heavy, "light": s.light} {
 		out["shed_"+name] = t.shed.Load()
 		out["admitted_"+name] = t.admitted.Load()
