@@ -655,6 +655,72 @@ func (d *Database) FactIDs(dst []uint32, a core.Atom) ([]uint32, bool) {
 	return d.lookupTuple(dst, a)
 }
 
+// ACDomSupport returns the number of occurrences of t across all
+// non-ACDom facts (arguments and annotation, with multiplicity) — the
+// refcount behind the maintained ACDom(t) fact. Zero means t is not in
+// the active domain.
+func (d *Database) ACDomSupport(t core.Term) int { return d.acdom[t] }
+
+// ACDomPinned reports whether ACDom(t) was added explicitly by a caller,
+// in which case the fact survives even with no supporting occurrence and
+// must never be retracted by maintenance.
+func (d *Database) ACDomPinned(t core.Term) bool { return d.acdomX[t] }
+
+// TermOccursIn reports whether t occurs at any position of any fact of
+// rk, via the per-position posting lists (no fact scan).
+func (d *Database) TermOccursIn(rk core.RelKey, t core.Term) bool {
+	id, ok := d.intern.Lookup(t)
+	if !ok {
+		return false
+	}
+	r := d.byRel[rk]
+	if r == nil {
+		return false
+	}
+	for p := 0; p < r.w; p++ {
+		if len(r.index[p][id]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FactsContaining returns every non-ACDom fact with t at some position
+// (argument or annotation), in deterministic order: relations sorted as
+// in Relations, fact ordinals ascending, each fact once. Incremental
+// maintenance uses it to over-delete the remaining supports of a
+// constant whose active-domain membership is no longer grounded.
+func (d *Database) FactsContaining(t core.Term) []core.Atom {
+	id, ok := d.intern.Lookup(t)
+	if !ok {
+		return nil
+	}
+	var out []core.Atom
+	for _, rk := range d.Relations() {
+		if rk.Name == core.ACDom {
+			continue
+		}
+		r := d.byRel[rk]
+		var ords []int32
+		for p := 0; p < r.w; p++ {
+			ords = append(ords, r.index[p][id]...)
+		}
+		if len(ords) == 0 {
+			continue
+		}
+		sort.Slice(ords, func(i, j int) bool { return ords[i] < ords[j] })
+		prev := int32(-1)
+		for _, ix := range ords {
+			if ix == prev {
+				continue // t at several positions of one fact
+			}
+			prev = ix
+			out = append(out, r.facts[ix])
+		}
+	}
+	return out
+}
+
 // Restrict returns a new database with only the facts whose relation
 // satisfies keep. ACDom is rebuilt from the kept facts.
 func (d *Database) Restrict(keep func(core.RelKey) bool) *Database {

@@ -1,0 +1,161 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+
+	"guardedrules/internal/budget"
+	"guardedrules/internal/core"
+	"guardedrules/internal/database"
+	"guardedrules/internal/parser"
+)
+
+// TestDRedACDomSelfSupport pins the counting trap of refcount-maintained
+// ACDom under DRed: with `ACDom(X) -> R(X).` the derived R(c) supports
+// its own ACDom(c) guard, so retracting the last real base fact must not
+// leave the pair alive on mutual support. From scratch, the empty base
+// derives nothing.
+func TestDRedACDomSelfSupport(t *testing.T) {
+	const th = `ACDom(X) -> R(X).`
+	for _, w := range workerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			base := database.FromAtoms(parser.MustParseFacts(`B(c).`))
+			h := newDiffHarness(t, th, base, Options{Workers: w})
+			h.apply(nil, parser.MustParseFacts(`B(c).`))
+			if got := h.m.Current().Len(); got != 0 {
+				t.Fatalf("maintained db after retracting the only base fact has %d facts, want 0:\n%s",
+					got, h.m.Current().String())
+			}
+		})
+	}
+}
+
+// TestDRedACDomSelfSupportDiamond is the diamond variant: the constant
+// stays alive via an independent base fact, so the self-supporting
+// derivation must survive the first retraction and die with the second.
+func TestDRedACDomSelfSupportDiamond(t *testing.T) {
+	const th = `ACDom(X) -> R(X).`
+	base := database.FromAtoms(parser.MustParseFacts(`B(c). D(c).`))
+	h := newDiffHarness(t, th, base, Options{Workers: 1})
+	rc := core.NewAtom("R", core.Const("c"))
+	h.apply(nil, parser.MustParseFacts(`B(c).`))
+	if !h.m.Current().Has(rc) {
+		t.Fatal("R(c) died while D(c) still supports ACDom(c)")
+	}
+	h.apply(nil, parser.MustParseFacts(`D(c).`))
+	if h.m.Current().Has(rc) {
+		t.Fatal("R(c) survived on pure self-support")
+	}
+}
+
+// TestDRedACDomIntroducedConstant exercises the cascade through a
+// rule-introduced constant: d enters the domain only through derived
+// F facts, and Seen(d) must track exactly the survival of some F(_,d).
+func TestDRedACDomIntroducedConstant(t *testing.T) {
+	const th = `B(X) -> F(X, d).
+		ACDom(Y) -> Seen(Y).`
+	for _, w := range workerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			base := database.FromAtoms(parser.MustParseFacts(`B(c). B(e).`))
+			h := newDiffHarness(t, th, base, Options{Workers: w})
+			seenD := core.NewAtom("Seen", core.Const("d"))
+			h.apply(nil, parser.MustParseFacts(`B(c).`))
+			if !h.m.Current().Has(seenD) {
+				t.Fatal("Seen(d) died while F(e,d) still derives it")
+			}
+			h.apply(nil, parser.MustParseFacts(`B(e).`))
+			if got := h.m.Current().Len(); got != 0 {
+				t.Fatalf("maintained db after retracting every base fact has %d facts, want 0:\n%s",
+					got, h.m.Current().String())
+			}
+		})
+	}
+}
+
+// TestDRedACDomCrossStratum drives the cross-stratum doom case: the
+// stratum-0 reader rule must not resurrect R0(c) on the strength of
+// higher-stratum supports (P, Q) that are themselves doomed once the
+// base fact dies.
+func TestDRedACDomCrossStratum(t *testing.T) {
+	const th = `ACDom(X) -> R0(X).
+		B(X), not N(X) -> P(X).
+		P(X) -> Q(X).`
+	for _, w := range workerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			base := database.FromAtoms(parser.MustParseFacts(`B(c).`))
+			h := newDiffHarness(t, th, base, Options{Workers: w})
+			h.apply(nil, parser.MustParseFacts(`B(c).`))
+			if got := h.m.Current().Len(); got != 0 {
+				t.Fatalf("maintained db after retracting the only base fact has %d facts, want 0:\n%s",
+					got, h.m.Current().String())
+			}
+			// Re-adding the base fact rebuilds the whole tower.
+			h.apply(parser.MustParseFacts(`B(c).`), nil)
+			for _, rel := range []string{"R0", "P", "Q"} {
+				if !h.m.Current().Has(core.NewAtom(rel, core.Const("c"))) {
+					t.Fatalf("%s(c) missing after re-adding B(c)", rel)
+				}
+			}
+		})
+	}
+}
+
+// TestDRedACDomRegressionSubscribeShape mirrors the repo's subscription
+// regression theory (`ACDom(Y) -> Seen(Y).`) over a mixed batch,
+// including a retract+add in one batch that must leave the fixpoint
+// exactly at the from-scratch result of the new base.
+func TestDRedACDomRegressionSubscribeShape(t *testing.T) {
+	const th = `ACDom(Y) -> Seen(Y).
+		E(X,Y) -> T(X,Y).
+		T(X,Y), T(Y,Z) -> T(X,Z).`
+	for _, w := range workerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			base := database.FromAtoms(parser.MustParseFacts(`E(a, b). E(b, c).`))
+			h := newDiffHarness(t, th, base, Options{Workers: w})
+			h.apply(nil, parser.MustParseFacts(`E(b, c).`))
+			h.apply(parser.MustParseFacts(`E(b, d).`), parser.MustParseFacts(`E(a, b).`))
+			h.apply(nil, parser.MustParseFacts(`E(b, d).`))
+			if got := h.m.Current().Len(); got != 0 {
+				t.Fatalf("empty base left %d facts:\n%s", got, h.m.Current().String())
+			}
+		})
+	}
+}
+
+// TestDRedACDomFailAtSweep drives the self-support cascade through every
+// injected checkpoint failure: a failing Apply must leave the handle at
+// the pre-batch materialization, and the eventual clean run must land on
+// the from-scratch fixpoint.
+func TestDRedACDomFailAtSweep(t *testing.T) {
+	const th = `B(X) -> F(X, d).
+		ACDom(Y) -> Seen(Y).`
+	del := parser.MustParseFacts(`B(c).`)
+	add := parser.MustParseFacts(`B(g).`)
+	h := newDiffHarness(t, th, database.FromAtoms(parser.MustParseFacts(`B(c). B(e).`)), Options{Workers: 1})
+	before := h.m.Current().String()
+	completed := false
+	for fail := 1; fail <= 200; fail++ {
+		opts := Options{Workers: 1, Budget: budget.FailAt(fail)}
+		_, _, err := h.m.Apply(add, del, opts)
+		if err == nil {
+			completed = true
+			break
+		}
+		if !budget.IsBudget(err) {
+			t.Fatalf("FailAt(%d): unexpected error kind: %v", fail, err)
+		}
+		if got := h.m.Current().String(); got != before {
+			t.Fatalf("FailAt(%d): failed Apply mutated the pre-batch version", fail)
+		}
+	}
+	if !completed {
+		t.Fatal("batch never completed within 200 checkpoints")
+	}
+	for _, f := range del {
+		delete(h.shadow, factKey(f))
+	}
+	for _, f := range add {
+		h.shadow[factKey(f)] = f
+	}
+	h.check()
+}

@@ -65,6 +65,27 @@ type Maintained struct {
 	p    *Program
 	cur  *database.Database
 	base map[string]core.Atom
+	// baseConst counts, per constant, its occurrences across the base
+	// facts (arguments and annotation, with multiplicity). Maintained
+	// only for ACDom-reading programs (nil otherwise): the retraction
+	// cascade uses it to decide in O(1) whether a constant's domain
+	// membership is still grounded in the base after the staged batch.
+	baseConst map[core.Term]int
+}
+
+// constOccs calls fn for every constant occurrence of f (arguments and
+// annotation, with multiplicity).
+func constOccs(f core.Atom, fn func(core.Term)) {
+	for _, t := range f.Args {
+		if t.IsConst() {
+			fn(t)
+		}
+	}
+	for _, t := range f.Annotation {
+		if t.IsConst() {
+			fn(t)
+		}
+	}
 }
 
 // NewMaintained evaluates the program over base and returns a maintained
@@ -77,8 +98,14 @@ func NewMaintained(p *Program, base *database.Database, opts Options) (*Maintain
 		return nil, err
 	}
 	m := &Maintained{p: p, cur: fix, base: make(map[string]core.Atom, base.Len())}
+	if p.readsACDom {
+		m.baseConst = make(map[core.Term]int)
+	}
 	for _, f := range base.UserFacts() {
 		m.base[factKey(f)] = f
+		if m.baseConst != nil {
+			constOccs(f, func(t core.Term) { m.baseConst[t]++ })
+		}
 	}
 	return m, nil
 }
@@ -180,12 +207,26 @@ func (m *Maintained) Apply(add, retract []core.Atom, opts Options) (res *databas
 		}
 	}()
 
+	// occDelta is the batch's net effect on base constant occurrences;
+	// together with baseConst it answers "does the post-batch base still
+	// contain t" during the retraction cascade of ACDom-reading programs.
+	var occDelta map[core.Term]int
+	if m.baseConst != nil {
+		occDelta = make(map[core.Term]int)
+		for _, f := range baseDel {
+			constOccs(f, func(t core.Term) { occDelta[t]-- })
+		}
+		for _, f := range baseAdd {
+			constOccs(f, func(t core.Term) { occDelta[t]++ })
+		}
+	}
+
 	addsList := sortedFacts(baseAdd)
 	var work *database.Database
 	if len(baseDel) == 0 && !m.p.hasNeg {
 		work, err = m.applyMonotone(addsList, opts, tk, noteAdd)
 	} else {
-		work, err = m.applyDRed(addsList, sortedFacts(baseDel), inBase, opts, tk, noteAdd, noteDel, &grossAdds, &grossDels, addedSet, removedSet)
+		work, err = m.applyDRed(addsList, sortedFacts(baseDel), inBase, occDelta, opts, tk, noteAdd, noteDel, &grossAdds, &grossDels, addedSet, removedSet)
 	}
 	if err != nil {
 		return nil, Delta{}, err
@@ -199,6 +240,13 @@ func (m *Maintained) Apply(add, retract []core.Atom, opts Options) (res *databas
 	}
 	for k, f := range baseAdd {
 		m.base[k] = f
+	}
+	if m.baseConst != nil {
+		for t, n := range occDelta {
+			if m.baseConst[t] += n; m.baseConst[t] <= 0 {
+				delete(m.baseConst, t)
+			}
+		}
 	}
 	m.cur = work
 	return work, Delta{Added: sortedFactVals(addedSet), Removed: sortedFactVals(removedSet)}, nil
@@ -240,7 +288,13 @@ func (m *Maintained) applyMonotone(adds []core.Atom, opts Options, tk *budget.Tr
 // still one-step derivable (phase R), then resume the semi-naive
 // insertion rounds with the rederived and added facts as the delta
 // (phase I, including firings newly unblocked by deletions).
-func (m *Maintained) applyDRed(adds, dels []core.Atom, inBase func(string) bool, opts Options, tk *budget.Tracker, noteAdd, noteDel func(core.Atom), grossAdds, grossDels *[]core.Atom, addedSet, removedSet map[string]core.Atom) (*database.Database, error) {
+//
+// Every deletion runs through retractCascade: for ACDom-reading
+// programs, a constant whose last trusted support dies drags its
+// remaining (possibly self-supporting) derived supports into the
+// frontier too — see the method comment for why refcounts alone
+// under-delete there.
+func (m *Maintained) applyDRed(adds, dels []core.Atom, inBase func(string) bool, occDelta map[core.Term]int, opts Options, tk *budget.Tracker, noteAdd, noteDel func(core.Atom), grossAdds, grossDels *[]core.Atom, addedSet, removedSet map[string]core.Atom) (*database.Database, error) {
 	old := m.cur
 	work := old.Clone()
 	js := opts.Stats
@@ -253,7 +307,7 @@ func (m *Maintained) applyDRed(adds, dels []core.Atom, inBase func(string) bool,
 	// Base retractions come first; cascaded ACDom deaths ride the same
 	// notification into the deletion frontier.
 	for _, f := range dels {
-		if _, err := work.DeleteNotify(f, noteDel); err != nil {
+		if err := m.retractCascade(work, f, 0, occDelta, tk, noteDel); err != nil {
 			return nil, fmt.Errorf("datalog: apply: retract %s: %w", f, err)
 		}
 	}
@@ -277,7 +331,7 @@ func (m *Maintained) applyDRed(adds, dels []core.Atom, inBase func(string) bool,
 				if !work.Has(h) {
 					continue
 				}
-				if _, err := work.DeleteNotify(h, noteDel); err != nil {
+				if err := m.retractCascade(work, h, i, occDelta, tk, noteDel); err != nil {
 					return fmt.Errorf("datalog: apply: over-delete %s: %w", h, err)
 				}
 			}
@@ -386,6 +440,85 @@ func (m *Maintained) applyDRed(adds, dels []core.Atom, inBase func(string) bool,
 		}
 	}
 	return work, nil
+}
+
+// retractCascade removes f from work (with ACDom refcount maintenance
+// via DeleteNotify) and closes the refcount blind spot of ACDom-reading
+// programs: ACDom is maintained by occurrence counting, and counting is
+// unsound under deletion once rules derive facts FROM domain membership
+// — with `ACDom(X) -> R(X)`, the derived R(c) supports its own ACDom(c)
+// guard, so retracting the last real support leaves the pair alive on
+// mutual support and DRed's phase D never sees the ACDom deletion.
+//
+// The repair is a trusted-support test per constant of every deleted
+// fact: a constant is trusted while the post-batch base still contains
+// it (baseConst adjusted by occDelta), its ACDom fact is explicitly
+// pinned, or it occurs in a fact of a relation whose last deriving
+// stratum precedes the current one (those facts are final — phase D
+// can no longer touch them — and base facts exist from stratum 0, so
+// the timing matches a from-scratch stratified run). When a deletion
+// drops an occurrence of an untrusted constant, every remaining fact
+// containing it is suspect of circular support and joins the deletion
+// worklist; the last support's DeleteNotify then retracts ACDom(c) with
+// notification, feeding DRed's frontier. All of this is a safe
+// over-approximation in the DRed sense: the suspect facts sit at
+// strata >= the current one (a surviving earlier-stratum fact would
+// have made the constant trusted), so their rederivation phases are
+// still ahead and restore whatever a surviving derivation justifies.
+//
+// Programs that never read ACDom skip the test entirely: their ACDom
+// facts have no consequences, and refcounts alone maintain them
+// exactly.
+func (m *Maintained) retractCascade(work *database.Database, f core.Atom, stratum int, occDelta map[core.Term]int, tk *budget.Tracker, noteDel func(core.Atom)) error {
+	if !m.p.readsACDom {
+		_, err := work.DeleteNotify(f, noteDel)
+		return err
+	}
+	trusted := func(t core.Term) bool {
+		if m.baseConst[t]+occDelta[t] > 0 || work.ACDomPinned(t) {
+			return true
+		}
+		for rk, last := range m.p.lastStratum {
+			if last < stratum && work.TermOccursIn(rk, t) {
+				return true
+			}
+		}
+		return false
+	}
+	// cascaded marks constants whose remaining supports were already
+	// enqueued in this call: every fact on the worklist is deleted before
+	// returning, so re-testing them while the queue drains is redundant.
+	var cascaded map[core.Term]bool
+	queue := []core.Atom{f}
+	for n := 0; len(queue) > 0; n++ {
+		if n%64 == 63 {
+			// Checkpoint: a huge cascade observes cancellation and FailAt
+			// injection like every other engine loop.
+			if err := tk.Check(); err != nil {
+				return err
+			}
+		}
+		a := queue[0]
+		queue = queue[1:]
+		removed, err := work.DeleteNotify(a, noteDel)
+		if err != nil {
+			return err
+		}
+		if !removed || a.Relation == core.ACDom {
+			continue
+		}
+		constOccs(a, func(t core.Term) {
+			if cascaded[t] || work.ACDomSupport(t) == 0 || trusted(t) {
+				return // refcount already cascaded, or membership still grounded
+			}
+			if cascaded == nil {
+				cascaded = make(map[core.Term]bool)
+			}
+			cascaded[t] = true
+			queue = append(queue, work.FactsContaining(t)...)
+		})
+	}
+	return nil
 }
 
 // noteBuilds returns the hash-table counter hook shared with

@@ -91,6 +91,14 @@ const absTheory = `R(X,Y) -> P(X,Y).
 	B(X), not P(X,X) -> Q(X).
 	C(X), not Q(X) -> Z(X).`
 
+// acdomTheory reads the maintained domain relation — the shape that
+// makes refcount-only ACDom maintenance unsound under deletion — with a
+// rule-introduced constant (s) so the cascade also covers constants that
+// exist only through derived facts.
+const acdomTheory = `ACDom(X) -> Dom(X).
+	E(X,Y), Dom(Y) -> Reach(X,Y).
+	A(X) -> W(X, s).`
+
 func workerCounts() []int { return []int{1, 4} }
 
 func TestIncrementalInsertResume(t *testing.T) {
@@ -223,6 +231,7 @@ func TestIncrementalDifferentialRandom(t *testing.T) {
 	}{
 		{"tc", tcTheory},
 		{"abs", absTheory},
+		{"acdom", acdomTheory},
 	}
 	for _, th := range theories {
 		for _, c := range corpora {

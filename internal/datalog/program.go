@@ -36,6 +36,17 @@ type Program struct {
 	// without negation take the monotone fast path of incremental
 	// insertion (no block/unblock sweeps are ever needed).
 	hasNeg bool
+	// readsACDom reports whether any rule body reads the maintained
+	// ACDom relation. Only such programs can derive facts FROM domain
+	// membership, which is what makes refcount-maintained ACDom unsound
+	// under deletion (a derived fact can support its own ACDom guard);
+	// incremental retraction runs its trusted-support cascade only when
+	// this is set.
+	readsACDom bool
+	// lastStratum maps every derived relation to the last stratum with a
+	// rule deriving it: its facts are final once that stratum's
+	// over-deletion completed. Relations absent from the map are EDB.
+	lastStratum map[core.RelKey]int
 }
 
 // compiledStratum is one stratum's reusable compiled form.
@@ -74,7 +85,8 @@ func Compile(th *core.Theory) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Program{th: th, strata: make([]compiledStratum, len(strata))}
+	p := &Program{th: th, strata: make([]compiledStratum, len(strata)),
+		lastStratum: make(map[core.RelKey]int)}
 	for i, rules := range strata {
 		cs := &p.strata[i]
 		cs.rules = rules
@@ -90,10 +102,14 @@ func Compile(th *core.Theory) (*Program, error) {
 					cs.negItems = append(cs.negItems, compileAuxTemplate(r, l.Atom, true))
 					p.hasNeg = true
 				}
+				if l.Atom.Relation == core.ACDom {
+					p.readsACDom = true
+				}
 			}
 			for _, h := range r.Head {
 				cs.redItems = append(cs.redItems, compileAuxTemplate(r, h, false))
 				cs.headRels[h.Key()] = true
+				p.lastStratum[h.Key()] = i
 			}
 		}
 	}

@@ -175,7 +175,7 @@ func (s *Store) Register(ctx context.Context, src string) (kb *CompiledKB, cache
 		}
 		s.metrics.CompileMisses.Add(1)
 		s.mu.Lock()
-		if _, evicted := s.kbs.Add(id, kb); evicted {
+		if _, _, evicted := s.kbs.Add(id, kb); evicted {
 			s.metrics.KBEvictions.Add(1)
 		}
 		s.mu.Unlock()

@@ -171,7 +171,7 @@ func (ckb *CompiledKB) getPlan(ctx context.Context, key string, build func(ctx c
 		}
 		ckb.metrics.PlanMisses.Add(1)
 		ckb.planMu.Lock()
-		if _, evicted := ckb.plans.Add(key, p); evicted {
+		if _, _, evicted := ckb.plans.Add(key, p); evicted {
 			ckb.metrics.PlanEvictions.Add(1)
 		}
 		ckb.planMu.Unlock()

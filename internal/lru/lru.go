@@ -40,23 +40,32 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
-// Add inserts (or refreshes) the value under key and reports the entry
-// evicted to stay within capacity, if any.
-func (c *Cache[V]) Add(key string, v V) (evictedKey string, evicted bool) {
+// Add inserts (or refreshes) the value under key and returns the entry
+// evicted to stay within capacity, if any — key and value both, so
+// callers owning stateful values (open streams, subscriber lists) can
+// tear the victim down instead of leaking it as an orphan.
+func (c *Cache[V]) Add(key string, v V) (evictedKey string, evictedVal V, evicted bool) {
+	var zero V
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*entry[V]).val = v
-		return "", false
+		return "", zero, false
 	}
 	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: v})
 	if c.ll.Len() <= c.capacity {
-		return "", false
+		return "", zero, false
 	}
 	oldest := c.ll.Back()
 	c.ll.Remove(oldest)
 	ent := oldest.Value.(*entry[V])
 	delete(c.items, ent.key)
-	return ent.key, true
+	return ent.key, ent.val, true
+}
+
+// Contains reports whether key is cached, without touching recency.
+func (c *Cache[V]) Contains(key string) bool {
+	_, ok := c.items[key]
+	return ok
 }
 
 // Len is the number of cached entries.

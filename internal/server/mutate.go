@@ -18,9 +18,17 @@ import (
 // events (and close ch when dropping the subscriber) while holding it,
 // and the streaming goroutine unregisters under it, so a send can never
 // race a close.
+//
+// errCh is the reserved lane for the terminal error frame: ch may be
+// full at drop time (a slow consumer is dropped precisely because it
+// is), so a drop's cause rides a separate 1-slot channel that the
+// stream goroutine flushes after ch closes. That is what makes the
+// documented contract — dropped subscribers see an error frame, never a
+// silent close — hold unconditionally.
 type subscription struct {
-	mq *kbcache.MaintainedQuery
-	ch chan subEvent
+	mq    *kbcache.MaintainedQuery
+	ch    chan subEvent
+	errCh chan subEvent
 }
 
 // subEvent is one pre-marshaled SSE frame.
@@ -118,7 +126,26 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	next := &dbVersion{db: work, version: cur.version + 1, facts: cur.facts + added - retracted}
+	// Commit under s.mu with a membership re-check: the LRU may have
+	// evicted this entry between the handler's lookup and here, and a
+	// batch committed to an orphaned entry would return 200 while the
+	// write is silently lost. Eviction also runs under s.mu, so it lands
+	// strictly before this check (→ 409, nothing written) or strictly
+	// after the version swap (→ the write happened, then the whole DB was
+	// evicted and its subscribers were dropped with an error frame).
+	// Lock order is ent.mu → s.mu everywhere; eviction teardown takes
+	// victim.mu only after releasing s.mu.
+	s.mu.Lock()
+	if live, ok := s.dbs.Get(ent.id); !ok || live != ent {
+		// Gone, or evicted and re-loaded as a fresh entry: either way this
+		// handle is an orphan and committing to it would lie.
+		s.mu.Unlock()
+		s.writeError(w, http.StatusConflict,
+			fmt.Errorf("db id %q was evicted while the batch was being prepared; nothing was written", ent.id))
+		return
+	}
 	ent.cur.Store(next)
+	s.mu.Unlock()
 	s.factBatches.Add(1)
 	s.factsAdded.Add(int64(added))
 	s.factsRetracted.Add(int64(retracted))
@@ -151,8 +178,11 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 			s.subsEvents.Add(1)
 		default:
 			// Slow consumer: its buffer is full, so its answer stream
-			// would silently skip a delta — drop it instead of lying.
-			s.dropSubLocked(ent, sub, nil)
+			// would silently skip a delta — drop it instead of lying. The
+			// cause rides the reserved errCh slot, so the client still
+			// gets a terminal error frame after draining the buffer.
+			s.dropSubLocked(ent, sub,
+				fmt.Errorf("slow consumer: delta buffer full at version %d; stream incomplete", next.version))
 		}
 	}
 	s.writeJSON(w, http.StatusOK, factsResponse{
@@ -164,16 +194,18 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// dropSubLocked removes a subscription (caller holds ent.mu), sending a
-// best-effort error event first; closing ch ends the stream goroutine.
+// dropSubLocked removes a subscription (caller holds ent.mu). The cause
+// goes into the subscription's reserved 1-slot error channel — never the
+// delta channel, which may be full — and closing ch tells the stream
+// goroutine to drain remaining deltas, emit the error frame, and end.
 func (s *Server) dropSubLocked(ent *dbEntry, sub *subscription, cause error) {
 	delete(ent.subs, sub)
 	s.subsDropped.Add(1)
 	if cause != nil {
 		if ev, err := marshalEvent("error", errorResponse{Error: cause.Error()}); err == nil {
 			select {
-			case sub.ch <- ev:
-			default:
+			case sub.errCh <- ev:
+			default: // a frame is already waiting; first cause wins
 			}
 		}
 	}
@@ -273,8 +305,25 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	sub := &subscription{mq: mq, ch: make(chan subEvent, 32)}
+	// Register under s.mu with a membership re-check, mirroring the
+	// commit path in handleFacts: if the LRU evicted this entry after the
+	// handler's lookup, registering here would create a stream that never
+	// receives another batch. Eviction is serialized by s.mu, so it lands
+	// before this check (→ 409, no registration) or after it (→ the
+	// eviction teardown finds the subscription and drops it with an
+	// error frame).
+	s.mu.Lock()
+	if live, ok := s.dbs.Get(r.PathValue("id")); !ok || live != ent {
+		s.mu.Unlock()
+		ent.mu.Unlock()
+		release()
+		s.writeError(w, http.StatusConflict,
+			fmt.Errorf("db id %q was evicted during subscription setup", r.PathValue("id")))
+		return
+	}
+	sub := &subscription{mq: mq, ch: make(chan subEvent, 32), errCh: make(chan subEvent, 1)}
 	ent.subs[sub] = struct{}{}
+	s.mu.Unlock()
 	snap := snapshotEvent{Version: cur.version, Answers: termRows(mq.Answers()), PlanKey: mq.PlanKey()}
 	ent.mu.Unlock()
 	release()
@@ -303,7 +352,15 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		select {
 		case ev, ok := <-sub.ch:
 			if !ok {
-				return // dropped by a mutation batch
+				// Dropped by a mutation batch or an eviction. The cause is
+				// waiting on the reserved error slot: emit it so the client
+				// can tell a drop (incomplete stream) from a graceful close.
+				select {
+				case ev := <-sub.errCh:
+					writeSSE(w, flusher, ev)
+				default:
+				}
+				return
 			}
 			if !writeSSE(w, flusher, ev) {
 				return

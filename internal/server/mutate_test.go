@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,6 +12,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"guardedrules/internal/kb"
+	"guardedrules/internal/kbcache"
 )
 
 // sseEvent is one parsed server-sent event.
@@ -323,5 +327,171 @@ func TestSubscribeDrainAndChaosDrop(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("stream did not close on drain")
+	}
+}
+
+// LRU eviction of a DB with live subscribers must not orphan them: each
+// stream ends with a terminal error frame naming the eviction, and a
+// later batch against the evicted id is a clean 404, never a 200 over a
+// lost write.
+func TestDBEvictionDropsSubscribers(t *testing.T) {
+	srv := New(Config{DefaultTimeout: 10 * time.Second, MaxDBs: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	thID, dbID := registerFixtures(t, ts.URL)
+
+	events, closeStream := sseStream(t, ts.URL+"/v1/dbs/"+dbID+"/subscribe",
+		subscribeRequest{TheoryID: thID, CQ: "T(X,Y) -> Ans(X,Y)."})
+	defer closeStream()
+	waitEvent(t, events, "snapshot")
+
+	// Loading a second DB evicts the first (MaxDBs=1).
+	var db2 dbResponse
+	if code := post(t, ts.URL+"/v1/dbs", dbRequest{Facts: "B(z)."}, &db2); code != 200 {
+		t.Fatalf("second db load: status %d", code)
+	}
+	ev := waitEvent(t, events, "error")
+	if !strings.Contains(ev.Data, "evicted") {
+		t.Fatalf("eviction error frame %q does not name the eviction", ev.Data)
+	}
+	if _, open := <-events; open {
+		t.Fatal("stream must close after the eviction drop")
+	}
+
+	var e errorResponse
+	if code := post(t, ts.URL+"/v1/dbs/"+dbID+"/facts", factsRequest{Add: "E(x,y)."}, &e); code != 404 {
+		t.Fatalf("batch against evicted db: status %d (%+v), want 404", code, e)
+	}
+	var m map[string]int64
+	get(t, ts.URL+"/metrics", &m)
+	if m["db_evictions"] != 1 || m["subs_dropped"] != 1 {
+		t.Fatalf("metrics after eviction: evictions=%d dropped=%d, want 1/1", m["db_evictions"], m["subs_dropped"])
+	}
+}
+
+// The commit-time membership re-check closes the lookup→commit race: a
+// batch whose DB is evicted after the handler's lookup but before the
+// version swap gets 409 and writes nothing, instead of 200 over an
+// orphaned entry. The test parks the batch on the entry lock, evicts the
+// DB, then releases the lock.
+func TestFactsEvictionRaceConflicts(t *testing.T) {
+	srv := New(Config{DefaultTimeout: 10 * time.Second, MaxDBs: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	_, dbID := registerFixtures(t, ts.URL)
+
+	srv.mu.Lock()
+	ent, ok := srv.dbs.Get(dbID)
+	srv.mu.Unlock()
+	if !ok {
+		t.Fatal("fixture db missing")
+	}
+
+	// Park the batch: it passes the lookup and heavy admission, then
+	// blocks on the entry lock the test is holding.
+	ent.mu.Lock()
+	baseline := admittedHeavy(t, ts.URL)
+	batchCode := make(chan int, 1)
+	go func() {
+		batchCode <- post(t, ts.URL+"/v1/dbs/"+dbID+"/facts", factsRequest{Add: "E(x,y)."}, nil)
+	}()
+	waitCounter(t, ts.URL, "admitted_heavy", baseline+1)
+
+	// Evict the db while the batch is parked. The eviction teardown also
+	// wants the entry lock, so run it concurrently and let both proceed
+	// on release; the LRU removal itself already happened under s.mu.
+	evictDone := make(chan struct{})
+	go func() {
+		defer close(evictDone)
+		if code := post(t, ts.URL+"/v1/dbs", dbRequest{Facts: "B(z)."}, nil); code != 200 {
+			t.Errorf("evicting db load: status %d", code)
+		}
+	}()
+	waitCounter(t, ts.URL, "db_evictions", 1)
+	before := ent.cur.Load().version
+	ent.mu.Unlock()
+
+	if code := <-batchCode; code != 409 {
+		t.Fatalf("batch over evicted entry: status %d, want 409", code)
+	}
+	<-evictDone
+	if got := ent.cur.Load().version; got != before {
+		t.Fatalf("409 batch still bumped the orphaned entry to version %d", got)
+	}
+}
+
+func admittedHeavy(t *testing.T, base string) int64 {
+	t.Helper()
+	var m map[string]int64
+	get(t, base+"/metrics", &m)
+	return m["admitted_heavy"]
+}
+
+// waitCounter polls /metrics until the named counter reaches want.
+func waitCounter(t *testing.T, base, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var m map[string]int64
+		get(t, base+"/metrics", &m)
+		if m[name] >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("counter %s never reached %d", name, want)
+}
+
+// A slow consumer is dropped with a real error frame: the delta channel
+// is full by definition at drop time, so the cause must ride the
+// reserved error slot and survive until the stream goroutine flushes it.
+func TestSlowConsumerDropDeliversErrorFrame(t *testing.T) {
+	srv := New(Config{DefaultTimeout: 10 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	thID, dbID := registerFixtures(t, ts.URL)
+
+	ckb, ok := srv.store.Get(thID)
+	if !ok {
+		t.Fatal("fixture theory missing")
+	}
+	srv.mu.Lock()
+	ent, ok := srv.dbs.Get(dbID)
+	srv.mu.Unlock()
+	if !ok {
+		t.Fatal("fixture db missing")
+	}
+	q, err := kb.ParseCQ("T(X,Y) -> Ans(X,Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, err := ckb.MaintainCQ(context.Background(), q, ent.cur.Load().db, kbcache.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unbuffered delta channel with no reader: the first batch's send
+	// fails, which is exactly the slow-consumer state of a full buffer.
+	sub := &subscription{mq: mq, ch: make(chan subEvent), errCh: make(chan subEvent, 1)}
+	ent.mu.Lock()
+	ent.subs[sub] = struct{}{}
+	ent.mu.Unlock()
+
+	var fr factsResponse
+	if code := post(t, ts.URL+"/v1/dbs/"+dbID+"/facts", factsRequest{Add: "E(v3,v4)."}, &fr); code != 200 {
+		t.Fatalf("batch: status %d", code)
+	}
+	if fr.Subscribers != 0 {
+		t.Fatalf("subscribers after slow-consumer drop = %d, want 0", fr.Subscribers)
+	}
+	if _, open := <-sub.ch; open {
+		t.Fatal("delta channel must be closed by the drop")
+	}
+	select {
+	case ev := <-sub.errCh:
+		if ev.event != "error" || !strings.Contains(string(ev.data), "slow consumer") {
+			t.Fatalf("reserved frame = %s %q, want an error naming the slow consumer", ev.event, ev.data)
+		}
+	default:
+		t.Fatal("no error frame reserved for the slow-consumer drop")
 	}
 }

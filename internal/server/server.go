@@ -503,16 +503,30 @@ func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 	id := kbcache.HashSource(req.Facts)
 	ent := &dbEntry{id: id, subs: make(map[*subscription]struct{})}
 	ent.cur.Store(&dbVersion{db: d, version: 1, facts: len(atoms)})
+	var victim *dbEntry
 	s.mu.Lock()
 	if old, ok := s.dbs.Get(id); ok {
 		// Reloading the same source must not reset a mutated DB to its
 		// initial facts (the id hashes the original source): keep the
 		// existing entry, its version history and subscribers intact.
 		ent = old
-	} else if _, evicted := s.dbs.Add(id, ent); evicted {
+	} else if _, v, evicted := s.dbs.Add(id, ent); evicted {
 		s.dbEvictions.Add(1)
+		victim = v
 	}
 	s.mu.Unlock()
+	if victim != nil {
+		// Tear the evicted DB down outside s.mu (writers take ent.mu
+		// before s.mu, so nesting the other way would deadlock): every
+		// live subscriber gets a terminal error frame instead of a stream
+		// that silently stops receiving batches.
+		victim.mu.Lock()
+		for sub := range victim.subs {
+			s.dropSubLocked(victim, sub,
+				fmt.Errorf("db %q evicted (MaxDBs=%d LRU); stream closed", victim.id, s.cfg.maxDBs()))
+		}
+		victim.mu.Unlock()
+	}
 	cur := ent.cur.Load()
 	s.writeJSON(w, http.StatusOK, dbResponse{ID: id, Facts: cur.facts, Version: cur.version})
 }
