@@ -51,6 +51,8 @@ func cmdServe(args []string) error {
 	maxBody := fs.Int64("max-body-bytes", 4<<20, "POST body size cap (413 beyond it)")
 	maxSubs := fs.Int("max-subs", 64, "concurrent live-query subscriptions (429 beyond it)")
 	chaos := fs.Bool("chaos", false, "enable fault-injection request fields (load harness only)")
+	dataDir := fs.String("data-dir", "", "persistence root: fact DBs journal to segment stores and theories persist compiled artifacts; reopened at boot (empty = in-memory)")
+	syncWrites := fs.Bool("sync", false, "fsync every durable commit (power-loss safety at a per-batch fsync cost)")
 	lameDuck := fs.Duration("lame-duck", time.Second, "after SIGTERM, keep serving (readyz 503) this long so load balancers stop routing")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slow-loris guard)")
@@ -80,6 +82,8 @@ func cmdServe(args []string) error {
 			MaxBodyBytes:   *maxBody,
 			MaxSubs:        *maxSubs,
 			Chaos:          *chaos,
+			DataDir:        *dataDir,
+			SyncWrites:     *syncWrites,
 		},
 		addr:              *addr,
 		lameDuck:          *lameDuck,
@@ -99,6 +103,9 @@ func cmdServe(args []string) error {
 // drain so the process exits 0.
 func runServe(ctx context.Context, opts serveOptions, stdout, stderr io.Writer) error {
 	srv := server.New(opts.cfg)
+	if err := srv.RestoreData(); err != nil {
+		return fmt.Errorf("serve: restore data dir: %w", err)
+	}
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
@@ -131,6 +138,9 @@ func runServe(ctx context.Context, opts serveOptions, stdout, stderr io.Writer) 
 		defer cancel()
 		if err := hs.Shutdown(shctx); err != nil {
 			return fmt.Errorf("serve: drain incomplete: %w", err)
+		}
+		if err := srv.CloseData(); err != nil {
+			return fmt.Errorf("serve: closing data dir: %w", err)
 		}
 		fmt.Fprintln(stderr, "serve: drained")
 		return nil

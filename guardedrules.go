@@ -29,6 +29,7 @@
 package guardedrules
 
 import (
+	"context"
 	"fmt"
 
 	"guardedrules/internal/annotate"
@@ -39,14 +40,12 @@ import (
 	"guardedrules/internal/core"
 	"guardedrules/internal/database"
 	"guardedrules/internal/datalog"
-	"guardedrules/internal/hom"
 	"guardedrules/internal/kb"
 	"guardedrules/internal/lint"
 	"guardedrules/internal/normalize"
 	"guardedrules/internal/parser"
 	"guardedrules/internal/rewrite"
 	"guardedrules/internal/saturate"
-	"guardedrules/internal/stratified"
 	"guardedrules/internal/termination"
 	"guardedrules/internal/tm"
 )
@@ -69,10 +68,12 @@ type (
 	ClassReport = classify.Report
 	// ChaseOptions bounds a chase run.
 	//
-	// Deprecated: use the unified Options with ChaseCtx. ChaseOptions'
-	// Max* integers truncate softly (Truncated + Reason, nil error);
-	// the v2 API routes every limit through a Budget instead, so there
-	// is one limits code path with typed errors.
+	// Deprecated: use the unified Options with ChaseCtx. Since v2 the
+	// facade wrappers taking ChaseOptions delegate to the *Ctx path:
+	// the Max* integers are routed through a Budget, so exhausting one
+	// returns the partial result with a typed *BudgetError instead of
+	// the retired soft truncation (Truncated + Reason, nil error).
+	// MaxDepth is unaffected — it stays the semantic truncation bound.
 	ChaseOptions = chase.Options
 	// ChaseResult is the outcome of a chase run.
 	ChaseResult = chase.Result
@@ -178,21 +179,39 @@ func Lint(th *Theory) []Diagnostic { return lint.Run(th) }
 // singleton heads, guarded existential rules, constants isolated.
 func Normalize(th *Theory) *Theory { return normalize.Normalize(th) }
 
+// legacyOptions lifts a v1 ChaseOptions onto the unified v2 Options:
+// Variant, MaxDepth (still the semantic truncation bound) and Workers
+// carry over unchanged, while the soft Max* integers become budget
+// ceilings with typed exhaustion errors. DESIGN.md §6 documents the
+// mapping.
+func legacyOptions(o ChaseOptions) Options {
+	return Options{
+		Variant:   o.Variant,
+		MaxDepth:  o.MaxDepth,
+		Workers:   o.Workers,
+		MaxFacts:  o.MaxFacts,
+		MaxRounds: o.MaxRounds,
+		Budget:    o.Budget,
+	}
+}
+
 // Chase runs the chase of D with Σ (Section 2). Existential theories may
-// have infinite chases; use the options' depth and fact budgets, or a
-// Budget for typed exhaustion errors with partial results.
+// have infinite chases; use MaxDepth, or the resource ceilings for typed
+// exhaustion errors with partial results.
 //
-// Deprecated: use ChaseCtx. This wrapper is kept for compatibility and
-// preserves ChaseOptions' soft Max* truncation semantics.
-func Chase(th *Theory, d *Database, opts ChaseOptions) (res *ChaseResult, err error) {
-	defer recoverToError(&err)
-	return chase.Run(th, d, opts)
+// Deprecated: use ChaseCtx. This wrapper delegates to it: the options'
+// soft-truncating Max* semantics are retired, limits now exhaust with a
+// typed *BudgetError and the partial result.
+func Chase(th *Theory, d *Database, opts ChaseOptions) (*ChaseResult, error) {
+	return ChaseCtx(context.Background(), th, d, legacyOptions(opts))
 }
 
 // TranslateOptions bounds the exponential translations.
 //
 // Deprecated: use the unified Options with TranslateCtx; its MaxRules
-// and Timeout fields are routed through the Budget.
+// and Timeout fields are routed through the Budget. The wrappers taking
+// TranslateOptions now perform exactly that mapping, so there is one
+// limits code path.
 type TranslateOptions struct {
 	// MaxRules caps intermediate rule counts (0 = defaults). Hitting the
 	// cap returns an error wrapping ErrRuleLimit.
@@ -202,16 +221,20 @@ type TranslateOptions struct {
 	Budget *Budget
 }
 
+// options lifts the legacy translate options onto the v2 Options.
+func (o TranslateOptions) options() Options {
+	return Options{MaxRules: o.MaxRules, Budget: o.Budget}
+}
+
 // FrontierGuardedToNearlyGuarded computes rew(Σ) of Theorem 1 /
 // Proposition 4 for a (nearly) frontier-guarded theory: a nearly guarded
 // theory with the same ground atomic consequences over Σ's signature. The
 // input is normalized automatically.
 //
-// Deprecated: use TranslateCtx(ctx, th, ToNearlyGuarded, opts).
-func FrontierGuardedToNearlyGuarded(th *Theory, opts TranslateOptions) (out *Theory, err error) {
-	defer recoverToError(&err)
-	out, _, err = rewrite.Rewrite(normalize.Normalize(th), rewrite.Options{MaxRules: opts.MaxRules, Budget: opts.Budget})
-	return out, err
+// Deprecated: use TranslateCtx(ctx, th, ToNearlyGuarded, opts). This
+// wrapper delegates to it, routing MaxRules through the Budget.
+func FrontierGuardedToNearlyGuarded(th *Theory, opts TranslateOptions) (*Theory, error) {
+	return TranslateCtx(context.Background(), th, ToNearlyGuarded, opts.options())
 }
 
 // WFGResult is the outcome of the Theorem 2 translation; queries must be
@@ -220,28 +243,32 @@ type WFGResult = annotate.Result
 
 // WeaklyFrontierGuardedToWeaklyGuarded computes rew(Σ) of Theorem 2.
 //
-// Deprecated: use TranslateWFGCtx.
-func WeaklyFrontierGuardedToWeaklyGuarded(th *Theory, opts TranslateOptions) (res *WFGResult, err error) {
-	defer recoverToError(&err)
-	return annotate.RewriteWFG(th, rewrite.Options{MaxRules: opts.MaxRules, Budget: opts.Budget})
+// Deprecated: use TranslateWFGCtx. This wrapper delegates to it,
+// routing MaxRules through the Budget.
+func WeaklyFrontierGuardedToWeaklyGuarded(th *Theory, opts TranslateOptions) (*WFGResult, error) {
+	return TranslateWFGCtx(context.Background(), th, opts.options())
 }
 
 // GuardedToDatalog computes dat(Σ) of Theorem 3 for a guarded theory.
 //
-// Deprecated: use TranslateCtx(ctx, th, ToDatalog, opts).
+// Deprecated: use TranslateCtx(ctx, th, ToDatalog, opts). This wrapper
+// keeps the direct Theorem 3 saturation (no nearly-guarded detour) but
+// routes its limits through the v2 Budget path like TranslateCtx does.
 func GuardedToDatalog(th *Theory, opts TranslateOptions) (out *Theory, err error) {
 	defer recoverToError(&err)
-	out, _, err = saturate.Datalog(th, saturate.Options{MaxRules: opts.MaxRules, Budget: opts.Budget})
+	out, _, err = saturate.Datalog(th, opts.options().saturateOptions(context.Background()))
 	return out, err
 }
 
 // NearlyGuardedToDatalog translates a nearly guarded theory into Datalog
 // (Proposition 6).
 //
-// Deprecated: use TranslateCtx(ctx, th, ToDatalog, opts).
+// Deprecated: use TranslateCtx(ctx, th, ToDatalog, opts). This wrapper
+// delegates to the same Proposition 6 saturation, routing its limits
+// through the v2 Budget path.
 func NearlyGuardedToDatalog(th *Theory, opts TranslateOptions) (out *Theory, err error) {
 	defer recoverToError(&err)
-	out, _, err = saturate.NearlyGuardedToDatalog(th, saturate.Options{MaxRules: opts.MaxRules, Budget: opts.Budget})
+	out, _, err = saturate.NearlyGuardedToDatalog(th, opts.options().saturateOptions(context.Background()))
 	return out, err
 }
 
@@ -252,10 +279,9 @@ func AxiomatizeACDom(th *Theory) *Theory { return rewrite.Axiomatize(th) }
 // EvalDatalog computes the stratified fixpoint of a Datalog program with
 // the parallel semi-naive engine at its default worker count (all CPUs).
 //
-// Deprecated: use EvalDatalogCtx.
-func EvalDatalog(th *Theory, d *Database) (out *Database, err error) {
-	defer recoverToError(&err)
-	return datalog.Eval(th, d)
+// Deprecated: use EvalDatalogCtx. This wrapper delegates to it.
+func EvalDatalog(th *Theory, d *Database) (*Database, error) {
+	return EvalDatalogCtx(context.Background(), th, d, Options{})
 }
 
 // DatalogOptions configures the semi-naive Datalog engine: the per-round
@@ -269,18 +295,24 @@ type DatalogOptions = datalog.Options
 // options; a Budget in opts makes the run cancellable, returning the
 // facts of completed rounds alongside a typed *BudgetError.
 //
-// Deprecated: use EvalDatalogCtx with the unified Options.
+// Deprecated: use EvalDatalogCtx with the unified Options. This wrapper
+// delegates to the v2 lowering: the soft MaxRounds integer is routed
+// through the Budget (ErrRoundLimit with the partial fixpoint); the
+// Planner and Stats knobs carry over unchanged.
 func EvalDatalogOpts(th *Theory, d *Database, opts DatalogOptions) (out *Database, err error) {
 	defer recoverToError(&err)
-	return datalog.EvalSemiNaiveOpts(th, d, opts)
+	o := Options{Workers: opts.Workers, MaxRounds: opts.MaxRounds, Budget: opts.Budget}
+	lowered := o.datalogOptions(context.Background())
+	lowered.Planner = opts.Planner
+	lowered.Stats = opts.Stats
+	return datalog.EvalSemiNaiveOpts(th, d, lowered)
 }
 
 // Answers evaluates the query (Σ, Q) for a Datalog Σ over D.
 //
-// Deprecated: use AnswersCtx.
-func Answers(th *Theory, q string, d *Database) (ans [][]Term, err error) {
-	defer recoverToError(&err)
-	return datalog.Answers(th, q, d)
+// Deprecated: use AnswersCtx. This wrapper delegates to it.
+func Answers(th *Theory, q string, d *Database) ([][]Term, error) {
+	return AnswersCtx(context.Background(), th, q, d, Options{})
 }
 
 // AnswerCQ answers a conjunctive query over a database enriched with a
@@ -288,27 +320,22 @@ func Answers(th *Theory, q string, d *Database) (ans [][]Term, err error) {
 // boolean result reports whether the chase saturated (answers are then
 // exact; otherwise they are a sound under-approximation).
 //
-// Deprecated: use AnswerCQCtx with the unified Options.
-func AnswerCQ(th *Theory, q CQ, d *Database, opts ChaseOptions) (ans [][]Term, exact bool, err error) {
-	defer recoverToError(&err)
-	return kb.AnswerByChase(th, q, d, opts)
+// Deprecated: use AnswerCQCtx with the unified Options. This wrapper
+// delegates to it: the options' soft Max* truncation is retired, limits
+// exhaust with a typed *BudgetError.
+func AnswerCQ(th *Theory, q CQ, d *Database, opts ChaseOptions) ([][]Term, bool, error) {
+	return AnswerCQCtx(context.Background(), th, q, d, legacyOptions(opts))
 }
 
 // EvalStratified evaluates a stratified existential theory (Definition 23)
 // with the given per-stratum chase bounds. On budget exhaustion the
 // partially chased database is returned (exact = false) with the error.
 //
-// Deprecated: use EvalStratifiedCtx with the unified Options.
-func EvalStratified(th *Theory, d *Database, opts ChaseOptions) (out *Database, exact bool, err error) {
-	defer recoverToError(&err)
-	res, err := stratified.Eval(th, d, stratified.Options{Chase: opts})
-	if err != nil {
-		if IsBudgetError(err) && res != nil {
-			return res.DB, false, err
-		}
-		return nil, false, err
-	}
-	return res.DB, !res.Truncated, nil
+// Deprecated: use EvalStratifiedCtx with the unified Options. This
+// wrapper delegates to it: the options' soft Max* truncation is
+// retired, limits exhaust with a typed *BudgetError.
+func EvalStratified(th *Theory, d *Database, opts ChaseOptions) (*Database, bool, error) {
+	return EvalStratifiedCtx(context.Background(), th, d, legacyOptions(opts))
 }
 
 // CompileATM compiles an alternating Turing machine into the weakly
@@ -386,8 +413,12 @@ func ChaseTerminates(th *Theory) bool { return termination.IsWeaklyAcyclic(th) }
 //
 // Deprecated: use CoreOfCtx, which accepts a budget so core
 // computation on large instances is cancellable like every other
-// engine (CoreOf runs with the default candidate cap only).
-func CoreOf(atoms []Atom) ([]Atom, bool) { return hom.Core(atoms, 0) }
+// engine. This wrapper delegates to it ungoverned (the default
+// candidate cap only).
+func CoreOf(atoms []Atom) ([]Atom, bool) {
+	result, exact, _ := CoreOfCtx(context.Background(), atoms, Options{})
+	return result, exact
+}
 
 // ParseCQ parses a conjunctive query written as a rule whose head lists
 // the answer variables, e.g. "R(X,Y), S(Y) -> Ans(X).".
@@ -402,9 +433,7 @@ func CQContained(q1, q2 CQ) (bool, error) { return q1.ContainedIn(q2) }
 // query's bound constants. The query atom mixes constants (bound) and
 // variables (free); answers are full tuples of the query relation.
 //
-// Deprecated: use AnswersGoalDirectedCtx.
-func AnswersGoalDirected(th *Theory, query Atom, d *Database) (ans [][]Term, err error) {
-	defer recoverToError(&err)
-	ans, _, err = datalog.AnswerWithMagic(th, query, d)
-	return ans, err
+// Deprecated: use AnswersGoalDirectedCtx. This wrapper delegates to it.
+func AnswersGoalDirected(th *Theory, query Atom, d *Database) ([][]Term, error) {
+	return AnswersGoalDirectedCtx(context.Background(), th, query, d, Options{})
 }

@@ -1,7 +1,7 @@
 // Package database implements an indexed store of ground atoms (over
 // constants and labeled nulls), the "database" of Section 2 of the paper.
 //
-// Facts are deduplicated and indexed on interned term ids (see Interner):
+// Facts are deduplicated and indexed on interned term ids (see internTable):
 // every term of every inserted atom is mapped to a dense uint32, and the
 // per-relation seen-set and per-position indexes are keyed on packed id
 // tuples. Because ids are bijective with terms and keys are scoped by
@@ -48,7 +48,7 @@ var ErrNotGround = errors.New("database: atom is not ground")
 // Database is a set of ground atoms with per-relation and per-position
 // indexes supporting homomorphism search.
 type Database struct {
-	intern *Interner
+	intern *internTable
 	byRel  map[core.RelKey]*relation
 	size   int
 	// acdom counts, per constant, its occurrences across all non-ACDom
@@ -66,7 +66,7 @@ type Database struct {
 // New returns an empty database.
 func New() *Database {
 	return &Database{
-		intern: NewInterner(),
+		intern: newInternTable(),
 		byRel:  make(map[core.RelKey]*relation),
 		acdom:  make(map[core.Term]int),
 	}

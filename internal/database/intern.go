@@ -2,28 +2,28 @@ package database
 
 import "guardedrules/internal/core"
 
-// Interner maps terms to dense uint32 ids and back. Each Database owns one:
+// internTable maps terms to dense uint32 ids and back. Each Database owns one:
 // facts are deduplicated and indexed on interned id tuples instead of
 // serialized strings, which is both faster (integer hashing, no
 // serialization on the hot path) and collision-free by construction — ids
 // are bijective with terms, and tuple keys are scoped per relation key, so
 // arity and the args/annotation boundary can never be confused.
 //
-// An Interner is not safe for concurrent mutation; Lookup and TermOf are
+// An internTable is not safe for concurrent mutation; Lookup and TermOf are
 // read-only and may be called concurrently with each other (but not with
 // Intern). The Database write path is single-writer, which upholds this.
-type Interner struct {
+type internTable struct {
 	ids   map[core.Term]uint32
 	terms []core.Term
 }
 
-// NewInterner returns an empty interner.
-func NewInterner() *Interner {
-	return &Interner{ids: make(map[core.Term]uint32)}
+// newInternTable returns an empty interner.
+func newInternTable() *internTable {
+	return &internTable{ids: make(map[core.Term]uint32)}
 }
 
 // Intern returns the id of t, assigning the next dense id if t is new.
-func (in *Interner) Intern(t core.Term) uint32 {
+func (in *internTable) Intern(t core.Term) uint32 {
 	if id, ok := in.ids[t]; ok {
 		return id
 	}
@@ -35,27 +35,27 @@ func (in *Interner) Intern(t core.Term) uint32 {
 
 // clone returns a deep copy of the interner with identical id
 // assignments, so terms resolve to the same ids in the copy.
-func (in *Interner) clone() *Interner {
+func (in *internTable) clone() *internTable {
 	ids := make(map[core.Term]uint32, len(in.ids))
 	for t, id := range in.ids {
 		ids[t] = id
 	}
-	return &Interner{ids: ids, terms: append([]core.Term(nil), in.terms...)}
+	return &internTable{ids: ids, terms: append([]core.Term(nil), in.terms...)}
 }
 
 // Lookup returns the id of t without interning; ok is false when t has
 // never been interned.
-func (in *Interner) Lookup(t core.Term) (uint32, bool) {
+func (in *internTable) Lookup(t core.Term) (uint32, bool) {
 	id, ok := in.ids[t]
 	return id, ok
 }
 
 // TermOf returns the term with the given id; it panics on ids never
 // returned by Intern.
-func (in *Interner) TermOf(id uint32) core.Term { return in.terms[id] }
+func (in *internTable) TermOf(id uint32) core.Term { return in.terms[id] }
 
 // Len returns the number of interned terms.
-func (in *Interner) Len() int { return len(in.terms) }
+func (in *internTable) Len() int { return len(in.terms) }
 
 // appendID appends the little-endian bytes of id to dst. Packed id tuples
 // are the per-relation dedup keys: fixed four bytes per term, so distinct

@@ -63,7 +63,7 @@ func TestInternDistinguishesKinds(t *testing.T) {
 }
 
 func TestInternerRoundTrip(t *testing.T) {
-	in := NewInterner()
+	in := newInternTable()
 	terms := []core.Term{
 		core.Const("a"), core.NewNull("a"), core.Const("b"), core.Const(""),
 	}

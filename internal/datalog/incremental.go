@@ -92,7 +92,7 @@ func constOccs(f core.Atom, fn func(core.Term)) {
 // handle positioned at that fixpoint. The base fact set is snapshotted
 // from base.UserFacts(); explicitly added ACDom facts are not part of it
 // and cannot be retracted through Apply.
-func NewMaintained(p *Program, base *database.Database, opts Options) (*Maintained, error) {
+func NewMaintained(p *Program, base database.Store, opts Options) (*Maintained, error) {
 	fix, err := p.Eval(base, opts)
 	if err != nil {
 		return nil, err

@@ -129,7 +129,7 @@ func (p *Program) Rules() int { return len(p.th.Rules) }
 // The input database is not modified. On budget exhaustion the partial
 // database — every fully merged round — is returned together with a
 // typed *budget.Error, exactly like EvalSemiNaiveOpts.
-func (p *Program) Eval(d *database.Database, opts Options) (res *database.Database, err error) {
+func (p *Program) Eval(d database.Store, opts Options) (res *database.Database, err error) {
 	tk := budget.Start(opts.Budget)
 	defer tk.Stop()
 	out := d.Clone()
@@ -164,7 +164,7 @@ func (p *Program) Eval(d *database.Database, opts Options) (res *database.Databa
 // all-constant q-tuples, in sorted textual order. On budget exhaustion
 // the answers of the partial fixpoint are returned (a sound
 // under-approximation) alongside the typed error.
-func (p *Program) Answers(q string, d *database.Database, opts Options) ([][]core.Term, error) {
+func (p *Program) Answers(q string, d database.Store, opts Options) ([][]core.Term, error) {
 	fix, err := p.Eval(d, opts)
 	if err != nil {
 		if fix != nil && budget.IsBudget(err) {

@@ -606,7 +606,7 @@ func runDeltaRounds(items []citem, db *database.Database, opts Options, tk *budg
 // semi-naive evaluator and default options (parallel across all CPUs,
 // cost-based planning). It is the default engine behind Eval; the
 // chase-based EvalViaChase remains available for the ablation benchmarks.
-func EvalSemiNaive(th *core.Theory, d *database.Database) (*database.Database, error) {
+func EvalSemiNaive(th *core.Theory, d database.Store) (*database.Database, error) {
 	return EvalSemiNaiveOpts(th, d, Options{})
 }
 
@@ -615,7 +615,7 @@ func EvalSemiNaive(th *core.Theory, d *database.Database) (*database.Database, e
 // returns the partial database — all facts merged before exhaustion —
 // together with a typed error satisfying errors.Is against the budget
 // sentinels.
-func EvalSemiNaiveOpts(th *core.Theory, d *database.Database, opts Options) (*database.Database, error) {
+func EvalSemiNaiveOpts(th *core.Theory, d database.Store, opts Options) (*database.Database, error) {
 	p, err := Compile(th)
 	if err != nil {
 		return nil, err

@@ -2,7 +2,6 @@ package hom
 
 import (
 	"guardedrules/internal/core"
-	"guardedrules/internal/database"
 )
 
 // This file is the id-space variant of the homomorphism search: the same
@@ -77,7 +76,7 @@ func (ca *CAtom) Width() int { return len(ca.Pos) }
 // whenever db may have interned new terms since the last Resolve (the
 // fixpoint engines call it once per round, while the database is
 // frozen).
-func (ca *CAtom) Resolve(db *database.Database) {
+func (ca *CAtom) Resolve(db DB) {
 	for k := range ca.Pos {
 		p := &ca.Pos[k]
 		if p.Slot >= 0 {
@@ -91,7 +90,7 @@ func (ca *CAtom) Resolve(db *database.Database) {
 // bound mask, and the undo trail. A State is owned by one goroutine; the
 // database is only read.
 type State struct {
-	DB    *database.Database
+	DB    DB
 	B     []uint32
 	Bd    []bool
 	trail []int32
@@ -99,7 +98,7 @@ type State struct {
 }
 
 // NewState returns a search state with nvars unbound slots over db.
-func NewState(db *database.Database, nvars int) *State {
+func NewState(db DB, nvars int) *State {
 	return &State{DB: db, B: make([]uint32, nvars), Bd: make([]bool, nvars)}
 }
 
@@ -168,7 +167,7 @@ func (st *State) Match(ca *CAtom, ids []uint32) bool {
 func (st *State) bestIndex(ca *CAtom) (int, uint32, int) {
 	bestPos := -1
 	var bestID uint32
-	bestCount := len(st.DB.Facts(ca.RK))
+	bestCount := st.DB.RelSize(ca.RK)
 	for k := range ca.Pos {
 		p := &ca.Pos[k]
 		var id uint32
@@ -239,7 +238,7 @@ func (st *State) Search(atoms []CAtom, done []bool, fn func() bool) bool {
 	if bestPos >= 0 {
 		st.DB.ForEachIndexWithID(ca.RK, bestPos, bestID, try)
 	} else {
-		n := len(st.DB.Facts(ca.RK))
+		n := st.DB.RelSize(ca.RK)
 		for ix := 0; ix < n; ix++ {
 			if !try(ix) {
 				break

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"guardedrules/internal/core"
-	"guardedrules/internal/database"
 )
 
 // This file is the cost-based join layer shared by the fixpoint engines:
@@ -256,13 +255,13 @@ type joinTable struct {
 // before the worker fan-out; workers then only read (Probe). Tables
 // persist across rounds and are extended with the newly merged facts.
 type JoinCache struct {
-	db     *database.Database
+	db     DB
 	tables map[tableKey]*joinTable
 	builds int
 }
 
 // NewJoinCache returns an empty cache over db.
-func NewJoinCache(db *database.Database) *JoinCache {
+func NewJoinCache(db DB) *JoinCache {
 	return &JoinCache{db: db, tables: make(map[tableKey]*joinTable)}
 }
 
@@ -382,7 +381,7 @@ func (st *State) searchStep(atoms []CAtom, steps []Step, jc *JoinCache, fn func(
 		}
 		st.DB.ForEachIndexWithID(ca.RK, s.Pos, id, try)
 	default: // AccessScan
-		n := len(st.DB.Facts(ca.RK))
+		n := st.DB.RelSize(ca.RK)
 		for ix := 0; ix < n; ix++ {
 			if !try(ix) {
 				break

@@ -1,0 +1,127 @@
+package kbcache
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"guardedrules/internal/datalog"
+)
+
+// A persisted artifact restores a translated KB without re-running the
+// saturation, and the restored KB answers exactly like the original.
+func TestArtifactRoundTrip(t *testing.T) {
+	orig := NewStore(Config{})
+	ckb := mustRegister(t, orig, e5Source)
+	if ckb.Mode != ModeTranslated {
+		t.Fatalf("fixture compiled in mode %v, want translated", ckb.Mode)
+	}
+
+	a := ckb.Artifact()
+	if a.ID != ckb.ID || a.Translated == "" || a.Mode != "translated" {
+		t.Fatalf("artifact incomplete: %+v", a)
+	}
+	// The durable form is JSON; round-trip through it.
+	blob, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewStore(Config{})
+	rkb, cached, err := fresh.RegisterArtifact(context.Background(), back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first load into an empty store cannot be a cache hit")
+	}
+	if rkb.Mode != ModeTranslated || rkb.Program() == nil {
+		t.Fatalf("restored KB: mode %v, program %v", rkb.Mode, rkb.Program())
+	}
+	if got := fresh.Metrics().Translations.Load(); got != 0 {
+		t.Fatalf("restore ran %d translations, want 0 (that is the point)", got)
+	}
+	if got := fresh.Metrics().ArtifactLoads.Load(); got != 1 {
+		t.Fatalf("artifact loads = %d, want 1", got)
+	}
+	if len(rkb.Chain) != len(ckb.Chain) {
+		t.Fatalf("chain not preserved: %v vs %v", rkb.Chain, ckb.Chain)
+	}
+
+	d := e5Facts(4)
+	q := mustCQ(t, "Linked(X,Y) -> Ans(X,Y).")
+	want, err := ckb.AnswerCQ(context.Background(), q, d, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rkb.AnswerCQ(context.Background(), q, d.Clone(), QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Exact {
+		t.Fatal("restored translated KB must answer exactly")
+	}
+	if same, diff := datalog.SameAnswers(want.Answers, got.Answers); !same {
+		t.Fatalf("restored KB answers diverge: %s", diff)
+	}
+
+	// Loading the same artifact again is a cache hit.
+	rkb2, cached, err := fresh.RegisterArtifact(context.Background(), back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || rkb2 != rkb {
+		t.Fatal("second artifact load must hit the KB cache")
+	}
+}
+
+// Artifacts that fail validation are rejected; artifacts of cheap modes
+// just recompile from source.
+func TestArtifactValidation(t *testing.T) {
+	s := NewStore(Config{})
+
+	// Wrong format version.
+	if _, _, err := s.RegisterArtifact(context.Background(), Artifact{FormatVersion: 99}); err == nil {
+		t.Fatal("format-version mismatch must be rejected")
+	}
+
+	// ID/source hash mismatch.
+	bad := Artifact{FormatVersion: ArtifactFormatVersion, ID: HashSource("other"), Source: tcSource, Mode: "datalog"}
+	if _, _, err := s.RegisterArtifact(context.Background(), bad); err == nil {
+		t.Fatal("id/source mismatch must be rejected")
+	}
+
+	// A garbage translation fails cleanly and is not cached.
+	garbage := Artifact{
+		FormatVersion: ArtifactFormatVersion,
+		ID:            HashSource(e5Source),
+		Source:        e5Source,
+		Mode:          "translated",
+		Translated:    "not a theory ((",
+	}
+	if _, _, err := s.RegisterArtifact(context.Background(), garbage); err == nil {
+		t.Fatal("unparseable translation must be rejected")
+	}
+	if _, ok := s.Get(HashSource(e5Source)); ok {
+		t.Fatal("a failed artifact load must not be cached")
+	}
+
+	// Datalog-mode artifact: recompiles from source, still works.
+	dl := Artifact{FormatVersion: ArtifactFormatVersion, ID: HashSource(tcSource), Source: tcSource, Mode: "datalog"}
+	kb, _, err := s.RegisterArtifact(context.Background(), dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb.Mode != ModeDatalog || kb.Program() == nil {
+		t.Fatalf("datalog artifact restored in mode %v", kb.Mode)
+	}
+
+	// A datalog-mode KB's artifact has no translation payload.
+	if a := kb.Artifact(); a.Translated != "" {
+		t.Fatalf("datalog artifact must not carry a translation: %q", a.Translated)
+	}
+}

@@ -240,6 +240,12 @@ type CompiledKB struct {
 	// plans (see plan.go).
 	program *datalog.Program
 
+	// translated is the Datalog theory the program was compiled from in
+	// ModeTranslated — the saturation product, retained so Artifact() can
+	// persist it and a restart can skip re-running the translation. Nil
+	// in every other mode.
+	translated *core.Theory
+
 	cfg     Config
 	metrics *Metrics
 
@@ -254,29 +260,12 @@ type CompiledKB struct {
 // artifact is never cached half-translated), unlike a translation
 // ceiling, which falls back to chase mode.
 func (s *Store) compile(ctx context.Context, id, src string) (*CompiledKB, error) {
-	th, err := parser.ParseTheory(src)
+	kb, err := s.analyze(id, src)
 	if err != nil {
-		return nil, fmt.Errorf("kbcache: parse: %w", err)
+		return nil, err
 	}
-	if len(th.Rules) == 0 {
-		return nil, fmt.Errorf("kbcache: theory has no rules")
-	}
-	lctx := &lint.Context{Theory: th}
-	kb := &CompiledKB{
-		ID:      id,
-		Source:  src,
-		Theory:  th,
-		Lint:    lint.RunWithContext(lctx, lint.Registry()),
-		Class:   classify.Classify(th),
-		cfg:     s.cfg,
-		metrics: s.metrics,
-	}
-	// The lint termination pass already ran the full analysis; reuse it.
-	kb.Termination = lctx.Termination()
-	s.metrics.countTermination(kb.Termination.Class)
-	kb.plans = lru.New[*plan](s.cfg.maxPlans())
-
 	bud := s.compileBudget(ctx)
+	th := kb.Theory
 	switch {
 	case kb.Class.Member[classify.Datalog]:
 		prog, err := datalog.Compile(th)
@@ -302,6 +291,7 @@ func (s *Store) compile(ctx context.Context, id, src string) (*CompiledKB, error
 		}
 		kb.Mode = ModeTranslated
 		kb.program = prog
+		kb.translated = dat
 		kb.Chain = []string{
 			fmt.Sprintf("dat(Σ): nearly guarded → %d Datalog rules (Theorem 3 / Proposition 6)", len(dat.Rules)),
 		}
@@ -329,6 +319,7 @@ func (s *Store) compile(ctx context.Context, id, src string) (*CompiledKB, error
 		}
 		kb.Mode = ModeTranslated
 		kb.program = prog
+		kb.translated = dat
 		kb.Chain = []string{
 			fmt.Sprintf("rew(Σ): nearly frontier-guarded → %d nearly guarded rules (Theorem 1 / Proposition 4)", len(ng.Rules)),
 			fmt.Sprintf("dat(rew(Σ)): → %d Datalog rules (Theorem 3 / Proposition 6)", len(dat.Rules)),
@@ -347,11 +338,40 @@ func (s *Store) compile(ctx context.Context, id, src string) (*CompiledKB, error
 	return kb, nil
 }
 
+// analyze runs the compilation pipeline's cheap, fragment-independent
+// prefix: parse, lint, classification, termination analysis. Both the
+// full compile and artifact restoration start here.
+func (s *Store) analyze(id, src string) (*CompiledKB, error) {
+	th, err := parser.ParseTheory(src)
+	if err != nil {
+		return nil, fmt.Errorf("kbcache: parse: %w", err)
+	}
+	if len(th.Rules) == 0 {
+		return nil, fmt.Errorf("kbcache: theory has no rules")
+	}
+	lctx := &lint.Context{Theory: th}
+	kb := &CompiledKB{
+		ID:      id,
+		Source:  src,
+		Theory:  th,
+		Lint:    lint.RunWithContext(lctx, lint.Registry()),
+		Class:   classify.Classify(th),
+		cfg:     s.cfg,
+		metrics: s.metrics,
+	}
+	// The lint termination pass already ran the full analysis; reuse it.
+	kb.Termination = lctx.Termination()
+	s.metrics.countTermination(kb.Termination.Class)
+	kb.plans = lru.New[*plan](s.cfg.maxPlans())
+	return kb, nil
+}
+
 // fallBackToChase downgrades an aborted translation to chase mode: the
 // KB stays servable (soundly, per-query) and the chain records why.
 func (kb *CompiledKB) fallBackToChase(step string, err error) {
 	kb.Mode = ModeChase
 	kb.program = nil
+	kb.translated = nil
 	kb.Chain = []string{
 		fmt.Sprintf("%s aborted (%v); falling back to per-query bounded chase", step, err),
 	}

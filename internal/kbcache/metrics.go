@@ -16,6 +16,7 @@ type Metrics struct {
 	CompileDedup  atomic.Int64 // waited on a concurrent identical compile
 	CompileErrors atomic.Int64 // compilation failed
 	KBEvictions   atomic.Int64 // compiled KBs dropped by the LRU
+	ArtifactLoads atomic.Int64 // KBs restored from persisted artifacts (saturation skipped)
 
 	// Plan-path counters (per-KB query plan cache).
 	PlanHits      atomic.Int64 // query reused a cached plan
@@ -70,6 +71,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"compile_dedup":             m.CompileDedup.Load(),
 		"compile_errors":            m.CompileErrors.Load(),
 		"kb_evictions":              m.KBEvictions.Load(),
+		"artifact_loads":            m.ArtifactLoads.Load(),
 		"plan_hits":                 m.PlanHits.Load(),
 		"plan_misses":               m.PlanMisses.Load(),
 		"plan_evictions":            m.PlanEvictions.Load(),

@@ -11,6 +11,14 @@ type Cache[V any] struct {
 	capacity int
 	ll       *list.List
 	items    map[string]*list.Element
+
+	// OnEvict, when set, is called for every entry Add evicts, before
+	// Add returns — synchronously, under whatever lock the caller holds.
+	// Values owning external resources (open files, streams) use it to
+	// guarantee teardown on every eviction path; a hook that must take
+	// other locks should defer the real work (the victim is also
+	// returned by Add for exactly that).
+	OnEvict func(key string, value V)
 }
 
 type entry[V any] struct {
@@ -59,7 +67,22 @@ func (c *Cache[V]) Add(key string, v V) (evictedKey string, evictedVal V, evicte
 	c.ll.Remove(oldest)
 	ent := oldest.Value.(*entry[V])
 	delete(c.items, ent.key)
+	if c.OnEvict != nil {
+		c.OnEvict(ent.key, ent.val)
+	}
 	return ent.key, ent.val, true
+}
+
+// Remove drops the entry under key, returning its value. Removal is
+// explicit, not an eviction: OnEvict is not called.
+func (c *Cache[V]) Remove(key string) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
 }
 
 // Contains reports whether key is cached, without touching recency.

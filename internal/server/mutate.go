@@ -112,20 +112,51 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
 	cur := ent.cur.Load()
-	work := cur.db.Clone()
-	retracted := 0
-	for _, f := range dels {
-		if work.Retract(f) {
-			retracted++
+	var next *dbVersion
+	var added, retracted int
+	if ent.seg != nil {
+		// Durable path: apply the batch to the segment store (which
+		// journals each op) and commit BEFORE publishing — an
+		// acknowledged batch is on disk, and a crash at any point loses
+		// at most a batch whose response the client never saw. Readers
+		// get an immutable clone of the committed state; the store's own
+		// mirror never escapes this lock.
+		for _, f := range dels {
+			if ent.seg.Retract(f) {
+				retracted++
+			}
 		}
-	}
-	added := 0
-	for _, f := range adds {
-		if work.Add(f) {
-			added++
+		for _, f := range adds {
+			if ent.seg.Add(f) {
+				added++
+			}
 		}
+		ver, err := ent.seg.Commit()
+		if err != nil {
+			// The store latches its first write error and refuses further
+			// writes, so the in-memory mirror cannot silently drift from
+			// disk: this and every later batch fail until the DB is
+			// reopened. Nothing was published; readers keep the last
+			// committed version.
+			s.writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("durable commit failed, batch not applied: %w", err))
+			return
+		}
+		next = &dbVersion{db: ent.seg.Clone(), version: ver, facts: cur.facts + added - retracted}
+	} else {
+		work := cur.db.Clone()
+		for _, f := range dels {
+			if work.Retract(f) {
+				retracted++
+			}
+		}
+		for _, f := range adds {
+			if work.Add(f) {
+				added++
+			}
+		}
+		next = &dbVersion{db: work, version: cur.version + 1, facts: cur.facts + added - retracted}
 	}
-	next := &dbVersion{db: work, version: cur.version + 1, facts: cur.facts + added - retracted}
 	// Commit under s.mu with a membership re-check: the LRU may have
 	// evicted this entry between the handler's lookup and here, and a
 	// batch committed to an orphaned entry would return 200 while the
@@ -138,10 +169,16 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if live, ok := s.dbs.Get(ent.id); !ok || live != ent {
 		// Gone, or evicted and re-loaded as a fresh entry: either way this
-		// handle is an orphan and committing to it would lie.
+		// handle is an orphan and publishing to it would lie. On a durable
+		// entry the journal commit above already happened — that is
+		// harmless-to-good: the batch is on disk and will be served when
+		// the DB is reopened, it just is not being served now.
 		s.mu.Unlock()
-		s.writeError(w, http.StatusConflict,
-			fmt.Errorf("db id %q was evicted while the batch was being prepared; nothing was written", ent.id))
+		msg := "db id %q was evicted while the batch was being prepared; nothing was written"
+		if ent.seg != nil {
+			msg = "db id %q was evicted while the batch was being prepared; the batch was durably journaled and will be visible when the db is reopened, but is not being served"
+		}
+		s.writeError(w, http.StatusConflict, fmt.Errorf(msg, ent.id))
 		return
 	}
 	ent.cur.Store(next)

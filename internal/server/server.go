@@ -66,6 +66,7 @@ import (
 	"guardedrules/internal/lru"
 	"guardedrules/internal/par"
 	"guardedrules/internal/parser"
+	"guardedrules/internal/store/segment"
 	"guardedrules/internal/termination"
 )
 
@@ -109,6 +110,19 @@ type Config struct {
 	// Chaos enables the fault-injection fields on query requests (used
 	// by the load harness); without it those fields are rejected.
 	Chaos bool
+
+	// DataDir, when set, makes fact DBs and compiled theories durable:
+	// every DB is backed by a segment store under DataDir/dbs/<id>,
+	// mutation batches commit to disk before the new version is
+	// published, and registered theories persist their compiled
+	// artifacts under DataDir/theories. Call RestoreData after New to
+	// reopen everything at its last committed version. Empty means fully
+	// in-memory (the default).
+	DataDir string
+	// SyncWrites fsyncs every commit record. Off, a commit is durable
+	// against process death (SIGKILL included) but not against kernel
+	// crash or power loss; on, each batch pays an fsync.
+	SyncWrites bool
 }
 
 func (c Config) maxDBs() int {
@@ -193,6 +207,12 @@ type dbEntry struct {
 	mu   sync.Mutex
 	cur  atomic.Pointer[dbVersion]
 	subs map[*subscription]struct{}
+
+	// seg is the entry's durable segment store (nil on a server without
+	// a data dir). Writes to it happen only under mu; cur always serves
+	// an immutable clone of its committed state, never the store's own
+	// mirror, so in-flight queries are isolated from the journal.
+	seg *segment.Store
 }
 
 // Server serves a compiled-KB store over HTTP.
@@ -241,7 +261,9 @@ func New(cfg Config) *Server {
 	}
 	s.ready.Store(true)
 	s.mux.HandleFunc("POST /v1/theories", s.instrument("theories", s.handleTheories))
+	s.mux.HandleFunc("GET /v1/theories/{id}", s.instrument("theory_info", s.handleTheoryInfo))
 	s.mux.HandleFunc("POST /v1/dbs", s.instrument("dbs", s.handleDBs))
+	s.mux.HandleFunc("GET /v1/dbs/{id}", s.instrument("db_info", s.handleDBInfo))
 	s.mux.HandleFunc("POST /v1/dbs/{id}/facts", s.instrument("facts", s.handleFacts))
 	s.mux.HandleFunc("POST /v1/dbs/{id}/subscribe", s.instrument("subscribe", s.handleSubscribe))
 	s.mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
@@ -447,11 +469,28 @@ func (s *Server) handleTheories(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	// A theory whose artifact survived on disk (LRU-evicted, or from an
+	// earlier process) restores without re-running the translations.
+	id := kbcache.HashSource(req.Source)
+	if _, ok := s.store.Get(id); !ok && s.theoryPersisted(id) {
+		if err := s.loadTheoryArtifact(s.theoryPath(id)); err != nil {
+			log.Printf("server: stale theory artifact %.12s…: %v", id, err)
+		}
+	}
 	ckb, cached, err := s.store.Register(r.Context(), req.Source)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if !cached {
+		s.persistTheory(ckb)
+	}
+	s.writeJSON(w, http.StatusOK, theorySummary(ckb, cached))
+}
+
+// theorySummary renders a compiled KB for the registration and info
+// endpoints.
+func theorySummary(ckb *kbcache.CompiledKB, cached bool) theoryResponse {
 	resp := theoryResponse{
 		ID:     ckb.ID,
 		Cached: cached,
@@ -470,6 +509,80 @@ func (s *Server) handleTheories(w http.ResponseWriter, r *http.Request) {
 	for _, f := range ckb.Class.Fragments() {
 		resp.Fragments = append(resp.Fragments, f.String())
 	}
+	return resp
+}
+
+// theoryInfoResponse is GET /v1/theories/{id}: the registration summary
+// plus persistence status and the cached plan keys.
+type theoryInfoResponse struct {
+	theoryResponse
+	Persistent bool     `json:"persistent"`
+	PlanKeys   []string `json:"plan_keys,omitempty"`
+}
+
+func (s *Server) handleTheoryInfo(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ckb, ok := s.store.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown theory id %q (evicted or never registered)", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, theoryInfoResponse{
+		theoryResponse: theorySummary(ckb, true),
+		Persistent:     s.theoryPersisted(id),
+		PlanKeys:       ckb.PlanKeys(),
+	})
+}
+
+// relationInfo is one relation's shape and size in a DB snapshot.
+type relationInfo struct {
+	Name     string `json:"name"`
+	Arity    int    `json:"arity"`
+	AnnArity int    `json:"ann_arity,omitempty"`
+	Facts    int    `json:"facts"`
+}
+
+// dbInfoResponse is GET /v1/dbs/{id}: the served version, fact counts,
+// per-relation sizes, and persistence status of a loaded DB.
+type dbInfoResponse struct {
+	ID          string         `json:"id"`
+	Version     uint64         `json:"version"`
+	Facts       int            `json:"facts"`
+	TotalFacts  int            `json:"total_facts"`
+	Relations   []relationInfo `json:"relations"`
+	Persistent  bool           `json:"persistent"`
+	Subscribers int            `json:"subscribers"`
+}
+
+func (s *Server) handleDBInfo(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ent, ok := s.dbs.Get(id)
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown db id %q (evicted or never loaded)", id))
+		return
+	}
+	snap := ent.cur.Load()
+	resp := dbInfoResponse{
+		ID:         id,
+		Version:    snap.version,
+		Facts:      snap.facts,
+		TotalFacts: snap.db.Len(),
+		Persistent: ent.seg != nil,
+		Relations:  []relationInfo{},
+	}
+	for _, rk := range snap.db.Relations() {
+		resp.Relations = append(resp.Relations, relationInfo{
+			Name:     rk.Name,
+			Arity:    rk.Arity,
+			AnnArity: rk.AnnArity,
+			Facts:    snap.db.RelSize(rk),
+		})
+	}
+	ent.mu.Lock()
+	resp.Subscribers = len(ent.subs)
+	ent.mu.Unlock()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -503,32 +616,78 @@ func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 	id := kbcache.HashSource(req.Facts)
 	ent := &dbEntry{id: id, subs: make(map[*subscription]struct{})}
 	ent.cur.Store(&dbVersion{db: d, version: 1, facts: len(atoms)})
+	// Pre-lock the candidate entry: if it wins publication below, this
+	// handler owns its one-time setup (opening the segment store), and a
+	// batch or subscription racing in blocks on ent.mu until setup is
+	// done. The provisional version stored above keeps lock-free readers
+	// safe in that window.
+	ent.mu.Lock()
+	owned := true
 	var victim *dbEntry
 	s.mu.Lock()
 	if old, ok := s.dbs.Get(id); ok {
 		// Reloading the same source must not reset a mutated DB to its
 		// initial facts (the id hashes the original source): keep the
 		// existing entry, its version history and subscribers intact.
-		ent = old
+		ent.mu.Unlock()
+		ent, owned = old, false
 	} else if _, v, evicted := s.dbs.Add(id, ent); evicted {
 		s.dbEvictions.Add(1)
 		victim = v
 	}
 	s.mu.Unlock()
-	if victim != nil {
-		// Tear the evicted DB down outside s.mu (writers take ent.mu
-		// before s.mu, so nesting the other way would deadlock): every
-		// live subscriber gets a terminal error frame instead of a stream
-		// that silently stops receiving batches.
-		victim.mu.Lock()
-		for sub := range victim.subs {
-			s.dropSubLocked(victim, sub,
-				fmt.Errorf("db %q evicted (MaxDBs=%d LRU); stream closed", victim.id, s.cfg.maxDBs()))
+	if owned {
+		if err := s.setupSegLocked(ent, atoms); err != nil {
+			// Publishing a memory-only entry on a server the operator made
+			// durable would silently drop data on restart: unpublish and
+			// fail the load instead.
+			s.mu.Lock()
+			s.dbs.Remove(id)
+			s.mu.Unlock()
+			ent.mu.Unlock()
+			s.teardownEvicted(victim, fmt.Sprintf("MaxDBs=%d LRU", s.cfg.maxDBs()))
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
 		}
-		victim.mu.Unlock()
+		ent.mu.Unlock()
 	}
+	// Tear the evicted DB down outside s.mu (writers take ent.mu before
+	// s.mu, so nesting the other way would deadlock): subscribers get a
+	// terminal error frame and segment-file handles are closed.
+	s.teardownEvicted(victim, fmt.Sprintf("MaxDBs=%d LRU", s.cfg.maxDBs()))
 	cur := ent.cur.Load()
 	s.writeJSON(w, http.StatusOK, dbResponse{ID: id, Facts: cur.facts, Version: cur.version})
+}
+
+// setupSegLocked attaches the durable segment store to a freshly
+// published entry (no-op without a data dir; caller holds ent.mu). A
+// fresh store journals and commits the initial facts (version 1, like a
+// memory-only load); a store whose directory survived an earlier
+// process or eviction reopens at its last committed version — same
+// rule as reloading a live entry: posting the same source never resets
+// a mutated DB.
+func (s *Server) setupSegLocked(ent *dbEntry, atoms []core.Atom) error {
+	if !s.persistent() {
+		return nil
+	}
+	seg, err := s.openSeg(ent.id)
+	if err != nil {
+		return fmt.Errorf("open segment store: %w", err)
+	}
+	facts := len(seg.UserFacts())
+	if seg.Version() == 0 {
+		for _, a := range atoms {
+			seg.Add(a)
+		}
+		if _, err := seg.Commit(); err != nil {
+			seg.Close()
+			return fmt.Errorf("commit initial facts: %w", err)
+		}
+		facts = len(atoms)
+	}
+	ent.seg = seg
+	ent.cur.Store(&dbVersion{db: seg.Clone(), version: seg.Version(), facts: facts})
+	return nil
 }
 
 type queryRequest struct {
